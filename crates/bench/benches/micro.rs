@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for the hot paths of the online system and
+//! the substrates:
+//!
+//! * hierarchical decomposition per task scale (feeds Fig. 15),
+//! * quad-tree retrieval vs a linear-table scan (the O(log HW) vs O(HW)
+//!   claim of Sec. IV-C3),
+//! * the optimal-combination DP search (the O(HW) offline pass),
+//! * conv2d forward (the network's dominant kernel).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
+use o4a_core::one4all::truth_pyramid;
+use o4a_core::server::predict_query;
+use o4a_data::synthetic::DatasetKind;
+use o4a_grid::coding::GridCode;
+use o4a_grid::decompose::decompose;
+use o4a_grid::queries::{task_queries, TaskSpec};
+use o4a_grid::{Hierarchy, LayerCell};
+use o4a_tensor::{conv2d, SeededRng, Tensor};
+use std::hint::black_box;
+
+const SIDE: usize = 128;
+
+/// Per-layer sample series: `[layer][sample][cell]`.
+type PyramidSeries = Vec<Vec<Vec<f32>>>;
+
+fn fixture() -> (Hierarchy, PyramidSeries, PyramidSeries) {
+    let hier = Hierarchy::new(SIDE, SIDE, 2, 6).expect("hierarchy");
+    let flow = DatasetKind::TaxiNycLike
+        .config(SIDE, SIDE, 30, 1)
+        .generate();
+    let slots: Vec<usize> = (22..30).collect();
+    let truths = truth_pyramid(&hier, &flow, &slots);
+    let mut rng = SeededRng::new(2);
+    let preds: Vec<Vec<Vec<f32>>> = truths
+        .iter()
+        .map(|layer| {
+            layer
+                .iter()
+                .map(|f| f.iter().map(|&v| v + rng.normal()).collect())
+                .collect()
+        })
+        .collect();
+    (hier, preds, truths)
+}
+
+fn bench_decomposition(c: &mut Criterion) {
+    let hier = Hierarchy::new(SIDE, SIDE, 2, 6).expect("hierarchy");
+    let mut rng = SeededRng::new(3);
+    let mut group = c.benchmark_group("decompose");
+    for (i, spec) in TaskSpec::standard_tasks(150.0).iter().enumerate() {
+        let masks = task_queries(SIDE, SIDE, *spec, false, &mut rng);
+        group.bench_function(format!("task{}", i + 1), |b| {
+            let mut it = masks.iter().cycle();
+            b.iter(|| {
+                let mask = it.next().expect("non-empty workload");
+                black_box(decompose(&hier, mask))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_index_lookup(c: &mut Criterion) {
+    let (hier, preds, truths) = fixture();
+    let index = search_optimal_combinations(&hier, &preds, &truths, SearchStrategy::Union);
+    // a linear table of (code, combination) pairs to compare against
+    let mut linear = Vec::new();
+    index.tree.for_each(|code, comb| {
+        linear.push((code.clone(), comb.clone()));
+    });
+    let probe = GridCode::for_cell(&hier, LayerCell::new(0, 101, 67));
+    let mut group = c.benchmark_group("index_lookup");
+    group.bench_function("quadtree", |b| {
+        b.iter(|| black_box(index.tree.get(black_box(&probe))));
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            black_box(
+                linear
+                    .iter()
+                    .find(|(code, _)| code == &probe)
+                    .map(|(_, c)| c),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    // the DP search itself (offline, O(HW)) at a reduced raster so the
+    // benchmark iterates in reasonable time
+    let hier = Hierarchy::new(64, 64, 2, 6).expect("hierarchy");
+    let flow = DatasetKind::TaxiNycLike.config(64, 64, 20, 4).generate();
+    let slots: Vec<usize> = (12..20).collect();
+    let truths = truth_pyramid(&hier, &flow, &slots);
+    let preds = truths.clone();
+    c.bench_function("combination_search_64x64", |b| {
+        b.iter_batched(
+            || (preds.clone(), truths.clone()),
+            |(p, t)| {
+                black_box(search_optimal_combinations(
+                    &hier,
+                    &p,
+                    &t,
+                    SearchStrategy::UnionSubtraction,
+                ))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let (hier, preds, truths) = fixture();
+    let index =
+        search_optimal_combinations(&hier, &preds, &truths, SearchStrategy::UnionSubtraction);
+    let frames: Vec<Vec<f32>> = truths.iter().map(|layer| layer[0].clone()).collect();
+    let mut rng = SeededRng::new(5);
+    let masks = task_queries(
+        SIDE,
+        SIDE,
+        TaskSpec::standard_tasks(150.0)[3],
+        false,
+        &mut rng,
+    );
+    c.bench_function("region_query_task4", |b| {
+        let mut it = masks.iter().cycle();
+        b.iter(|| {
+            let mask = it.next().expect("non-empty workload");
+            black_box(predict_query(&hier, &index, &frames, mask))
+        });
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = SeededRng::new(6);
+    let x = rng.uniform_tensor(&[1, 16, 32, 32], -1.0, 1.0);
+    let w = rng.uniform_tensor(&[16, 16, 3, 3], -0.2, 0.2);
+    let bias = Tensor::zeros(&[16]);
+    c.bench_function("conv2d_16ch_32x32", |b| {
+        b.iter(|| black_box(conv2d(&x, &w, &bias, 1, 1).expect("conv shapes")));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_decomposition,
+    bench_index_lookup,
+    bench_search,
+    bench_query,
+    bench_conv
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Fig. 16 — effect of the spatial modeling block: One4All-ST with
+//! SEBlock vs ResBlock vs ConvBlock, MAPE per task on Taxi NYC.
+//!
+//! Usage: `cargo run -p o4a-bench --release --bin fig16 [-- --quick]`
+
+use o4a_bench::{build_index, eval_with_index, ExpConfig, Experiment};
+use o4a_core::combination::SearchStrategy;
+use o4a_core::network::NetworkConfig;
+use o4a_core::one4all::One4AllSt;
+use o4a_data::synthetic::DatasetKind;
+use o4a_models::multiscale::PyramidPredictor;
+use o4a_nn::blocks::BlockKind;
+use o4a_tensor::SeededRng;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let exp = Experiment::setup(DatasetKind::TaxiNycLike, &cfg);
+    println!(
+        "Fig. 16 reproduction — spatial modeling block, Taxi NYC (synthetic), raster {}x{}",
+        cfg.h, cfg.w
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "Block", "Task1 MAPE", "Task2 MAPE", "Task3 MAPE", "Task4 MAPE", "params"
+    );
+    for block in [BlockKind::Se, BlockKind::Res, BlockKind::Conv] {
+        let mut rng = SeededRng::new(cfg.seed);
+        let mut net_cfg = NetworkConfig::standard([
+            cfg.temporal.closeness,
+            cfg.temporal.period,
+            cfg.temporal.trend,
+        ]);
+        net_cfg.block = block;
+        let mut model = One4AllSt::new(
+            &mut rng,
+            exp.hier.clone(),
+            &cfg.temporal,
+            net_cfg,
+            cfg.train,
+        );
+        model.fit(&exp.flow, &cfg.temporal, &exp.split.train);
+        let val_pyr =
+            model.predict_pyramid(&exp.flow, &cfg.temporal, &o4a_bench::search_window(&exp));
+        let index = build_index(&exp, &val_pyr, SearchStrategy::UnionSubtraction);
+        let test_pyr = model.predict_pyramid(&exp.flow, &cfg.temporal, &exp.test_slots);
+        print!("{:<10}", block.name());
+        for masks in &exp.tasks {
+            let (_, mape) = eval_with_index(&exp, &index, &test_pyr, masks);
+            print!(" {mape:>12.4}");
+        }
+        println!(" {:>9.2}M", model.num_params() as f64 / 1e6);
+    }
+}

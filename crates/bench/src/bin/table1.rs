@@ -1,0 +1,178 @@
+//! Table I — main results: RMSE/MAPE of every baseline, the enhanced
+//! multi-scale methods and One4All-ST on both datasets across Tasks 1–4.
+//!
+//! Usage: `cargo run -p o4a-bench --release --bin table1 [-- --quick]`
+
+use o4a_bench::{
+    build_index, eval_single_scale, eval_with_index, fmt_metrics, model_rng, print_task_header,
+    ExpConfig, Experiment, MAPE_THRESHOLD,
+};
+use o4a_core::combination::SearchStrategy;
+use o4a_core::one4all::One4AllSt;
+use o4a_data::metrics::MetricAccumulator;
+use o4a_data::synthetic::DatasetKind;
+use o4a_models::gbdt::Gbdt;
+use o4a_models::graph_models::{GmanLite, GwnLite, StMgcnLite};
+use o4a_models::hm::HistoryMean;
+use o4a_models::mc_stgcn::McStgcnLite;
+use o4a_models::multiscale::{MultiScaleEnsemble, PyramidPredictor};
+use o4a_models::predictor::Predictor;
+use o4a_models::st_resnet::StResNetLite;
+use o4a_models::stmeta::StMetaLite;
+use o4a_models::strn::StrnLite;
+
+fn print_row(name: &str, metrics: &[(f64, f64)]) {
+    print!("{name:<14}");
+    for &(rmse, mape) in metrics {
+        print!(" {}", fmt_metrics(rmse, mape));
+    }
+    println!();
+}
+
+fn eval_single(exp: &Experiment, model: &mut dyn Predictor, cfg: &ExpConfig) -> Vec<(f64, f64)> {
+    model.fit(&exp.flow, &cfg.temporal, &exp.split.train);
+    let preds = model.predict(&exp.flow, &cfg.temporal, &exp.test_slots);
+    exp.tasks
+        .iter()
+        .map(|masks| eval_single_scale(exp, &preds, masks))
+        .collect()
+}
+
+fn eval_pyramid_model(
+    exp: &Experiment,
+    model: &mut dyn PyramidPredictor,
+    cfg: &ExpConfig,
+) -> Vec<(f64, f64)> {
+    model.fit(&exp.flow, &cfg.temporal, &exp.split.train);
+    let val_pyr = model.predict_pyramid(&exp.flow, &cfg.temporal, &o4a_bench::search_window(exp));
+    let index = build_index(exp, &val_pyr, SearchStrategy::UnionSubtraction);
+    let test_pyr = model.predict_pyramid(&exp.flow, &cfg.temporal, &exp.test_slots);
+    exp.tasks
+        .iter()
+        .map(|masks| eval_with_index(exp, &index, &test_pyr, masks))
+        .collect()
+}
+
+fn eval_mc_stgcn(exp: &Experiment, cfg: &ExpConfig) -> Vec<(f64, f64)> {
+    let mut rng = model_rng(cfg.seed, "MC-STGCN");
+    let mut model = McStgcnLite::new(
+        &mut rng,
+        cfg.temporal.channels(),
+        exp.flow.h(),
+        exp.flow.w(),
+        4,
+        cfg.train,
+    );
+    model.fit(&exp.flow, &cfg.temporal, &exp.split.train);
+    let fine = model.predict(&exp.flow, &cfg.temporal, &exp.test_slots);
+    let coarse = model.predict_coarse(&exp.flow, &cfg.temporal, &exp.test_slots);
+    exp.tasks
+        .iter()
+        .map(|masks| {
+            let mut acc = MetricAccumulator::new();
+            for mask in masks {
+                for (s, &t) in exp.test_slots.iter().enumerate() {
+                    let pred = McStgcnLite::region_from_frames(
+                        exp.flow.h(),
+                        exp.flow.w(),
+                        model.factor(),
+                        &fine[s],
+                        &coarse[s],
+                        mask,
+                    );
+                    acc.push(pred, exp.flow.region_flow(t, mask));
+                }
+            }
+            (acc.rmse(), acc.mape(MAPE_THRESHOLD))
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!(
+        "Table I reproduction — raster {}x{}, P = {:?}, {} epochs/model",
+        cfg.h,
+        cfg.w,
+        cfg.hierarchy().scales(),
+        cfg.train.epochs,
+    );
+    for kind in [DatasetKind::TaxiNycLike, DatasetKind::FreightLike] {
+        let exp = Experiment::setup(kind, &cfg);
+        print_task_header(kind.name());
+        let channels = cfg.temporal.channels();
+        let (h, w) = (exp.flow.h(), exp.flow.w());
+        let only: Option<String> = std::env::args().skip_while(|a| a != "--only").nth(1);
+        let want = |name: &str| only.as_deref().is_none_or(|o| o == name);
+
+        // --- baselines ---
+        if want("HM") {
+            let mut hm = HistoryMean::paper();
+            print_row("HM", &eval_single(&exp, &mut hm, &cfg));
+        }
+        if want("XGBoost") {
+            let mut gbdt = Gbdt::standard();
+            print_row("XGBoost", &eval_single(&exp, &mut gbdt, &cfg));
+        }
+        if want("ST-ResNet") {
+            let mut rng = model_rng(cfg.seed, "ST-ResNet");
+            let mut st_resnet = StResNetLite::standard(&mut rng, channels, cfg.train);
+            print_row("ST-ResNet", &eval_single(&exp, &mut st_resnet, &cfg));
+        }
+        if want("GWN") {
+            let mut rng = model_rng(cfg.seed, "GWN");
+            let mut gwn = GwnLite::standard(&mut rng, channels, h, w, cfg.train);
+            print_row("GWN", &eval_single(&exp, &mut gwn, &cfg));
+        }
+        if want("ST-MGCN") {
+            let mut rng = model_rng(cfg.seed, "ST-MGCN");
+            let train_until = *exp.split.train.last().expect("non-empty train split");
+            let mut stmgcn =
+                StMgcnLite::standard(&mut rng, channels, &exp.flow, train_until, cfg.train);
+            print_row("ST-MGCN", &eval_single(&exp, &mut stmgcn, &cfg));
+        }
+        if want("GMAN") {
+            let mut rng = model_rng(cfg.seed, "GMAN");
+            let mut gman = GmanLite::standard(&mut rng, channels, h, w, cfg.train);
+            print_row("GMAN", &eval_single(&exp, &mut gman, &cfg));
+        }
+        if want("STRN") {
+            let mut rng = model_rng(cfg.seed, "STRN");
+            let mut strn = StrnLite::standard(&mut rng, channels, cfg.train);
+            print_row("STRN", &eval_single(&exp, &mut strn, &cfg));
+        }
+        if want("MC-STGCN") {
+            print_row("MC-STGCN", &eval_mc_stgcn(&exp, &cfg));
+        }
+        if want("STMeta") {
+            let mut rng = model_rng(cfg.seed, "STMeta");
+            let mut stmeta = StMetaLite::standard(&mut rng, &cfg.temporal, h, w, cfg.train);
+            print_row("STMeta", &eval_single(&exp, &mut stmeta, &cfg));
+        }
+
+        // --- enhanced multi-scale methods ---
+        if want("M-ST-ResNet") {
+            let mut rng = model_rng(cfg.seed, "M-ST-ResNet");
+            let mut m_st_resnet =
+                MultiScaleEnsemble::m_st_resnet(exp.hier.clone(), &mut rng, channels, cfg.train);
+            print_row(
+                "M-ST-ResNet",
+                &eval_pyramid_model(&exp, &mut m_st_resnet, &cfg),
+            );
+        }
+        if want("M-STRN") {
+            let mut rng = model_rng(cfg.seed, "M-STRN");
+            let mut m_strn =
+                MultiScaleEnsemble::m_strn(exp.hier.clone(), &mut rng, channels, cfg.train);
+            print_row("M-STRN", &eval_pyramid_model(&exp, &mut m_strn, &cfg));
+        }
+
+        // --- One4All-ST ---
+        if want("One4All-ST") {
+            let mut rng = model_rng(cfg.seed, "One4All-ST");
+            let mut one4all =
+                One4AllSt::standard(&mut rng, exp.hier.clone(), &cfg.temporal, cfg.train);
+            print_row("One4All-ST", &eval_pyramid_model(&exp, &mut one4all, &cfg));
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Table II — computation cost of the deep models: training seconds per
+//! epoch, inference seconds over the test window, and parameter counts.
+//! The enhanced methods report the total over their per-scale models, as
+//! in the paper.
+//!
+//! Usage: `cargo run -p o4a-bench --release --bin table2 [-- --quick]`
+
+use o4a_bench::{ExpConfig, Experiment};
+use o4a_core::one4all::One4AllSt;
+use o4a_data::synthetic::DatasetKind;
+use o4a_models::graph_models::{GmanLite, GwnLite, StMgcnLite};
+use o4a_models::mc_stgcn::McStgcnLite;
+use o4a_models::multiscale::{MultiScaleEnsemble, PyramidPredictor};
+use o4a_models::predictor::Predictor;
+use o4a_models::st_resnet::StResNetLite;
+use o4a_models::stmeta::StMetaLite;
+use o4a_models::strn::StrnLite;
+use o4a_tensor::SeededRng;
+use std::time::Instant;
+
+fn fmt_params(p: usize) -> String {
+    format!("{:.2}M", p as f64 / 1e6)
+}
+
+fn report(name: &str, sec_per_epoch: f64, inference: f64, params: usize) {
+    println!(
+        "{name:<14} {sec_per_epoch:>12.2} {inference:>12.3} {:>12}",
+        fmt_params(params)
+    );
+}
+
+fn run_single(exp: &Experiment, cfg: &ExpConfig, model: &mut dyn Predictor) {
+    let stats = model.fit(&exp.flow, &cfg.temporal, &exp.split.train);
+    let t0 = Instant::now();
+    let _ = model.predict(&exp.flow, &cfg.temporal, &exp.test_slots);
+    report(
+        model.name(),
+        stats.sec_per_epoch,
+        t0.elapsed().as_secs_f64(),
+        stats.num_params,
+    );
+}
+
+fn run_pyramid(exp: &Experiment, cfg: &ExpConfig, model: &mut dyn PyramidPredictor) {
+    let stats = model.fit(&exp.flow, &cfg.temporal, &exp.split.train);
+    let t0 = Instant::now();
+    let _ = model.predict_pyramid(&exp.flow, &cfg.temporal, &exp.test_slots);
+    report(
+        model.name(),
+        stats.sec_per_epoch,
+        t0.elapsed().as_secs_f64(),
+        stats.num_params,
+    );
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    let exp = Experiment::setup(DatasetKind::TaxiNycLike, &cfg);
+    let channels = cfg.temporal.channels();
+    let (h, w) = (exp.flow.h(), exp.flow.w());
+    let mut rng = SeededRng::new(cfg.seed);
+    println!(
+        "Table II reproduction — Taxi NYC (synthetic), raster {}x{}, {} epochs",
+        cfg.h, cfg.w, cfg.train.epochs
+    );
+    println!(
+        "{:<14} {:>12} {:>12} {:>12}",
+        "Model", "sec/epoch", "infer (s)", "# params"
+    );
+
+    run_single(
+        &exp,
+        &cfg,
+        &mut StResNetLite::standard(&mut rng, channels, cfg.train),
+    );
+    run_single(
+        &exp,
+        &cfg,
+        &mut GwnLite::standard(&mut rng, channels, h, w, cfg.train),
+    );
+    let train_until = *exp.split.train.last().expect("non-empty train");
+    run_single(
+        &exp,
+        &cfg,
+        &mut StMgcnLite::standard(&mut rng, channels, &exp.flow, train_until, cfg.train),
+    );
+    run_single(
+        &exp,
+        &cfg,
+        &mut GmanLite::standard(&mut rng, channels, h, w, cfg.train),
+    );
+    run_single(
+        &exp,
+        &cfg,
+        &mut StrnLite::standard(&mut rng, channels, cfg.train),
+    );
+    run_single(
+        &exp,
+        &cfg,
+        &mut McStgcnLite::new(&mut rng, channels, h, w, 4, cfg.train),
+    );
+    run_single(
+        &exp,
+        &cfg,
+        &mut StMetaLite::standard(&mut rng, &cfg.temporal, h, w, cfg.train),
+    );
+    run_pyramid(
+        &exp,
+        &cfg,
+        &mut MultiScaleEnsemble::m_st_resnet(exp.hier.clone(), &mut rng, channels, cfg.train),
+    );
+    run_pyramid(
+        &exp,
+        &cfg,
+        &mut MultiScaleEnsemble::m_strn(exp.hier.clone(), &mut rng, channels, cfg.train),
+    );
+    run_pyramid(
+        &exp,
+        &cfg,
+        &mut One4AllSt::standard(&mut rng, exp.hier.clone(), &cfg.temporal, cfg.train),
+    );
+}

@@ -1,0 +1,136 @@
+//! Deployable model snapshots: One4All-ST weights + per-scale normalizers.
+//!
+//! Together with the index codec ([`crate::codec`]) this covers everything
+//! the online phase needs to restart without retraining: the network
+//! parameters, the per-scale normalization statistics fitted during
+//! training (Eq. 11), and the searched combination index.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "O4AMDL01" | layer_count u32 | (mean f32, std f32)* | nn weight stream
+//! ```
+
+use crate::one4all::One4AllSt;
+use o4a_data::norm::Normalizer;
+use o4a_nn::persist::{load_param_values, save_param_values, PersistError};
+
+const MAGIC: &[u8; 8] = b"O4AMDL01";
+
+/// Serializes a trained model (normalizers + network weights).
+pub fn save_model(model: &mut One4AllSt) -> Vec<u8> {
+    let norms = model.normalizers().to_vec();
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(norms.len() as u32).to_le_bytes());
+    for n in &norms {
+        buf.extend_from_slice(&n.mean.to_le_bytes());
+        buf.extend_from_slice(&n.std.to_le_bytes());
+    }
+    buf.extend_from_slice(&save_param_values(&model.net_mut().params_mut()));
+    buf
+}
+
+/// Restores a trained model into a freshly constructed one with the same
+/// architecture and hierarchy.
+pub fn load_model(model: &mut One4AllSt, bytes: &[u8]) -> Result<(), PersistError> {
+    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+    if count != model.hierarchy_layers() {
+        return Err(PersistError::Corrupt("normalizer count mismatch"));
+    }
+    let mut pos = 12usize;
+    let mut norms = Vec::with_capacity(count);
+    for _ in 0..count {
+        if pos + 8 > bytes.len() {
+            return Err(PersistError::Corrupt("truncated normalizer table"));
+        }
+        let mean = f32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let std = f32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        pos += 8;
+        norms.push(Normalizer { mean, std });
+    }
+    load_param_values(&mut model.net_mut().params_mut(), &bytes[pos..])?;
+    model.set_normalizers(norms);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o4a_data::features::{chronological_split, TemporalConfig};
+    use o4a_data::synthetic::DatasetKind;
+    use o4a_grid::Hierarchy;
+    use o4a_models::multiscale::PyramidPredictor;
+    use o4a_models::predictor::TrainConfig;
+    use o4a_tensor::SeededRng;
+
+    fn trained() -> (
+        One4AllSt,
+        o4a_data::flow::FlowSeries,
+        TemporalConfig,
+        Vec<usize>,
+    ) {
+        let hier = Hierarchy::new(8, 8, 2, 3).unwrap();
+        let flow = DatasetKind::TaxiNycLike.config(8, 8, 24 * 9, 5).generate();
+        let cfg = TemporalConfig::compact();
+        let split = chronological_split(&flow, &cfg);
+        let mut rng = SeededRng::new(1);
+        let mut model = One4AllSt::standard(
+            &mut rng,
+            hier,
+            &cfg,
+            TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            },
+        );
+        model.fit(&flow, &cfg, &split.train);
+        (model, flow, cfg, split.test)
+    }
+
+    #[test]
+    fn roundtrip_restores_predictions() {
+        let (mut model, flow, cfg, test) = trained();
+        let t = test[0];
+        let before = model.predict_pyramid(&flow, &cfg, &[t]);
+        let bytes = save_model(&mut model);
+
+        let mut rng = SeededRng::new(99); // different init
+        let mut fresh = One4AllSt::standard(
+            &mut rng,
+            Hierarchy::new(8, 8, 2, 3).unwrap(),
+            &cfg,
+            TrainConfig::default(),
+        );
+        load_model(&mut fresh, &bytes).unwrap();
+        let after = fresh.predict_pyramid(&flow, &cfg, &[t]);
+        for (a, b) in before.iter().zip(&after) {
+            for (x, y) in a[0].iter().zip(&b[0]) {
+                assert!((x - y).abs() < 1e-5, "prediction drifted: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_hierarchy() {
+        let (mut model, _, cfg, _) = trained();
+        let bytes = save_model(&mut model);
+        let mut rng = SeededRng::new(2);
+        let mut other = One4AllSt::standard(
+            &mut rng,
+            Hierarchy::new(8, 8, 2, 4).unwrap(), // one more layer
+            &cfg,
+            TrainConfig::default(),
+        );
+        assert!(load_model(&mut other, &bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let (mut model, _, _, _) = trained();
+        assert_eq!(load_model(&mut model, b"junk"), Err(PersistError::BadMagic));
+    }
+}

@@ -1,0 +1,412 @@
+//! The One4All-ST predictor: one network, every scale, plus the offline
+//! index construction.
+
+use crate::combination::{search_optimal_combinations, CombinationIndex, SearchStrategy};
+use crate::network::{NetworkConfig, One4AllNet};
+use o4a_data::features::{SampleSet, TemporalConfig};
+use o4a_data::flow::FlowSeries;
+use o4a_data::norm::Normalizer;
+use o4a_grid::Hierarchy;
+use o4a_models::multiscale::PyramidPredictor;
+use o4a_models::predictor::{TrainConfig, TrainStats};
+use o4a_nn::loss::mse_loss;
+use o4a_nn::optim::{clip_grad_norm, Adam};
+use o4a_tensor::{SeededRng, Tensor};
+use std::time::Instant;
+
+/// The One4All-ST model: a single hierarchical multi-scale network trained
+/// with scale-normalized multi-task learning (Eq. 11–12).
+pub struct One4AllSt {
+    hier: Hierarchy,
+    net: One4AllNet,
+    norms: Vec<Normalizer>,
+    /// Scale normalization on (`false` reproduces the w/o-SN ablation of
+    /// Table IV: one shared normalization for every scale).
+    pub scale_norm: bool,
+    train_cfg: TrainConfig,
+}
+
+impl One4AllSt {
+    /// Creates the model for a hierarchy and temporal configuration.
+    pub fn new(
+        rng: &mut SeededRng,
+        hier: Hierarchy,
+        cfg: &TemporalConfig,
+        net_cfg: NetworkConfig,
+        train_cfg: TrainConfig,
+    ) -> Self {
+        assert_eq!(
+            net_cfg.view_sizes,
+            [cfg.closeness, cfg.period, cfg.trend],
+            "network views must match the temporal configuration"
+        );
+        let net = One4AllNet::new(rng, &hier, net_cfg);
+        let norms = vec![Normalizer::identity(); hier.num_layers()];
+        One4AllSt {
+            hier,
+            net,
+            norms,
+            scale_norm: true,
+            train_cfg,
+        }
+    }
+
+    /// Standard instantiation: SE blocks, hierarchical spatial modeling,
+    /// scale normalization.
+    pub fn standard(
+        rng: &mut SeededRng,
+        hier: Hierarchy,
+        cfg: &TemporalConfig,
+        train_cfg: TrainConfig,
+    ) -> Self {
+        let net_cfg = NetworkConfig::standard([cfg.closeness, cfg.period, cfg.trend]);
+        Self::new(rng, hier, cfg, net_cfg, train_cfg)
+    }
+
+    /// Access to the network (ablation inspection, weight persistence).
+    pub fn net_mut(&mut self) -> &mut One4AllNet {
+        &mut self.net
+    }
+
+    /// The fitted per-scale normalizers (identity before `fit`).
+    pub fn normalizers(&self) -> &[Normalizer] {
+        &self.norms
+    }
+
+    /// Restores per-scale normalizers (used when loading a deployed model).
+    ///
+    /// # Panics
+    /// Panics if the count does not match the hierarchy's layer count.
+    pub fn set_normalizers(&mut self, norms: Vec<Normalizer>) {
+        assert_eq!(
+            norms.len(),
+            self.hier.num_layers(),
+            "one normalizer per layer"
+        );
+        self.norms = norms;
+    }
+
+    /// Number of hierarchy layers (for persistence validation).
+    pub fn hierarchy_layers(&self) -> usize {
+        self.hier.num_layers()
+    }
+
+    /// Aggregates atomic targets `[n, 1, H, W]` to a layer's resolution.
+    fn aggregate_targets(&self, targets: &Tensor, layer: usize) -> Tensor {
+        let (n, h, w) = (targets.shape()[0], targets.shape()[2], targets.shape()[3]);
+        let s = self.hier.scale(layer);
+        let (lh, lw) = self.hier.layer_dims(layer);
+        let mut out = vec![0.0f32; n * lh * lw];
+        for b in 0..n {
+            for r in 0..h {
+                for c in 0..w {
+                    out[(b * lh + r / s) * lw + c / s] += targets.data()[(b * h + r) * w + c];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, 1, lh, lw]).expect("aggregated target shape")
+    }
+
+    /// Builds the optimal-combination index from validation-window
+    /// predictions (the offline search of Sec. IV-C).
+    pub fn build_index(
+        &mut self,
+        flow: &FlowSeries,
+        cfg: &TemporalConfig,
+        val_targets: &[usize],
+        strategy: SearchStrategy,
+    ) -> CombinationIndex {
+        let preds = self.predict_pyramid(flow, cfg, val_targets);
+        let truths = truth_pyramid(&self.hier, flow, val_targets);
+        search_optimal_combinations(&self.hier, &preds, &truths, strategy)
+    }
+}
+
+/// Ground-truth per-layer frames for the given target slots.
+pub fn truth_pyramid(hier: &Hierarchy, flow: &FlowSeries, targets: &[usize]) -> Vec<Vec<Vec<f32>>> {
+    let pyramid = flow.pyramid(hier);
+    pyramid
+        .iter()
+        .map(|layer_flow| {
+            targets
+                .iter()
+                .map(|&t| layer_flow.frame(t).to_vec())
+                .collect()
+        })
+        .collect()
+}
+
+impl PyramidPredictor for One4AllSt {
+    fn name(&self) -> &str {
+        "One4All-ST"
+    }
+
+    fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    fn fit(
+        &mut self,
+        flow: &FlowSeries,
+        cfg: &TemporalConfig,
+        train_targets: &[usize],
+    ) -> TrainStats {
+        let set = SampleSet::extract_at(flow, cfg, train_targets);
+        let n_layers = self.hier.num_layers();
+
+        // per-layer targets + normalizers (Eq. 11)
+        let raw_targets: Vec<Tensor> = (0..n_layers)
+            .map(|l| self.aggregate_targets(&set.targets, l))
+            .collect();
+        self.norms = raw_targets
+            .iter()
+            .map(|t| Normalizer::fit(t.data()))
+            .collect();
+        if !self.scale_norm {
+            // w/o SN: one shared transformation for every scale
+            let shared = self.norms[0];
+            self.norms = vec![shared; n_layers];
+        }
+        let inputs = self.norms[0].normalize(&set.inputs);
+        let targets: Vec<Tensor> = raw_targets
+            .iter()
+            .zip(&self.norms)
+            .map(|(t, n)| n.normalize(t))
+            .collect();
+
+        let mut opt = Adam::new(self.train_cfg.lr);
+        let mut rng = SeededRng::new(self.train_cfg.seed);
+        let n = set.len();
+        let batch = self.train_cfg.batch.min(n).max(1);
+        let in_stride: usize = inputs.shape()[1..].iter().product();
+        let t_strides: Vec<usize> = targets
+            .iter()
+            .map(|t| t.shape()[1..].iter().product())
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+
+        let start = Instant::now();
+        let mut final_loss = 0.0f32;
+        for _ in 0..self.train_cfg.epochs {
+            for i in (1..n).rev() {
+                order.swap(i, rng.index(i + 1));
+            }
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            let mut bi = 0usize;
+            while bi < n {
+                let idx = &order[bi..(bi + batch).min(n)];
+                let bn = idx.len();
+                let mut xin = Vec::with_capacity(bn * in_stride);
+                for &s in idx {
+                    xin.extend_from_slice(&inputs.data()[s * in_stride..(s + 1) * in_stride]);
+                }
+                let mut in_shape = inputs.shape().to_vec();
+                in_shape[0] = bn;
+                let x = Tensor::from_vec(xin, &in_shape).expect("batch input shape");
+
+                let preds = self.net.forward_multi(&x);
+                // multi-task loss: plain sum over scales (Eq. 12)
+                let mut grads = Vec::with_capacity(n_layers);
+                let mut loss_sum = 0.0f32;
+                for (l, pred) in preds.iter().enumerate() {
+                    let stride = t_strides[l];
+                    let mut yb = Vec::with_capacity(bn * stride);
+                    for &s in idx {
+                        yb.extend_from_slice(&targets[l].data()[s * stride..(s + 1) * stride]);
+                    }
+                    let mut shape = targets[l].shape().to_vec();
+                    shape[0] = bn;
+                    let y = Tensor::from_vec(yb, &shape).expect("batch target shape");
+                    let (loss, grad) = mse_loss(pred, &y);
+                    loss_sum += loss;
+                    grads.push(grad);
+                }
+                for p in self.net.params_mut() {
+                    p.zero_grad();
+                }
+                self.net.backward_multi(&grads);
+                clip_grad_norm(&mut self.net.params_mut(), self.train_cfg.clip);
+                opt.step(&mut self.net.params_mut());
+                total += loss_sum;
+                batches += 1;
+                bi += batch;
+            }
+            final_loss = total / batches.max(1) as f32;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        TrainStats {
+            epochs: self.train_cfg.epochs,
+            sec_per_epoch: elapsed / self.train_cfg.epochs.max(1) as f64,
+            final_loss,
+            num_params: self.net.num_params(),
+        }
+    }
+
+    fn predict_pyramid(
+        &mut self,
+        flow: &FlowSeries,
+        cfg: &TemporalConfig,
+        targets: &[usize],
+    ) -> Vec<Vec<Vec<f32>>> {
+        let n_layers = self.hier.num_layers();
+        let mut out: Vec<Vec<Vec<f32>>> = (0..n_layers).map(|_| Vec::new()).collect();
+        for chunk in targets.chunks(16) {
+            let set = SampleSet::extract_at(flow, cfg, chunk);
+            let x = self.norms[0].normalize(&set.inputs);
+            let preds = self.net.forward_multi(&x);
+            for (l, pred) in preds.iter().enumerate() {
+                let denorm = self.norms[l].denormalize(pred);
+                let plane: usize = denorm.shape()[2] * denorm.shape()[3];
+                for s in 0..chunk.len() {
+                    out[l].push(
+                        denorm.data()[s * plane..(s + 1) * plane]
+                            .iter()
+                            .map(|&v| v.max(0.0))
+                            .collect(),
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    fn num_params(&mut self) -> usize {
+        self.net.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::predict_query;
+    use o4a_grid::Mask;
+
+    fn flow_and_cfg() -> (FlowSeries, TemporalConfig) {
+        let cfg = TemporalConfig {
+            closeness: 2,
+            period: 1,
+            trend: 1,
+            steps_per_day: 4,
+            days_per_week: 2,
+        };
+        let mut flow = FlowSeries::zeros(56, 8, 8);
+        for t in 0..56 {
+            for r in 0..8 {
+                for c in 0..8 {
+                    let hotspot = if r < 4 && c < 4 { 6.0 } else { 1.0 };
+                    flow.set(t, r, c, hotspot + 2.0 * ((t + r) % 4) as f32);
+                }
+            }
+        }
+        (flow, cfg)
+    }
+
+    fn quick_model(flow: &FlowSeries, cfg: &TemporalConfig, epochs: usize) -> One4AllSt {
+        let hier = Hierarchy::new(flow.h(), flow.w(), 2, 3).unwrap();
+        let mut rng = SeededRng::new(7);
+        let net_cfg = NetworkConfig {
+            view_sizes: [cfg.closeness, cfg.period, cfg.trend],
+            d: 8,
+            block: o4a_nn::blocks::BlockKind::Se,
+            hierarchical: true,
+        };
+        One4AllSt::new(
+            &mut rng,
+            hier,
+            cfg,
+            net_cfg,
+            TrainConfig {
+                epochs,
+                ..TrainConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn fit_and_pyramid_shapes() {
+        let (flow, cfg) = flow_and_cfg();
+        let mut model = quick_model(&flow, &cfg, 3);
+        let train: Vec<usize> = (cfg.min_target()..44).collect();
+        let stats = model.fit(&flow, &cfg, &train);
+        assert!(stats.num_params > 0);
+        let pyr = model.predict_pyramid(&flow, &cfg, &[46, 47]);
+        assert_eq!(pyr.len(), 3);
+        assert_eq!(pyr[0][0].len(), 64);
+        assert_eq!(pyr[1][0].len(), 16);
+        assert_eq!(pyr[2][0].len(), 4);
+        assert!(pyr.iter().flatten().flatten().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn learns_multi_scale_prediction() {
+        let (flow, cfg) = flow_and_cfg();
+        let mut model = quick_model(&flow, &cfg, 30);
+        let train: Vec<usize> = (cfg.min_target()..44).collect();
+        model.fit(&flow, &cfg, &train);
+        let pyr = model.predict_pyramid(&flow, &cfg, &[46, 47]);
+        let truths = truth_pyramid(model.hierarchy(), &flow, &[46, 47]);
+        // relative error at each scale should be modest on this learnable
+        // series
+        for l in 0..3 {
+            let mut se = 0.0f64;
+            let mut norm = 0.0f64;
+            for s in 0..2 {
+                for (p, t) in pyr[l][s].iter().zip(&truths[l][s]) {
+                    se += ((p - t) as f64).powi(2);
+                    norm += (*t as f64).powi(2);
+                }
+            }
+            let rel = (se / norm).sqrt();
+            assert!(rel < 0.5, "layer {l} relative error {rel}");
+        }
+    }
+
+    #[test]
+    fn scale_norm_fits_per_layer() {
+        let (flow, cfg) = flow_and_cfg();
+        let mut model = quick_model(&flow, &cfg, 1);
+        let train: Vec<usize> = (cfg.min_target()..44).collect();
+        model.fit(&flow, &cfg, &train);
+        // coarser layers aggregate more flow => larger means
+        assert!(model.norms[2].mean > model.norms[1].mean);
+        assert!(model.norms[1].mean > model.norms[0].mean);
+    }
+
+    #[test]
+    fn without_sn_shares_normalizer() {
+        let (flow, cfg) = flow_and_cfg();
+        let mut model = quick_model(&flow, &cfg, 1);
+        model.scale_norm = false;
+        let train: Vec<usize> = (cfg.min_target()..44).collect();
+        model.fit(&flow, &cfg, &train);
+        assert_eq!(model.norms[0], model.norms[1]);
+        assert_eq!(model.norms[0], model.norms[2]);
+    }
+
+    #[test]
+    fn end_to_end_index_and_query() {
+        let (flow, cfg) = flow_and_cfg();
+        let mut model = quick_model(&flow, &cfg, 20);
+        let train: Vec<usize> = (cfg.min_target()..40).collect();
+        let val: Vec<usize> = (40..46).collect();
+        model.fit(&flow, &cfg, &train);
+        let index = model.build_index(&flow, &cfg, &val, SearchStrategy::UnionSubtraction);
+        // answer a query on a held-out slot
+        let t = 48usize;
+        let frames: Vec<Vec<f32>> = model
+            .predict_pyramid(&flow, &cfg, &[t])
+            .into_iter()
+            .map(|mut per_t| per_t.remove(0))
+            .collect();
+        let mask = Mask::rect(8, 8, 1, 1, 5, 6);
+        let pred = predict_query(model.hierarchy(), &index, &frames, &mask);
+        let truth = flow.region_flow(t, &mask);
+        assert!(pred >= 0.0);
+        let rel = (pred - truth).abs() / truth.max(1.0);
+        assert!(
+            rel < 0.6,
+            "query relative error {rel} (pred {pred}, truth {truth})"
+        );
+    }
+}

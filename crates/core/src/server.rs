@@ -1,0 +1,431 @@
+//! Online modifiable-areal-unit prediction (Sec. III and IV-D).
+//!
+//! The offline phase leaves two artifacts: the extended quad-tree of
+//! optimal combinations and a continuously-refreshed snapshot of
+//! multi-scale predictions (the paper stores both in HBase; here an
+//! in-process [`PredictionStore`] guarded by a `parking_lot` lock plays
+//! that role — the exercised query path is identical).
+//!
+//! Answering a region query costs *decomposition + index lookups +
+//! aggregation* and never re-runs the model, which is what keeps response
+//! times in the low milliseconds (Fig. 15).
+
+use crate::combination::{Combination, CombinationIndex};
+use o4a_grid::decompose::{decompose, DecomposedGroup};
+use o4a_grid::hierarchy::{Hierarchy, LayerCell};
+use o4a_grid::mask::Mask;
+use parking_lot::RwLock;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Evaluates one decomposed group against per-layer frames using the
+/// index: multi-grids hit their own entry (if the coding rule applies),
+/// everything else unions its member cells' optimal combinations.
+fn evaluate_group(
+    hier: &Hierarchy,
+    index: &CombinationIndex,
+    frames: &[Vec<f32>],
+    group: &DecomposedGroup,
+) -> f32 {
+    if group.cells.len() >= 2 && hier.k() == 2 {
+        if let Some(comb) = index.for_multi(group.layer, &group.cells) {
+            return comb.evaluate(hier, frames);
+        }
+    }
+    group
+        .cells
+        .iter()
+        .map(|&(r, c)| {
+            let cell = LayerCell::new(group.layer, r, c);
+            match index.for_cell(cell) {
+                Some(comb) => comb.evaluate(hier, frames),
+                // a missing entry can only happen on a foreign index; fall
+                // back to the direct prediction
+                None => Combination::single(cell).evaluate(hier, frames),
+            }
+        })
+        .sum()
+}
+
+/// Predicts a region query from per-layer frames: hierarchical
+/// decomposition (Algorithm 1), index lookups, signed aggregation.
+pub fn predict_query(
+    hier: &Hierarchy,
+    index: &CombinationIndex,
+    frames: &[Vec<f32>],
+    mask: &Mask,
+) -> f32 {
+    decompose(hier, mask)
+        .iter()
+        .map(|g| evaluate_group(hier, index, frames, g))
+        .sum()
+}
+
+/// Like [`predict_query`] but over an already-decomposed query — use when
+/// evaluating the same region against many prediction snapshots (the
+/// decomposition depends only on the mask).
+pub fn predict_query_decomposed(
+    hier: &Hierarchy,
+    index: &CombinationIndex,
+    frames: &[Vec<f32>],
+    groups: &[DecomposedGroup],
+) -> f32 {
+    groups
+        .iter()
+        .map(|g| evaluate_group(hier, index, frames, g))
+        .sum()
+}
+
+/// The full signed combination a query resolves to under an index
+/// (concatenation over its decomposed groups). Lets experiments compare
+/// how different strategies decompose the same query (Table III).
+pub fn query_combination(hier: &Hierarchy, index: &CombinationIndex, mask: &Mask) -> Combination {
+    let mut terms = Vec::new();
+    for group in decompose(hier, mask) {
+        let mut matched_multi = false;
+        if group.cells.len() >= 2 && hier.k() == 2 {
+            if let Some(comb) = index.for_multi(group.layer, &group.cells) {
+                terms.extend_from_slice(&comb.terms);
+                matched_multi = true;
+            }
+        }
+        if !matched_multi {
+            for &(r, c) in &group.cells {
+                let cell = LayerCell::new(group.layer, r, c);
+                match index.for_cell(cell) {
+                    Some(comb) => terms.extend_from_slice(&comb.terms),
+                    None => terms.push(crate::combination::SignedCell { cell, sign: 1 }),
+                }
+            }
+        }
+    }
+    Combination { terms }
+}
+
+/// Timing breakdown of one online query (Fig. 15 reports decomposition +
+/// indexing time).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryTiming {
+    /// Time spent in hierarchical decomposition.
+    pub decompose: Duration,
+    /// Time spent retrieving combinations and aggregating.
+    pub index: Duration,
+}
+
+impl QueryTiming {
+    /// Total response time.
+    pub fn total(&self) -> Duration {
+        self.decompose + self.index
+    }
+}
+
+/// A shared snapshot of the latest multi-scale predictions. The model
+/// server refreshes it at preset intervals; region servers read it
+/// lock-free-ish via an `Arc` swap.
+#[derive(Debug, Default)]
+pub struct PredictionStore {
+    frames: RwLock<Arc<Vec<Vec<f32>>>>,
+}
+
+impl PredictionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        PredictionStore {
+            frames: RwLock::new(Arc::new(Vec::new())),
+        }
+    }
+
+    /// Publishes a new multi-scale snapshot (`frames[layer]` flat).
+    pub fn publish(&self, frames: Vec<Vec<f32>>) {
+        *self.frames.write() = Arc::new(frames);
+    }
+
+    /// Grabs the current snapshot.
+    pub fn snapshot(&self) -> Arc<Vec<Vec<f32>>> {
+        self.frames.read().clone()
+    }
+
+    /// Whether a snapshot has been published.
+    pub fn is_ready(&self) -> bool {
+        !self.frames.read().is_empty()
+    }
+}
+
+/// The model-server side of the online phase (Fig. 4): wraps a trained
+/// pyramid predictor and pushes fresh multi-scale snapshots into a
+/// [`PredictionStore`] at every prediction interval — the stand-in for the
+/// paper's "deployed ST model continuously synchronizes multi-scale
+/// predictions with HBase at preset intervals".
+pub struct ModelServer<P> {
+    model: P,
+    store: Arc<PredictionStore>,
+}
+
+impl<P: o4a_models::multiscale::PyramidPredictor> ModelServer<P> {
+    /// Creates a model server over a trained predictor.
+    pub fn new(model: P, store: Arc<PredictionStore>) -> Self {
+        ModelServer { model, store }
+    }
+
+    /// The shared store region servers read from.
+    pub fn store(&self) -> Arc<PredictionStore> {
+        self.store.clone()
+    }
+
+    /// Predicts slot `t` at every scale and publishes the snapshot.
+    pub fn publish_slot(
+        &mut self,
+        flow: &o4a_data::flow::FlowSeries,
+        cfg: &o4a_data::features::TemporalConfig,
+        t: usize,
+    ) {
+        let frames: Vec<Vec<f32>> = self
+            .model
+            .predict_pyramid(flow, cfg, &[t])
+            .into_iter()
+            .map(|mut per_t| per_t.remove(0))
+            .collect();
+        self.store.publish(frames);
+    }
+
+    /// Access to the wrapped model.
+    pub fn model_mut(&mut self) -> &mut P {
+        &mut self.model
+    }
+}
+
+/// The online region-query server: decomposition + quad-tree index +
+/// prediction store.
+pub struct RegionServer {
+    hier: Hierarchy,
+    index: CombinationIndex,
+    store: Arc<PredictionStore>,
+}
+
+impl RegionServer {
+    /// Creates a server over a searched index and a prediction store.
+    pub fn new(index: CombinationIndex, store: Arc<PredictionStore>) -> Self {
+        RegionServer {
+            hier: index.hier.clone(),
+            index,
+            store,
+        }
+    }
+
+    /// The hierarchy served.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &CombinationIndex {
+        &self.index
+    }
+
+    /// Answers a region query against the latest published snapshot.
+    ///
+    /// # Panics
+    /// Panics if no snapshot has been published yet.
+    pub fn query(&self, mask: &Mask) -> f32 {
+        let frames = self.store.snapshot();
+        assert!(!frames.is_empty(), "no prediction snapshot published");
+        predict_query(&self.hier, &self.index, &frames, mask)
+    }
+
+    /// Answers a query and reports the timing breakdown.
+    pub fn query_timed(&self, mask: &Mask) -> (f32, QueryTiming) {
+        let frames = self.store.snapshot();
+        assert!(!frames.is_empty(), "no prediction snapshot published");
+        let t0 = Instant::now();
+        let groups = decompose(&self.hier, mask);
+        let decompose_t = t0.elapsed();
+        let t1 = Instant::now();
+        let value: f32 = groups
+            .iter()
+            .map(|g| evaluate_group(&self.hier, &self.index, &frames, g))
+            .sum();
+        let index_t = t1.elapsed();
+        (
+            value,
+            QueryTiming {
+                decompose: decompose_t,
+                index: index_t,
+            },
+        )
+    }
+
+    /// Answers a batch of queries.
+    pub fn query_many(&self, masks: &[Mask]) -> Vec<f32> {
+        masks.iter().map(|m| self.query(m)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combination::{search_optimal_combinations, SearchStrategy};
+
+    fn hier4() -> Hierarchy {
+        Hierarchy::new(4, 4, 2, 3).unwrap()
+    }
+
+    /// Exact predictions at every scale: any strategy must then reproduce
+    /// the ground-truth region sums exactly.
+    fn exact_setup() -> (Hierarchy, CombinationIndex, Vec<Vec<f32>>) {
+        let hier = hier4();
+        // atomic truth frame: value r*4+c
+        let atomic: Vec<f32> = (0..16).map(|v| v as f32).collect();
+        let mut frames = vec![atomic.clone()];
+        for layer in 1..3 {
+            let s = hier.scale(layer);
+            let (lh, lw) = hier.layer_dims(layer);
+            let mut f = vec![0.0f32; lh * lw];
+            for r in 0..4 {
+                for c in 0..4 {
+                    f[(r / s) * lw + c / s] += atomic[r * 4 + c];
+                }
+            }
+            frames.push(f);
+        }
+        let preds: Vec<Vec<Vec<f32>>> = frames.iter().map(|f| vec![f.clone(); 2]).collect();
+        let index =
+            search_optimal_combinations(&hier, &preds, &preds, SearchStrategy::UnionSubtraction);
+        (hier, index, frames)
+    }
+
+    #[test]
+    fn exact_predictions_give_exact_region_sums() {
+        let (hier, index, frames) = exact_setup();
+        for mask in [
+            Mask::rect(4, 4, 0, 0, 2, 2),
+            Mask::rect(4, 4, 1, 1, 3, 4),
+            Mask::rect(4, 4, 0, 0, 4, 4),
+            Mask::rect(4, 4, 2, 3, 3, 4),
+        ] {
+            let expected: f32 = mask.iter_set().map(|(r, c)| (r * 4 + c) as f32).sum();
+            let got = predict_query(&hier, &index, &frames, &mask);
+            assert!(
+                (got - expected).abs() < 1e-4,
+                "mask sum {got} != {expected}\n{mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn store_publish_snapshot() {
+        let store = PredictionStore::new();
+        assert!(!store.is_ready());
+        store.publish(vec![vec![1.0, 2.0]]);
+        assert!(store.is_ready());
+        assert_eq!(store.snapshot()[0], vec![1.0, 2.0]);
+        // publishing again swaps the snapshot
+        store.publish(vec![vec![3.0]]);
+        assert_eq!(store.snapshot()[0], vec![3.0]);
+    }
+
+    #[test]
+    fn server_query_and_timing() {
+        let (_, index, frames) = exact_setup();
+        let store = Arc::new(PredictionStore::new());
+        store.publish(frames);
+        let server = RegionServer::new(index, store);
+        let mask = Mask::rect(4, 4, 0, 0, 2, 4);
+        let (v, timing) = server.query_timed(&mask);
+        let expected: f32 = mask.iter_set().map(|(r, c)| (r * 4 + c) as f32).sum();
+        assert!((v - expected).abs() < 1e-4);
+        assert!(timing.total() >= timing.decompose);
+        assert_eq!(server.query(&mask), v);
+        assert_eq!(server.query_many(std::slice::from_ref(&mask)), vec![v]);
+    }
+
+    #[test]
+    fn model_server_publishes_snapshots() {
+        use o4a_data::features::TemporalConfig;
+        use o4a_data::flow::FlowSeries;
+        use o4a_models::hm::HistoryMean;
+        use o4a_models::multiscale::AggregatingPyramid;
+
+        let hier = Hierarchy::new(4, 4, 2, 3).unwrap();
+        let mut flow = FlowSeries::zeros(40, 4, 4);
+        for t in 0..40 {
+            for r in 0..4 {
+                for c in 0..4 {
+                    flow.set(t, r, c, (t % 4) as f32 + r as f32);
+                }
+            }
+        }
+        let cfg = TemporalConfig {
+            closeness: 1,
+            period: 1,
+            trend: 1,
+            steps_per_day: 4,
+            days_per_week: 2,
+        };
+        let store = Arc::new(PredictionStore::new());
+        let mut server = ModelServer::new(
+            AggregatingPyramid::new(HistoryMean::new(1, 1, 1), hier.clone()),
+            store.clone(),
+        );
+        assert!(!store.is_ready());
+        server.publish_slot(&flow, &cfg, 20);
+        assert!(store.is_ready());
+        let snap = store.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].len(), 16);
+        assert_eq!(snap[2].len(), 1);
+        // the coarsest frame is the sum of the atomic frame (aggregating
+        // pyramid invariant), proving the published pyramid is coherent
+        let total: f32 = snap[0].iter().sum();
+        assert!((snap[2][0] - total).abs() < 1e-4);
+        let _ = server.model_mut();
+        let _ = server.store();
+    }
+
+    #[test]
+    #[should_panic(expected = "no prediction snapshot")]
+    fn query_before_publish_panics() {
+        let (_, index, _) = exact_setup();
+        let server = RegionServer::new(index, Arc::new(PredictionStore::new()));
+        server.query(&Mask::rect(4, 4, 0, 0, 1, 1));
+    }
+
+    #[test]
+    fn concurrent_publish_and_query() {
+        let (_, index, frames) = exact_setup();
+        let store = Arc::new(PredictionStore::new());
+        store.publish(frames.clone());
+        let server = Arc::new(RegionServer::new(index, store.clone()));
+        let mask = Mask::rect(4, 4, 0, 0, 2, 2);
+        crossbeam_scope(&server, &store, &mask, frames);
+    }
+
+    fn crossbeam_scope(
+        server: &Arc<RegionServer>,
+        store: &Arc<PredictionStore>,
+        mask: &Mask,
+        frames: Vec<Vec<f32>>,
+    ) {
+        // model server refreshes while region servers answer queries
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let server = server.clone();
+                let store = store.clone();
+                let mask = mask.clone();
+                let frames = frames.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        if i == 0 {
+                            store.publish(frames.clone());
+                        } else {
+                            let v = server.query(&mask);
+                            assert!(v.is_finite());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("thread panicked");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! History Mean (HM): predicts the mean of selected historical slots.
+//!
+//! The paper's HM uses one closeness, three daily and one weekly record
+//! (found by grid search). It has no trainable parameters — `fit` is a
+//! no-op kept for interface uniformity.
+
+use crate::predictor::{Predictor, TrainStats};
+use o4a_data::features::TemporalConfig;
+use o4a_data::flow::FlowSeries;
+
+/// The history-mean predictor.
+#[derive(Debug, Clone)]
+pub struct HistoryMean {
+    closeness: usize,
+    period: usize,
+    trend: usize,
+}
+
+impl HistoryMean {
+    /// The paper's grid-searched configuration: 1 closeness, 3 daily,
+    /// 1 weekly record.
+    pub fn paper() -> Self {
+        HistoryMean {
+            closeness: 1,
+            period: 3,
+            trend: 1,
+        }
+    }
+
+    /// Custom history selection.
+    pub fn new(closeness: usize, period: usize, trend: usize) -> Self {
+        assert!(
+            closeness + period + trend > 0,
+            "HM needs at least one historical slot"
+        );
+        HistoryMean {
+            closeness,
+            period,
+            trend,
+        }
+    }
+
+    fn slots(&self, cfg: &TemporalConfig, t: usize) -> Vec<usize> {
+        let mut slots = Vec::new();
+        for i in 1..=self.closeness {
+            slots.push(t - i);
+        }
+        for i in 1..=self.period {
+            slots.push(t - i * cfg.steps_per_day);
+        }
+        for i in 1..=self.trend {
+            slots.push(t - i * cfg.steps_per_week());
+        }
+        slots
+    }
+}
+
+impl Predictor for HistoryMean {
+    fn name(&self) -> &str {
+        "HM"
+    }
+
+    fn fit(
+        &mut self,
+        _flow: &FlowSeries,
+        _cfg: &TemporalConfig,
+        _train_targets: &[usize],
+    ) -> TrainStats {
+        TrainStats {
+            epochs: 0,
+            sec_per_epoch: 0.0,
+            final_loss: 0.0,
+            num_params: 0,
+        }
+    }
+
+    fn predict(
+        &mut self,
+        flow: &FlowSeries,
+        cfg: &TemporalConfig,
+        targets: &[usize],
+    ) -> Vec<Vec<f32>> {
+        let plane = flow.h() * flow.w();
+        targets
+            .iter()
+            .map(|&t| {
+                let slots = self.slots(cfg, t);
+                let mut acc = vec![0.0f32; plane];
+                for &s in &slots {
+                    for (a, &v) in acc.iter_mut().zip(flow.frame(s)) {
+                        *a += v;
+                    }
+                }
+                let inv = 1.0 / slots.len() as f32;
+                for a in &mut acc {
+                    *a *= inv;
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TemporalConfig {
+        TemporalConfig {
+            closeness: 2,
+            period: 3,
+            trend: 1,
+            steps_per_day: 4,
+            days_per_week: 2,
+        }
+    }
+
+    #[test]
+    fn predicts_exact_mean_of_slots() {
+        let cfg = cfg();
+        let mut flow = FlowSeries::zeros(20, 1, 1);
+        for t in 0..20 {
+            flow.set(t, 0, 0, t as f32);
+        }
+        let mut hm = HistoryMean::new(1, 1, 1);
+        let t = 12;
+        let preds = hm.predict(&flow, &cfg, &[t]);
+        // slots: t-1 = 11, t-4 = 8, t-8 = 4 -> mean = 23/3
+        assert!((preds[0][0] - 23.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_on_periodic_series() {
+        let cfg = cfg();
+        let mut flow = FlowSeries::zeros(40, 2, 2);
+        for t in 0..40 {
+            for r in 0..2 {
+                for c in 0..2 {
+                    flow.set(t, r, c, (t % 4) as f32); // period = steps_per_day
+                }
+            }
+        }
+        let mut hm = HistoryMean::new(0, 3, 0);
+        let preds = hm.predict(&flow, &cfg, &[20, 21]);
+        assert_eq!(preds[0][0], (20 % 4) as f32);
+        assert_eq!(preds[1][0], (21 % 4) as f32);
+    }
+
+    #[test]
+    fn fit_is_noop_with_zero_params() {
+        let mut hm = HistoryMean::paper();
+        let flow = FlowSeries::zeros(40, 1, 1);
+        let stats = hm.fit(&flow, &cfg(), &[20]);
+        assert_eq!(stats.num_params, 0);
+        assert_eq!(hm.num_params(), 0);
+        assert_eq!(hm.name(), "HM");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one historical slot")]
+    fn empty_history_rejected() {
+        HistoryMean::new(0, 0, 0);
+    }
+}

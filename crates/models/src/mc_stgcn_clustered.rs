@@ -1,0 +1,636 @@
+//! MC-STGCN with *irregular* clusters — the faithful variant.
+//!
+//! The paper describes MC-STGCN's coarse scale as clusters built from
+//! "geographic proximity information and historical crowd flow".
+//! [`crate::mc_stgcn::McStgcnLite`] approximates those clusters with grid
+//! blocks; this variant uses a real [`ClusterMap`] (k-means over flow
+//! profiles + geography) as the coarse scale:
+//!
+//! * fine branch: graph convolution over the atomic rook adjacency,
+//! * coarse branch: cluster-pooled features → graph convolution over a
+//!   cluster-correlation adjacency,
+//! * cross-scale: cluster features scattered back onto their member cells
+//!   and added to the fine features,
+//! * two heads trained with manually-weighted losses (as in the original).
+//!
+//! Region queries use cluster predictions for clusters fully inside the
+//! query and fine predictions for the remaining cells.
+
+use crate::graph_models::{GridToNodes, NodeLinear, NodesToGrid};
+use crate::predictor::{Predictor, TrainConfig, TrainStats};
+use o4a_data::cluster::ClusterMap;
+use o4a_data::features::{SampleSet, TemporalConfig};
+use o4a_data::flow::FlowSeries;
+use o4a_data::norm::Normalizer;
+use o4a_grid::Mask;
+use o4a_nn::graph::{grid_adjacency, row_normalize, GraphConv};
+use o4a_nn::layers::Relu;
+use o4a_nn::loss::mse_loss;
+use o4a_nn::module::Module;
+use o4a_nn::optim::{clip_grad_norm, Adam};
+use o4a_nn::param::Param;
+use o4a_tensor::{SeededRng, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Mean-pools node features into cluster features:
+/// `[n, v, f] -> [n, k, f]`.
+pub struct ClusterPool {
+    assignment: Arc<Vec<usize>>,
+    sizes: Arc<Vec<usize>>,
+    k: usize,
+    nv: Option<(usize, usize, usize)>,
+}
+
+impl ClusterPool {
+    /// Creates the pool from a cluster map.
+    pub fn new(map: &ClusterMap) -> Self {
+        let assignment: Vec<usize> = (0..map.h() * map.w())
+            .map(|i| map.cluster_of(i / map.w(), i % map.w()))
+            .collect();
+        ClusterPool {
+            sizes: Arc::new(map.sizes()),
+            k: map.num_clusters(),
+            assignment: Arc::new(assignment),
+            nv: None,
+        }
+    }
+}
+
+impl Module for ClusterPool {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (n, v, f) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert_eq!(v, self.assignment.len(), "node count mismatch");
+        self.nv = Some((n, v, f));
+        let mut out = vec![0.0f32; n * self.k * f];
+        for b in 0..n {
+            for p in 0..v {
+                let c = self.assignment[p];
+                for ch in 0..f {
+                    out[(b * self.k + c) * f + ch] += input.data()[(b * v + p) * f + ch];
+                }
+            }
+            for c in 0..self.k {
+                let inv = 1.0 / self.sizes[c].max(1) as f32;
+                for ch in 0..f {
+                    out[(b * self.k + c) * f + ch] *= inv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, self.k, f]).expect("cluster pool shape")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, v, f) = self.nv.take().expect("backward before forward");
+        let mut out = vec![0.0f32; n * v * f];
+        for b in 0..n {
+            for p in 0..v {
+                let c = self.assignment[p];
+                let inv = 1.0 / self.sizes[c].max(1) as f32;
+                for ch in 0..f {
+                    out[(b * v + p) * f + ch] = grad_output.data()[(b * self.k + c) * f + ch] * inv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, v, f]).expect("cluster pool grad")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Scatters cluster features back to member nodes:
+/// `[n, k, f] -> [n, v, f]`.
+pub struct ClusterScatter {
+    assignment: Arc<Vec<usize>>,
+    k: usize,
+    nf: Option<(usize, usize)>,
+}
+
+impl ClusterScatter {
+    /// Creates the scatter from a cluster map.
+    pub fn new(map: &ClusterMap) -> Self {
+        let assignment: Vec<usize> = (0..map.h() * map.w())
+            .map(|i| map.cluster_of(i / map.w(), i % map.w()))
+            .collect();
+        ClusterScatter {
+            assignment: Arc::new(assignment),
+            k: map.num_clusters(),
+            nf: None,
+        }
+    }
+}
+
+impl Module for ClusterScatter {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (n, k, f) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert_eq!(k, self.k, "cluster count mismatch");
+        self.nf = Some((n, f));
+        let v = self.assignment.len();
+        let mut out = vec![0.0f32; n * v * f];
+        for b in 0..n {
+            for p in 0..v {
+                let c = self.assignment[p];
+                for ch in 0..f {
+                    out[(b * v + p) * f + ch] = input.data()[(b * k + c) * f + ch];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, v, f]).expect("scatter shape")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let (n, f) = self.nf.take().expect("backward before forward");
+        let v = self.assignment.len();
+        let mut out = vec![0.0f32; n * self.k * f];
+        for b in 0..n {
+            for p in 0..v {
+                let c = self.assignment[p];
+                for ch in 0..f {
+                    out[(b * self.k + c) * f + ch] += grad_output.data()[(b * v + p) * f + ch];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, self.k, f]).expect("scatter grad")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Correlation adjacency between cluster-aggregated flow series.
+pub fn cluster_adjacency(flow: &FlowSeries, map: &ClusterMap, train_until: usize) -> Tensor {
+    let k = map.num_clusters();
+    let t = train_until.min(flow.len_t()).max(2);
+    let mut series = vec![vec![0.0f32; t]; k];
+    #[allow(clippy::needless_range_loop)] // slot indexes every cluster's series
+    for slot in 0..t {
+        for (c, v) in map
+            .aggregate_frame(flow.frame(slot))
+            .into_iter()
+            .enumerate()
+        {
+            series[c][slot] = v;
+        }
+    }
+    let stats: Vec<(f32, f32)> = series
+        .iter()
+        .map(|s| {
+            let mean = s.iter().sum::<f32>() / t as f32;
+            let var = s.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>();
+            (mean, var.sqrt().max(1e-6))
+        })
+        .collect();
+    let mut adj = Tensor::zeros(&[k, k]);
+    for i in 0..k {
+        adj.data_mut()[i * k + i] = 1.0;
+        for j in 0..k {
+            if i == j {
+                continue;
+            }
+            let corr: f32 = series[i]
+                .iter()
+                .zip(&series[j])
+                .map(|(&a, &b)| (a - stats[i].0) * (b - stats[j].0))
+                .sum::<f32>()
+                / (stats[i].1 * stats[j].1);
+            if corr > 0.0 {
+                adj.data_mut()[i * k + j] = corr;
+            }
+        }
+    }
+    row_normalize(&adj)
+}
+
+/// The clustered bi-scale network.
+struct ClusteredNet {
+    fine_nodes: GridToNodes,
+    fine_gc: GraphConv,
+    fine_relu: Relu,
+    pool: ClusterPool,
+    pool_nodes: GridToNodes,
+    coarse_gc: GraphConv,
+    coarse_relu: Relu,
+    scatter: ClusterScatter,
+    fine_head: NodeLinear,
+    fine_grid: NodesToGrid,
+    coarse_head: NodeLinear,
+}
+
+impl ClusteredNet {
+    fn new(
+        rng: &mut SeededRng,
+        channels: usize,
+        h: usize,
+        w: usize,
+        map: &ClusterMap,
+        cluster_adj: Tensor,
+        d: usize,
+    ) -> Self {
+        ClusteredNet {
+            fine_nodes: GridToNodes::new(),
+            fine_gc: GraphConv::new(rng, grid_adjacency(h, w), channels, d),
+            fine_relu: Relu::new(),
+            pool: ClusterPool::new(map),
+            pool_nodes: GridToNodes::new(),
+            coarse_gc: GraphConv::new(rng, cluster_adj, channels, d),
+            coarse_relu: Relu::new(),
+            scatter: ClusterScatter::new(map),
+            fine_head: NodeLinear::new(rng, d, 1),
+            fine_grid: NodesToGrid::new(h, w),
+            coarse_head: NodeLinear::new(rng, d, 1),
+        }
+    }
+
+    /// Returns `(fine [n,1,h,w], coarse [n,k,1])`.
+    fn forward2(&mut self, input: &Tensor) -> (Tensor, Tensor) {
+        let fine = self
+            .fine_relu
+            .forward(&self.fine_gc.forward(&self.fine_nodes.forward(input)));
+        let pooled = self.pool.forward(&self.pool_nodes.forward(input));
+        let coarse = self.coarse_relu.forward(&self.coarse_gc.forward(&pooled));
+        let fused = fine
+            .add(&self.scatter.forward(&coarse))
+            .expect("cross-scale shapes align");
+        let fine_pred = self.fine_grid.forward(&self.fine_head.forward(&fused));
+        let coarse_pred = self.coarse_head.forward(&coarse);
+        (fine_pred, coarse_pred)
+    }
+
+    fn backward2(&mut self, grad_fine: &Tensor, grad_coarse: &Tensor) -> Tensor {
+        let g_fused = self.fine_head.backward(&self.fine_grid.backward(grad_fine));
+        let g_coarse_cross = self.scatter.backward(&g_fused);
+        let g_coarse_head = self.coarse_head.backward(grad_coarse);
+        let g_coarse = g_coarse_head
+            .add(&g_coarse_cross)
+            .expect("coarse grads align");
+        let g_pooled = self
+            .coarse_gc
+            .backward(&self.coarse_relu.backward(&g_coarse));
+        let g_in_coarse = self.pool_nodes.backward(&self.pool.backward(&g_pooled));
+        let g_in_fine = self
+            .fine_nodes
+            .backward(&self.fine_gc.backward(&self.fine_relu.backward(&g_fused)));
+        g_in_fine.add(&g_in_coarse).expect("input grads align")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.fine_gc.params_mut();
+        p.extend(self.coarse_gc.params_mut());
+        p.extend(self.fine_head.params_mut());
+        p.extend(self.coarse_head.params_mut());
+        p
+    }
+}
+
+/// MC-STGCN over irregular flow clusters.
+pub struct McStgcnClustered {
+    net: ClusteredNet,
+    map: ClusterMap,
+    cluster_masks: Vec<Mask>,
+    /// Manual task weights `(fine, coarse)`.
+    pub task_weights: (f32, f32),
+    norm_fine: Normalizer,
+    norm_coarse: Normalizer,
+    train_cfg: TrainConfig,
+}
+
+impl McStgcnClustered {
+    /// Creates the model from a precomputed cluster map (built on training
+    /// history only).
+    pub fn new(
+        rng: &mut SeededRng,
+        channels: usize,
+        flow: &FlowSeries,
+        train_until: usize,
+        map: ClusterMap,
+        train_cfg: TrainConfig,
+    ) -> Self {
+        let adj = cluster_adjacency(flow, &map, train_until);
+        let net = ClusteredNet::new(rng, channels, flow.h(), flow.w(), &map, adj, 16);
+        let cluster_masks = map.masks();
+        McStgcnClustered {
+            net,
+            map,
+            cluster_masks,
+            task_weights: (1.0, 0.5),
+            norm_fine: Normalizer::identity(),
+            norm_coarse: Normalizer::identity(),
+            train_cfg,
+        }
+    }
+
+    /// The cluster map in use.
+    pub fn cluster_map(&self) -> &ClusterMap {
+        &self.map
+    }
+
+    fn coarse_targets(&self, targets: &Tensor) -> Tensor {
+        let (n, h, w) = (targets.shape()[0], targets.shape()[2], targets.shape()[3]);
+        let k = self.map.num_clusters();
+        let mut out = vec![0.0f32; n * k];
+        for b in 0..n {
+            let frame = &targets.data()[b * h * w..(b + 1) * h * w];
+            for (c, v) in self.map.aggregate_frame(frame).into_iter().enumerate() {
+                out[b * k + c] = v;
+            }
+        }
+        Tensor::from_vec(out, &[n, k, 1]).expect("coarse target shape")
+    }
+
+    /// Per-cluster predictions for the target slots (`k` values each).
+    pub fn predict_clusters(
+        &mut self,
+        flow: &FlowSeries,
+        cfg: &TemporalConfig,
+        targets: &[usize],
+    ) -> Vec<Vec<f32>> {
+        let k = self.map.num_clusters();
+        let mut out = Vec::with_capacity(targets.len());
+        for chunk in targets.chunks(16) {
+            let set = SampleSet::extract_at(flow, cfg, chunk);
+            let x = self.norm_fine.normalize(&set.inputs);
+            let (_, coarse) = self.net.forward2(&x);
+            let denorm = self.norm_coarse.denormalize(&coarse);
+            for s in 0..chunk.len() {
+                out.push(
+                    denorm.data()[s * k..(s + 1) * k]
+                        .iter()
+                        .map(|&v| v.max(0.0))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    /// The MC-STGCN region strategy over irregular clusters: cluster
+    /// predictions for clusters fully inside the query, fine predictions
+    /// for the remainder.
+    pub fn region_from_frames(&self, fine: &[f32], clusters: &[f32], mask: &Mask) -> f32 {
+        let w = self.map.w();
+        let mut total = 0.0f32;
+        let mut used = Mask::empty(self.map.h(), w);
+        for (c, cmask) in self.cluster_masks.iter().enumerate() {
+            if cmask.is_subset_of(mask) {
+                total += clusters[c];
+                used.union_with(cmask);
+            }
+        }
+        for (r, c) in mask.iter_set() {
+            if !used.get(r, c) {
+                total += fine[r * w + c];
+            }
+        }
+        total
+    }
+}
+
+impl Predictor for McStgcnClustered {
+    fn name(&self) -> &str {
+        "MC-STGCN (clusters)"
+    }
+
+    fn fit(
+        &mut self,
+        flow: &FlowSeries,
+        cfg: &TemporalConfig,
+        train_targets: &[usize],
+    ) -> TrainStats {
+        let set = SampleSet::extract_at(flow, cfg, train_targets);
+        let coarse_t_raw = self.coarse_targets(&set.targets);
+        self.norm_fine = Normalizer::fit(set.targets.data());
+        self.norm_coarse = Normalizer::fit(coarse_t_raw.data());
+        let inputs = self.norm_fine.normalize(&set.inputs);
+        let fine_t = self.norm_fine.normalize(&set.targets);
+        let coarse_t = self.norm_coarse.normalize(&coarse_t_raw);
+
+        let mut opt = Adam::new(self.train_cfg.lr);
+        let mut rng = SeededRng::new(self.train_cfg.seed);
+        let n = set.len();
+        let batch = self.train_cfg.batch.min(n).max(1);
+        let in_stride: usize = inputs.shape()[1..].iter().product();
+        let f_stride: usize = fine_t.shape()[1..].iter().product();
+        let c_stride: usize = coarse_t.shape()[1..].iter().product();
+        let mut order: Vec<usize> = (0..n).collect();
+        let (wf, wc) = self.task_weights;
+
+        let start = Instant::now();
+        let mut final_loss = 0.0f32;
+        for _ in 0..self.train_cfg.epochs {
+            for i in (1..n).rev() {
+                order.swap(i, rng.index(i + 1));
+            }
+            let mut total = 0.0f32;
+            let mut batches = 0usize;
+            let mut bi = 0usize;
+            while bi < n {
+                let idx = &order[bi..(bi + batch).min(n)];
+                let bn = idx.len();
+                let mut xin = Vec::with_capacity(bn * in_stride);
+                let mut yf = Vec::with_capacity(bn * f_stride);
+                let mut yc = Vec::with_capacity(bn * c_stride);
+                for &s in idx {
+                    xin.extend_from_slice(&inputs.data()[s * in_stride..(s + 1) * in_stride]);
+                    yf.extend_from_slice(&fine_t.data()[s * f_stride..(s + 1) * f_stride]);
+                    yc.extend_from_slice(&coarse_t.data()[s * c_stride..(s + 1) * c_stride]);
+                }
+                let mut in_shape = inputs.shape().to_vec();
+                in_shape[0] = bn;
+                let mut f_shape = fine_t.shape().to_vec();
+                f_shape[0] = bn;
+                let mut c_shape = coarse_t.shape().to_vec();
+                c_shape[0] = bn;
+                let x = Tensor::from_vec(xin, &in_shape).expect("batch input");
+                let tf = Tensor::from_vec(yf, &f_shape).expect("fine target");
+                let tc = Tensor::from_vec(yc, &c_shape).expect("coarse target");
+
+                let (pf, pc) = self.net.forward2(&x);
+                let (lf, mut gf) = mse_loss(&pf, &tf);
+                let (lc, mut gc) = mse_loss(&pc, &tc);
+                gf.scale_in_place(wf);
+                gc.scale_in_place(wc);
+                for p in self.net.params_mut() {
+                    p.zero_grad();
+                }
+                self.net.backward2(&gf, &gc);
+                clip_grad_norm(&mut self.net.params_mut(), self.train_cfg.clip);
+                opt.step(&mut self.net.params_mut());
+                total += wf * lf + wc * lc;
+                batches += 1;
+                bi += batch;
+            }
+            final_loss = total / batches.max(1) as f32;
+        }
+        TrainStats {
+            epochs: self.train_cfg.epochs,
+            sec_per_epoch: start.elapsed().as_secs_f64() / self.train_cfg.epochs.max(1) as f64,
+            final_loss,
+            num_params: self.net.params_mut().iter().map(|p| p.len()).sum(),
+        }
+    }
+
+    fn predict(
+        &mut self,
+        flow: &FlowSeries,
+        cfg: &TemporalConfig,
+        targets: &[usize],
+    ) -> Vec<Vec<f32>> {
+        let plane = flow.h() * flow.w();
+        let mut out = Vec::with_capacity(targets.len());
+        for chunk in targets.chunks(16) {
+            let set = SampleSet::extract_at(flow, cfg, chunk);
+            let x = self.norm_fine.normalize(&set.inputs);
+            let (fine, _) = self.net.forward2(&x);
+            let denorm = self.norm_fine.denormalize(&fine);
+            for s in 0..chunk.len() {
+                out.push(
+                    denorm.data()[s * plane..(s + 1) * plane]
+                        .iter()
+                        .map(|&v| v.max(0.0))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    fn num_params(&mut self) -> usize {
+        self.net.params_mut().iter().map(|p| p.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o4a_data::cluster::{kmeans_flow_clusters, ClusterConfig};
+    use o4a_nn::gradcheck::check_module_gradients;
+
+    fn flow_and_cfg() -> (FlowSeries, TemporalConfig) {
+        let cfg = TemporalConfig {
+            closeness: 2,
+            period: 1,
+            trend: 1,
+            steps_per_day: 4,
+            days_per_week: 2,
+        };
+        let mut flow = FlowSeries::zeros(48, 4, 4);
+        for t in 0..48 {
+            for r in 0..4 {
+                for c in 0..4 {
+                    flow.set(t, r, c, 2.0 + ((t + r * 2 + c) % 4) as f32);
+                }
+            }
+        }
+        (flow, cfg)
+    }
+
+    fn small_map(flow: &FlowSeries) -> ClusterMap {
+        kmeans_flow_clusters(
+            flow,
+            32,
+            4,
+            &ClusterConfig {
+                k: 3,
+                geo_weight: 1.0,
+                profile_bins: 4,
+                iters: 10,
+                seed: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn pool_and_scatter_are_adjoint_up_to_sizes() {
+        let (flow, _) = flow_and_cfg();
+        let map = small_map(&flow);
+        let mut rng = SeededRng::new(1);
+        let x = rng.uniform_tensor(&[2, 16, 3], -1.0, 1.0);
+        check_module_gradients(ClusterPool::new(&map), &x, 1e-3, 2e-2);
+        let kx = rng.uniform_tensor(&[2, 3, 3], -1.0, 1.0);
+        check_module_gradients(ClusterScatter::new(&map), &kx, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn pool_means_members() {
+        let (flow, _) = flow_and_cfg();
+        let map = small_map(&flow);
+        let mut pool = ClusterPool::new(&map);
+        let x = Tensor::ones(&[1, 16, 2]);
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 3, 2]);
+        assert!(y.data().iter().all(|&v| (v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn cluster_adjacency_is_row_stochastic() {
+        let (flow, _) = flow_and_cfg();
+        let map = small_map(&flow);
+        let adj = cluster_adjacency(&flow, &map, 32);
+        let k = map.num_clusters();
+        for i in 0..k {
+            let s: f32 = adj.data()[i * k..(i + 1) * k].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {i} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn trains_and_region_strategy_consistent() {
+        let (flow, cfg) = flow_and_cfg();
+        let map = small_map(&flow);
+        let mut rng = SeededRng::new(3);
+        let mut model = McStgcnClustered::new(
+            &mut rng,
+            cfg.channels(),
+            &flow,
+            32,
+            map,
+            TrainConfig {
+                epochs: 10,
+                ..TrainConfig::default()
+            },
+        );
+        let train: Vec<usize> = (cfg.min_target()..36).collect();
+        let stats = model.fit(&flow, &cfg, &train);
+        assert!(stats.num_params > 0);
+        let fine = model.predict(&flow, &cfg, &[40]).remove(0);
+        let clusters = model.predict_clusters(&flow, &cfg, &[40]).remove(0);
+        assert_eq!(clusters.len(), 3);
+        // a query equal to one whole cluster answers with that cluster's
+        // prediction
+        let cmask = model.cluster_map().masks()[1].clone();
+        let pred = model.region_from_frames(&fine, &clusters, &cmask);
+        assert!((pred - clusters[1]).abs() < 1e-5);
+        // a single-cell query answers with the fine prediction
+        let (r0, c0) = cmask.iter_set().next().expect("non-empty cluster");
+        let single = {
+            let mut m = Mask::empty(4, 4);
+            m.set(r0, c0, true);
+            m
+        };
+        let pred_single = model.region_from_frames(&fine, &clusters, &single);
+        assert!((pred_single - fine[r0 * 4 + c0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_reach_both_branches() {
+        let (flow, _) = flow_and_cfg();
+        let map = small_map(&flow);
+        let mut rng = SeededRng::new(4);
+        let adj = cluster_adjacency(&flow, &map, 32);
+        let mut net = ClusteredNet::new(&mut rng, 5, 4, 4, &map, adj, 4);
+        let x = rng.uniform_tensor(&[2, 5, 4, 4], -1.0, 1.0);
+        let (f, c) = net.forward2(&x);
+        assert_eq!(f.shape(), &[2, 1, 4, 4]);
+        assert_eq!(c.shape(), &[2, 3, 1]);
+        for p in net.params_mut() {
+            p.zero_grad();
+        }
+        net.backward2(&Tensor::ones(f.shape()), &Tensor::ones(c.shape()));
+        for (i, p) in net.params_mut().into_iter().enumerate() {
+            assert!(p.grad.norm_sq() > 0.0, "param group {i} got no gradient");
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! ST-ResNet-lite: residual convolution networks for citywide crowd flow
+//! (Zhang, Zheng & Qi, AAAI 2017) at laptop scale.
+//!
+//! The original stacks residual units over the closeness/period/trend
+//! inputs; this reimplementation keeps the mechanism — an input conv, a
+//! stack of residual blocks, a pointwise head — on the shared `o4a-nn`
+//! substrate.
+
+use crate::predictor::{DeepGridModel, TrainConfig};
+use o4a_nn::blocks::ResBlock;
+use o4a_nn::layers::{Conv2d, Relu};
+use o4a_nn::Sequential;
+use o4a_tensor::SeededRng;
+
+/// Builder for the ST-ResNet-lite predictor.
+pub struct StResNetLite;
+
+impl StResNetLite {
+    /// Standard configuration: `channels` input channels (17 for the
+    /// paper's temporal setting), hidden width `d`, `blocks` residual
+    /// blocks.
+    pub fn build(
+        rng: &mut SeededRng,
+        channels: usize,
+        d: usize,
+        blocks: usize,
+        train_cfg: TrainConfig,
+    ) -> DeepGridModel {
+        let mut net = Sequential::new()
+            .push(Conv2d::same3x3(rng, channels, d))
+            .push(Relu::new());
+        for _ in 0..blocks {
+            net.push_boxed(Box::new(ResBlock::new(rng, d)));
+        }
+        net.push_boxed(Box::new(Conv2d::pointwise(rng, d, 1)));
+        DeepGridModel::new("ST-ResNet", Box::new(net), train_cfg)
+    }
+
+    /// The default laptop-scale instantiation (hidden width 16, 3 blocks).
+    pub fn standard(rng: &mut SeededRng, channels: usize, train_cfg: TrainConfig) -> DeepGridModel {
+        Self::build(rng, channels, 16, 3, train_cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::Predictor;
+    use o4a_data::features::TemporalConfig;
+    use o4a_data::flow::FlowSeries;
+
+    #[test]
+    fn builds_and_learns_constant_offset() {
+        let cfg = TemporalConfig {
+            closeness: 2,
+            period: 1,
+            trend: 1,
+            steps_per_day: 4,
+            days_per_week: 2,
+        };
+        let mut flow = FlowSeries::zeros(48, 4, 4);
+        for t in 0..48 {
+            for r in 0..4 {
+                for c in 0..4 {
+                    flow.set(t, r, c, 4.0 + (t % 4) as f32);
+                }
+            }
+        }
+        let mut rng = SeededRng::new(1);
+        let mut model = StResNetLite::build(
+            &mut rng,
+            cfg.channels(),
+            8,
+            1,
+            TrainConfig {
+                epochs: 25,
+                ..TrainConfig::default()
+            },
+        );
+        let train: Vec<usize> = (cfg.min_target()..40).collect();
+        model.fit(&flow, &cfg, &train);
+        let (rmse, _) = crate::predictor::evaluate_atomic(&mut model, &flow, &cfg, &[42, 43]);
+        assert!(rmse < 1.5, "ST-ResNet-lite failed to learn: rmse {rmse}");
+        assert_eq!(model.name(), "ST-ResNet");
+    }
+
+    #[test]
+    fn param_count_scales_with_blocks() {
+        let mut rng = SeededRng::new(2);
+        let mut small = StResNetLite::build(&mut rng, 17, 16, 1, TrainConfig::default());
+        let mut big = StResNetLite::build(&mut rng, 17, 16, 4, TrainConfig::default());
+        assert!(big.num_params() > small.num_params());
+    }
+}

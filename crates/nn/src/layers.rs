@@ -1,0 +1,522 @@
+//! Primitive layers: convolution, linear, activations, pooling, upsampling.
+
+use crate::module::Module;
+use crate::param::Param;
+use o4a_tensor::{
+    conv2d, conv2d_backward, glorot_uniform, upsample_nearest, upsample_nearest_backward,
+    SeededRng, Tensor,
+};
+
+/// 2-D convolution layer over NCHW tensors.
+///
+/// With `kernel == stride` and zero padding this is exactly the paper's
+/// *scale merging layer* (Sec. IV-B2): it concatenates the features of each
+/// `K x K` group of neighbouring grids and applies a linear map, halving
+/// (for K = 2) the spatial resolution.
+pub struct Conv2d {
+    weight: Param,
+    bias: Param,
+    stride: usize,
+    pad: usize,
+    cache: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution with Glorot-uniform weights and zero bias.
+    pub fn new(
+        rng: &mut SeededRng,
+        c_in: usize,
+        c_out: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Conv2d {
+            weight: Param::new(glorot_uniform(rng, &[c_out, c_in, kernel, kernel])),
+            bias: Param::new(Tensor::zeros(&[c_out])),
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// A `K x K` scale-merging convolution (`kernel = stride = K`, no pad).
+    pub fn scale_merge(rng: &mut SeededRng, channels: usize, k: usize) -> Self {
+        Self::new(rng, channels, channels, k, k, 0)
+    }
+
+    /// A 3x3 "same" convolution (stride 1, pad 1).
+    pub fn same3x3(rng: &mut SeededRng, c_in: usize, c_out: usize) -> Self {
+        Self::new(rng, c_in, c_out, 3, 1, 1)
+    }
+
+    /// A 1x1 pointwise convolution (per-grid linear map — the paper's
+    /// scale-specific MLP heads, Eq. 10).
+    pub fn pointwise(rng: &mut SeededRng, c_in: usize, c_out: usize) -> Self {
+        Self::new(rng, c_in, c_out, 1, 1, 0)
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = conv2d(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            self.stride,
+            self.pad,
+        )
+        .expect("Conv2d forward: invalid shapes");
+        self.cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cache.take().expect("Conv2d backward before forward");
+        let grads = conv2d_backward(
+            &input,
+            &self.weight.value,
+            &self.bias.value,
+            self.stride,
+            self.pad,
+            grad_output,
+        )
+        .expect("Conv2d backward: invalid shapes");
+        self.weight.accumulate(&grads.grad_weight);
+        self.bias.accumulate(&grads.grad_bias);
+        grads.grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Fully connected layer: `y = x W^T + b` with `x: [n, in]`, `W: [out, in]`.
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    cache: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Glorot-uniform weights and zero bias.
+    pub fn new(rng: &mut SeededRng, d_in: usize, d_out: usize) -> Self {
+        Linear {
+            weight: Param::new(glorot_uniform(rng, &[d_out, d_in])),
+            bias: Param::new(Tensor::zeros(&[d_out])),
+            cache: None,
+        }
+    }
+
+    /// Mutable access to the bias parameter (e.g. for a positive
+    /// initialisation that keeps a following ReLU alive).
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 2, "Linear expects [n, d_in]");
+        let wt = self.weight.value.transpose2().expect("weight is rank 2");
+        let mut out = input.matmul(&wt).expect("Linear forward shapes");
+        let (n, d_out) = (out.shape()[0], out.shape()[1]);
+        let b = self.bias.value.data();
+        for i in 0..n {
+            let row = &mut out.data_mut()[i * d_out..(i + 1) * d_out];
+            for (o, &bv) in row.iter_mut().zip(b) {
+                *o += bv;
+            }
+        }
+        self.cache = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self.cache.take().expect("Linear backward before forward");
+        // dW = dY^T X ; db = sum over batch ; dX = dY W
+        let gyt = grad_output.transpose2().expect("grad rank 2");
+        let gw = gyt.matmul(&input).expect("Linear dW shapes");
+        self.weight.accumulate(&gw);
+        let gb = grad_output.sum_axis0().expect("grad rank 2");
+        self.bias.accumulate(&gb);
+        grad_output
+            .matmul(&self.weight.value)
+            .expect("Linear dX shapes")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Rectified linear activation.
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.take().expect("Relu backward before forward");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_output.shape()).expect("Relu grad shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Logistic sigmoid activation.
+pub struct Sigmoid {
+    out: Option<Tensor>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid activation.
+    pub fn new() -> Self {
+        Sigmoid { out: None }
+    }
+}
+
+impl Default for Sigmoid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Sigmoid {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
+        self.out = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self.out.take().expect("Sigmoid backward before forward");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(out.data())
+            .map(|(&g, &y)| g * y * (1.0 - y))
+            .collect();
+        Tensor::from_vec(data, grad_output.shape()).expect("Sigmoid grad shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Hyperbolic tangent activation.
+pub struct Tanh {
+    out: Option<Tensor>,
+}
+
+impl Tanh {
+    /// Creates a tanh activation.
+    pub fn new() -> Self {
+        Tanh { out: None }
+    }
+}
+
+impl Default for Tanh {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.out = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let out = self.out.take().expect("Tanh backward before forward");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(out.data())
+            .map(|(&g, &y)| g * (1.0 - y * y))
+            .collect();
+        Tensor::from_vec(data, grad_output.shape()).expect("Tanh grad shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Global average pooling: `[n, c, h, w] -> [n, c]`.
+///
+/// The *squeeze* step of the SE block.
+pub struct GlobalAvgPool {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        GlobalAvgPool { in_shape: None }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.rank(), 4, "GlobalAvgPool expects NCHW");
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        let plane = h * w;
+        let mut out = Vec::with_capacity(n * c);
+        for bc in 0..n * c {
+            let s: f32 = input.data()[bc * plane..(bc + 1) * plane].iter().sum();
+            out.push(s / plane as f32);
+        }
+        self.in_shape = Some(input.shape().to_vec());
+        Tensor::from_vec(out, &[n, c]).expect("pool output shape")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .in_shape
+            .take()
+            .expect("GlobalAvgPool backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let plane = h * w;
+        let mut out = vec![0.0f32; n * c * plane];
+        for bc in 0..n * c {
+            let g = grad_output.data()[bc] / plane as f32;
+            for v in &mut out[bc * plane..(bc + 1) * plane] {
+                *v = g;
+            }
+        }
+        Tensor::from_vec(out, &shape).expect("pool grad shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Nearest-neighbour upsampling by an integer factor (the cross-scale
+/// `UpSample` of Eq. 9).
+pub struct Upsample {
+    factor: usize,
+}
+
+impl Upsample {
+    /// Creates an upsampler with the given integer factor.
+    pub fn new(factor: usize) -> Self {
+        assert!(factor >= 1);
+        Upsample { factor }
+    }
+}
+
+impl Module for Upsample {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        upsample_nearest(input, self.factor).expect("Upsample forward")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        upsample_nearest_backward(grad_output, self.factor).expect("Upsample backward")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Flattens `[n, ...]` to `[n, prod(...)]` (and unflattens on backward).
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_shape: None }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let n = input.shape()[0];
+        let rest: usize = input.shape()[1..].iter().product();
+        self.in_shape = Some(input.shape().to_vec());
+        input.reshape(&[n, rest]).expect("flatten reshape")
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let shape = self
+            .in_shape
+            .take()
+            .expect("Flatten backward before forward");
+        grad_output.reshape(&shape).expect("unflatten reshape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_module_gradients;
+
+    #[test]
+    fn conv2d_shapes() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv2d::same3x3(&mut rng, 2, 5);
+        let x = rng.uniform_tensor(&[3, 2, 8, 8], -1.0, 1.0);
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), &[3, 5, 8, 8]);
+        let gi = conv.backward(&Tensor::ones(y.shape()));
+        assert_eq!(gi.shape(), x.shape());
+    }
+
+    #[test]
+    fn scale_merge_halves_resolution() {
+        let mut rng = SeededRng::new(2);
+        let mut merge = Conv2d::scale_merge(&mut rng, 4, 2);
+        let x = rng.uniform_tensor(&[1, 4, 8, 8], -1.0, 1.0);
+        let y = merge.forward(&x);
+        assert_eq!(y.shape(), &[1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn linear_known_values() {
+        let mut rng = SeededRng::new(3);
+        let mut lin = Linear::new(&mut rng, 2, 2);
+        // overwrite params with known values
+        lin.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        lin.bias.value = Tensor::from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = lin.forward(&x);
+        assert_eq!(y.data(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn relu_zeroes_negatives_and_grads() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 2.0, 0.0]);
+        let y = relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0]));
+        assert_eq!(g.data(), &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_grad_peak() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_slice(&[0.0]));
+        assert!((y.data()[0] - 0.5).abs() < 1e-6);
+        let g = s.backward(&Tensor::from_slice(&[1.0]));
+        assert!((g.data()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn global_avg_pool_means() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![1.0, 3.0, 5.0, 7.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x);
+        assert_eq!(y.shape(), &[1, 1]);
+        assert_eq!(y.data(), &[4.0]);
+        let g = pool.backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap());
+        assert_eq!(g.data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4]);
+        let y = f.forward(&x);
+        assert_eq!(y.shape(), &[2, 12]);
+        let g = f.backward(&Tensor::ones(&[2, 12]));
+        assert_eq!(g.shape(), &[2, 3, 4]);
+    }
+
+    // ---- gradient checks certify every layer's backward pass ----
+
+    #[test]
+    fn gradcheck_conv2d() {
+        let mut rng = SeededRng::new(11);
+        let conv = Conv2d::new(&mut rng, 2, 3, 3, 1, 1);
+        let x = rng.uniform_tensor(&[2, 2, 5, 5], -1.0, 1.0);
+        check_module_gradients(conv, &x, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_conv2d_strided() {
+        let mut rng = SeededRng::new(12);
+        let conv = Conv2d::scale_merge(&mut rng, 3, 2);
+        let x = rng.uniform_tensor(&[2, 3, 4, 4], -1.0, 1.0);
+        check_module_gradients(conv, &x, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_linear() {
+        let mut rng = SeededRng::new(13);
+        let lin = Linear::new(&mut rng, 5, 4);
+        let x = rng.uniform_tensor(&[3, 5], -1.0, 1.0);
+        check_module_gradients(lin, &x, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_sigmoid_tanh() {
+        let mut rng = SeededRng::new(14);
+        let x = rng.uniform_tensor(&[4, 3], -2.0, 2.0);
+        check_module_gradients(Sigmoid::new(), &x, 1e-3, 2e-2);
+        check_module_gradients(Tanh::new(), &x, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_pool_upsample() {
+        let mut rng = SeededRng::new(15);
+        let x = rng.uniform_tensor(&[2, 2, 4, 4], -1.0, 1.0);
+        check_module_gradients(GlobalAvgPool::new(), &x, 1e-3, 2e-2);
+        check_module_gradients(Upsample::new(2), &x, 1e-3, 2e-2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Loss functions with analytic gradients.
+
+use o4a_tensor::Tensor;
+
+/// Mean squared error loss and its gradient with respect to the prediction.
+///
+/// Returns `(loss, grad)` with `loss = mean((pred - target)^2)` and
+/// `grad = 2 (pred - target) / N`.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    pred.check_same_shape(target)
+        .expect("mse_loss shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d * d;
+            2.0 * d / n
+        })
+        .collect();
+    (
+        loss / n,
+        Tensor::from_vec(grad, pred.shape()).expect("mse grad shape"),
+    )
+}
+
+/// Mean absolute error loss and its (sub)gradient.
+pub fn mae_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    pred.check_same_shape(target)
+        .expect("mae_loss shape mismatch");
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d.abs();
+            d.signum() / n
+        })
+        .collect();
+    (
+        loss / n,
+        Tensor::from_vec(grad, pred.shape()).expect("mae grad shape"),
+    )
+}
+
+/// Huber (smooth-L1) loss with threshold `delta`.
+pub fn huber_loss(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
+    pred.check_same_shape(target)
+        .expect("huber_loss shape mismatch");
+    assert!(delta > 0.0, "delta must be positive");
+    let n = pred.len().max(1) as f32;
+    let mut loss = 0.0f32;
+    let grad: Vec<f32> = pred
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            if d.abs() <= delta {
+                loss += 0.5 * d * d;
+                d / n
+            } else {
+                loss += delta * (d.abs() - 0.5 * delta);
+                delta * d.signum() / n
+            }
+        })
+        .collect();
+    (
+        loss / n,
+        Tensor::from_vec(grad, pred.shape()).expect("huber grad shape"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn mse_zero_at_target() {
+        let (l, g) = mse_loss(&t(&[1.0, 2.0]), &t(&[1.0, 2.0]));
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_values() {
+        let (l, g) = mse_loss(&t(&[3.0, 1.0]), &t(&[1.0, 1.0]));
+        assert_eq!(l, 2.0);
+        assert_eq!(g.data(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn mae_known_values() {
+        let (l, g) = mae_loss(&t(&[3.0, -1.0]), &t(&[1.0, 1.0]));
+        assert_eq!(l, 2.0);
+        assert_eq!(g.data(), &[0.5, -0.5]);
+    }
+
+    #[test]
+    fn huber_quadratic_inside_linear_outside() {
+        let (l_small, g_small) = huber_loss(&t(&[0.5]), &t(&[0.0]), 1.0);
+        assert!((l_small - 0.125).abs() < 1e-6);
+        assert!((g_small.data()[0] - 0.5).abs() < 1e-6);
+        let (l_big, g_big) = huber_loss(&t(&[3.0]), &t(&[0.0]), 1.0);
+        assert!((l_big - 2.5).abs() < 1e-6);
+        assert!((g_big.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_grad_matches_finite_difference() {
+        let pred = t(&[0.3, -0.7, 1.2]);
+        let target = t(&[0.0, 0.0, 1.0]);
+        let (_, g) = mse_loss(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut p = pred.clone();
+            p.data_mut()[i] += eps;
+            let (lp, _) = mse_loss(&p, &target);
+            p.data_mut()[i] -= 2.0 * eps;
+            let (lm, _) = mse_loss(&p, &target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - g.data()[i]).abs() < 1e-3, "i={i} fd={fd}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers hold per-parameter state keyed by position, so they must be
+//! applied to the same parameter list (same order, same shapes) every step.
+
+use crate::param::Param;
+use o4a_tensor::Tensor;
+
+/// Stochastic gradient descent with optional momentum.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate and momentum coefficient
+    /// (`momentum = 0` disables momentum).
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum in [0, 1)");
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Applies one update step to the parameters and clears their gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "optimizer applied to a different parameter list"
+        );
+        for (p, v) in params.iter_mut().zip(&mut self.velocity) {
+            if self.momentum > 0.0 {
+                v.scale_in_place(self.momentum);
+                v.axpy(1.0, &p.grad).expect("velocity shape");
+                p.value.axpy(-self.lr, v).expect("param shape");
+            } else {
+                let lr = self.lr;
+                let grad = p.grad.clone();
+                p.value.axpy(-lr, &grad).expect("param shape");
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba) with bias correction.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with standard hyper-parameters (`beta1 = 0.9`,
+    /// `beta2 = 0.999`, `eps = 1e-8`).
+    pub fn new(lr: f32) -> Self {
+        Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Creates Adam with custom beta coefficients.
+    pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Applies one update step to the parameters and clears their gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape()))
+                .collect();
+        }
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "optimizer applied to a different parameter list"
+        );
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
+            let g = p.grad.data();
+            let md = m.data_mut();
+            let vd = v.data_mut();
+            let pd = p.value.data_mut();
+            for i in 0..g.len() {
+                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g[i];
+                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g[i] * g[i];
+                let mhat = md[i] / bc1;
+                let vhat = vd[i] / bc2;
+                pd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Clips the global L2 norm of all gradients to at most `max_norm`.
+///
+/// Returns the pre-clip norm. Useful when training the deeper hierarchical
+/// networks on normalized inputs.
+pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
+    let total: f32 = params.iter().map(|p| p.grad.norm_sq()).sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.scale_in_place(scale);
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_grad(p: &mut Param) {
+        // loss = 0.5 * ||x||^2 => grad = x
+        let g = p.value.clone();
+        p.grad = g;
+    }
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        let mut p = Param::new(Tensor::from_slice(&[10.0, -10.0]));
+        let mut opt = Sgd::new(0.1, 0.0);
+        for _ in 0..100 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.norm_sq() < 1e-6, "did not converge: {:?}", p.value);
+    }
+
+    #[test]
+    fn sgd_momentum_still_converges() {
+        let mut p = Param::new(Tensor::from_slice(&[5.0]));
+        let mut opt = Sgd::new(0.05, 0.9);
+        for _ in 0..300 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.norm_sq() < 1e-4);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut p = Param::new(Tensor::from_slice(&[3.0, -7.0, 2.0]));
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            quadratic_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.norm_sq() < 1e-3, "residual {:?}", p.value);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut p = Param::new(Tensor::from_slice(&[1.0]));
+        p.grad = Tensor::from_slice(&[1.0]);
+        let mut opt = Sgd::new(0.1, 0.0);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.grad.data(), &[0.0]);
+    }
+
+    #[test]
+    fn clip_reduces_large_norm() {
+        let mut p = Param::new(Tensor::from_slice(&[0.0, 0.0]));
+        p.grad = Tensor::from_slice(&[3.0, 4.0]);
+        let pre = clip_grad_norm(&mut [&mut p], 1.0);
+        assert!((pre - 5.0).abs() < 1e-6);
+        assert!((p.grad.norm_sq().sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_leaves_small_norm() {
+        let mut p = Param::new(Tensor::from_slice(&[0.0]));
+        p.grad = Tensor::from_slice(&[0.5]);
+        clip_grad_norm(&mut [&mut p], 1.0);
+        assert_eq!(p.grad.data(), &[0.5]);
+    }
+}

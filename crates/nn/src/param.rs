@@ -1,0 +1,78 @@
+//! Trainable parameters: a value tensor paired with an accumulated gradient.
+
+use o4a_tensor::Tensor;
+
+/// A trainable parameter.
+///
+/// `grad` always has the same shape as `value`; backward passes accumulate
+/// into it and optimizers consume/clear it.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a tensor as a parameter with a zeroed gradient.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad }
+    }
+
+    /// Number of scalar elements in the parameter.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Accumulates a gradient contribution.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ — a backward-pass bug, not a user error.
+    pub fn accumulate(&mut self, grad: &Tensor) {
+        self.grad
+            .add_assign(grad)
+            .expect("parameter gradient shape mismatch");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_zeroes_grad() {
+        let p = Param::new(Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert!(p.grad.data().iter().all(|&v| v == 0.0));
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn accumulate_adds() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate(&Tensor::from_slice(&[1.0, 2.0]));
+        p.accumulate(&Tensor::from_slice(&[0.5, 0.5]));
+        assert_eq!(p.grad.data(), &[1.5, 2.5]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn accumulate_rejects_wrong_shape() {
+        let mut p = Param::new(Tensor::zeros(&[2]));
+        p.accumulate(&Tensor::zeros(&[3]));
+    }
+}

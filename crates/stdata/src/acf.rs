@@ -1,0 +1,126 @@
+//! Autocorrelation analysis (Fig. 10 left).
+//!
+//! The paper uses the autocorrelation function (ACF) as a proxy for a
+//! region's predictability: higher-flow areas and coarser scales exhibit
+//! larger ACF values and are easier to predict. This module computes the
+//! per-cell ACF at a given lag and its mean over a raster.
+
+use crate::flow::FlowSeries;
+
+/// Sample autocorrelation of a series at the given lag.
+///
+/// Returns 0 for constant or too-short series (no variance to correlate).
+pub fn acf(series: &[f32], lag: usize) -> f32 {
+    if series.len() <= lag + 1 {
+        return 0.0;
+    }
+    let n = series.len();
+    let mean = series.iter().sum::<f32>() / n as f32;
+    let var: f32 = series.iter().map(|&v| (v - mean) * (v - mean)).sum();
+    if var <= f32::EPSILON {
+        return 0.0;
+    }
+    let cov: f32 = (0..n - lag)
+        .map(|i| (series[i] - mean) * (series[i + lag] - mean))
+        .sum();
+    cov / var
+}
+
+/// Mean per-cell ACF of a flow series at the given lag.
+pub fn mean_acf(flow: &FlowSeries, lag: usize) -> f64 {
+    let (h, w) = (flow.h(), flow.w());
+    let mut acc = 0.0f64;
+    for r in 0..h {
+        for c in 0..w {
+            acc += acf(&flow.cell_series(r, c), lag) as f64;
+        }
+    }
+    acc / (h * w) as f64
+}
+
+/// Per-cell ACF raster at the given lag (row-major, `h * w` values).
+pub fn acf_map(flow: &FlowSeries, lag: usize) -> Vec<f32> {
+    let (h, w) = (flow.h(), flow.w());
+    let mut out = Vec::with_capacity(h * w);
+    for r in 0..h {
+        for c in 0..w {
+            out.push(acf(&flow.cell_series(r, c), lag));
+        }
+    }
+    out
+}
+
+/// Mean and standard deviation of the per-cell ACF (the paper's Fig. 10
+/// plots the mean with a confidence band).
+pub fn acf_stats(flow: &FlowSeries, lag: usize) -> (f64, f64) {
+    let map = acf_map(flow, lag);
+    let n = map.len() as f64;
+    let mean = map.iter().map(|&v| v as f64).sum::<f64>() / n;
+    let var = map
+        .iter()
+        .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+        .sum::<f64>()
+        / n;
+    (mean, var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_period_has_unit_acf() {
+        // the standard (biased) estimator scales by (n - lag)/n, so with
+        // n = 240, lag = 24 a perfectly periodic series scores 0.9
+        let series: Vec<f32> = (0..240).map(|t| ((t % 24) as f32).sin()).collect();
+        let r = acf(&series, 24);
+        assert!(
+            (r - 0.9).abs() < 0.02,
+            "periodic series ACF should be ~(n-lag)/n = 0.9, got {r}"
+        );
+    }
+
+    #[test]
+    fn white_noise_has_low_acf() {
+        let mut rng = o4a_tensor::SeededRng::new(1);
+        let series: Vec<f32> = (0..2000).map(|_| rng.normal()).collect();
+        let r = acf(&series, 24);
+        assert!(
+            r.abs() < 0.1,
+            "white noise ACF should be near zero, got {r}"
+        );
+    }
+
+    #[test]
+    fn constant_series_is_zero() {
+        assert_eq!(acf(&[3.0; 100], 5), 0.0);
+    }
+
+    #[test]
+    fn short_series_is_zero() {
+        assert_eq!(acf(&[1.0, 2.0], 5), 0.0);
+    }
+
+    #[test]
+    fn lag_zero_is_unity_for_varying_series() {
+        let series: Vec<f32> = (0..50).map(|t| t as f32).collect();
+        assert!((acf(&series, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_acf_and_stats_consistent() {
+        let mut flow = FlowSeries::zeros(48, 2, 2);
+        for t in 0..48 {
+            for r in 0..2 {
+                for c in 0..2 {
+                    flow.set(t, r, c, ((t % 24) as f32 * (r + c + 1) as f32).sin());
+                }
+            }
+        }
+        let m = mean_acf(&flow, 24);
+        let (mean, std) = acf_stats(&flow, 24);
+        assert!((m - mean).abs() < 1e-9);
+        assert!(std >= 0.0);
+        assert_eq!(acf_map(&flow, 24).len(), 4);
+    }
+}

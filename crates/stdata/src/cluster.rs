@@ -1,0 +1,373 @@
+//! Feature-based spatial clustering (k-means over flow profiles).
+//!
+//! The multi-scale literature the paper builds on generates coarse scales
+//! by *clustering*: MC-STGCN clusters nodes from road topology plus
+//! historical-flow similarity; other works cluster on learned
+//! representations. This module provides the substrate: k-means++ over
+//! per-cell features combining the normalized daily flow profile with
+//! (weighted) geographic coordinates, yielding a [`ClusterMap`] whose
+//! clusters can serve as an irregular coarse scale.
+
+use crate::flow::FlowSeries;
+use o4a_grid::Mask;
+use o4a_tensor::SeededRng;
+
+/// An assignment of every atomic cell to one of `k` clusters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterMap {
+    h: usize,
+    w: usize,
+    k: usize,
+    assignment: Vec<usize>,
+}
+
+impl ClusterMap {
+    /// Raster height.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Raster width.
+    pub fn w(&self) -> usize {
+        self.w
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.k
+    }
+
+    /// The cluster of a cell.
+    pub fn cluster_of(&self, row: usize, col: usize) -> usize {
+        self.assignment[row * self.w + col]
+    }
+
+    /// One mask per cluster (disjoint, covering the raster).
+    pub fn masks(&self) -> Vec<Mask> {
+        let mut out = vec![Mask::empty(self.h, self.w); self.k];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            out[c].set(i / self.w, i % self.w, true);
+        }
+        out
+    }
+
+    /// Number of cells per cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &c in &self.assignment {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+
+    /// Aggregates a flat atomic frame to per-cluster sums.
+    pub fn aggregate_frame(&self, frame: &[f32]) -> Vec<f32> {
+        assert_eq!(frame.len(), self.h * self.w, "frame size mismatch");
+        let mut out = vec![0.0f32; self.k];
+        for (i, &c) in self.assignment.iter().enumerate() {
+            out[c] += frame[i];
+        }
+        out
+    }
+}
+
+/// Configuration for [`kmeans_flow_clusters`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Weight of the geographic coordinates relative to the (normalized)
+    /// flow profile. 0 clusters on behaviour only; large values approach a
+    /// spatial partition.
+    pub geo_weight: f32,
+    /// Number of daily-profile bins used as behavioural features.
+    pub profile_bins: usize,
+    /// Lloyd iterations.
+    pub iters: usize,
+    /// Seed for the k-means++ initialisation.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            k: 16,
+            geo_weight: 0.5,
+            profile_bins: 24,
+            iters: 25,
+            seed: 7,
+        }
+    }
+}
+
+/// Clusters the raster's cells by historical flow behaviour and geography.
+///
+/// Features per cell: the mean flow of each daily-profile bin over
+/// `[0, train_until)`, normalized to unit scale, concatenated with the
+/// cell's `(row, col)` normalized to `[0, 1]` and scaled by `geo_weight`.
+///
+/// # Panics
+/// Panics if `k` exceeds the cell count or `train_until < 1`.
+pub fn kmeans_flow_clusters(
+    flow: &FlowSeries,
+    train_until: usize,
+    steps_per_day: usize,
+    cfg: &ClusterConfig,
+) -> ClusterMap {
+    let (h, w) = (flow.h(), flow.w());
+    let cells = h * w;
+    assert!(cfg.k >= 1 && cfg.k <= cells, "k out of range");
+    let t = train_until.min(flow.len_t()).max(1);
+    assert!(steps_per_day >= 1);
+    let bins = cfg.profile_bins.min(steps_per_day).max(1);
+
+    // behavioural features: binned mean daily profile
+    let mut feats = vec![vec![0.0f32; bins + 2]; cells];
+    let mut bin_counts = vec![0u32; bins];
+    for slot in 0..t {
+        let bin = (slot % steps_per_day) * bins / steps_per_day;
+        bin_counts[bin] += 1;
+        let frame = flow.frame(slot);
+        for (i, &v) in frame.iter().enumerate() {
+            feats[i][bin] += v;
+        }
+    }
+    for f in &mut feats {
+        for (b, v) in f.iter_mut().take(bins).enumerate() {
+            *v /= bin_counts[b].max(1) as f32;
+        }
+    }
+    // normalize the profile block to unit max so geo_weight is comparable
+    let max_abs = feats
+        .iter()
+        .flat_map(|f| f.iter().take(bins))
+        .fold(0.0f32, |m, &v| m.max(v.abs()))
+        .max(1e-6);
+    for (i, f) in feats.iter_mut().enumerate() {
+        for v in f.iter_mut().take(bins) {
+            *v /= max_abs;
+        }
+        f[bins] = cfg.geo_weight * (i / w) as f32 / h.max(1) as f32;
+        f[bins + 1] = cfg.geo_weight * (i % w) as f32 / w.max(1) as f32;
+    }
+
+    // k-means++ initialisation
+    let mut rng = SeededRng::new(cfg.seed);
+    let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(cfg.k);
+    centroids.push(feats[rng.index(cells)].clone());
+    let mut dist2 = vec![f32::INFINITY; cells];
+    while centroids.len() < cfg.k {
+        let last = centroids.last().expect("non-empty");
+        let mut total = 0.0f64;
+        for (i, f) in feats.iter().enumerate() {
+            let d = sq_dist(f, last);
+            if d < dist2[i] {
+                dist2[i] = d;
+            }
+            total += dist2[i] as f64;
+        }
+        // sample proportional to squared distance
+        let mut target = rng.uniform(0.0, 1.0) as f64 * total;
+        let mut chosen = cells - 1;
+        for (i, &d) in dist2.iter().enumerate() {
+            target -= d as f64;
+            if target <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(feats[chosen].clone());
+    }
+
+    // Lloyd iterations
+    let dim = bins + 2;
+    let mut assignment = vec![0usize; cells];
+    for _ in 0..cfg.iters {
+        let mut changed = false;
+        for (i, f) in feats.iter().enumerate() {
+            let mut best = (f32::INFINITY, 0usize);
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(f, centroid);
+                if d < best.0 {
+                    best = (d, c);
+                }
+            }
+            if assignment[i] != best.1 {
+                assignment[i] = best.1;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0f32; dim]; cfg.k];
+        let mut counts = vec![0usize; cfg.k];
+        for (i, f) in feats.iter().enumerate() {
+            let c = assignment[i];
+            counts[c] += 1;
+            for (s, &v) in sums[c].iter_mut().zip(f) {
+                *s += v;
+            }
+        }
+        for (c, sum) in sums.into_iter().enumerate() {
+            if counts[c] > 0 {
+                centroids[c] = sum.into_iter().map(|v| v / counts[c] as f32).collect();
+            } else {
+                // re-seed an empty cluster at the farthest cell
+                let far = feats
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| {
+                        let da = sq_dist(a, &centroids[assignment[0]]);
+                        let db = sq_dist(b, &centroids[assignment[0]]);
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty cells");
+                centroids[c] = feats[far].clone();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    ClusterMap {
+        h,
+        w,
+        k: cfg.k,
+        assignment,
+    }
+}
+
+fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::DatasetKind;
+
+    fn flow() -> FlowSeries {
+        DatasetKind::TaxiNycLike
+            .config(12, 12, 24 * 5, 3)
+            .generate()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let flow = flow();
+        let cfg = ClusterConfig::default();
+        let a = kmeans_flow_clusters(&flow, 96, 24, &cfg);
+        let b = kmeans_flow_clusters(&flow, 96, 24, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn masks_partition_raster() {
+        let flow = flow();
+        let map = kmeans_flow_clusters(&flow, 96, 24, &ClusterConfig::default());
+        let masks = map.masks();
+        assert_eq!(masks.len(), 16);
+        let total: usize = masks.iter().map(Mask::area).sum();
+        assert_eq!(total, 144);
+        // disjoint
+        let mut acc = Mask::empty(12, 12);
+        for m in &masks {
+            assert!(!acc.intersects(m));
+            acc.union_with(m);
+        }
+    }
+
+    #[test]
+    fn aggregate_frame_sums_members() {
+        let flow = flow();
+        let map = kmeans_flow_clusters(&flow, 96, 24, &ClusterConfig::default());
+        let frame = flow.frame(100);
+        let agg = map.aggregate_frame(frame);
+        let total: f32 = agg.iter().sum();
+        let expect: f32 = frame.iter().sum();
+        assert!((total - expect).abs() < 1e-3);
+        assert_eq!(agg.len(), map.num_clusters());
+    }
+
+    #[test]
+    fn behavioural_clustering_separates_profiles() {
+        // two deterministic behaviours: morning cells and evening cells
+        let mut f = FlowSeries::zeros(48, 4, 4);
+        for t in 0..48 {
+            let hour = t % 24;
+            for r in 0..4 {
+                for c in 0..4 {
+                    let morning = (r * 4 + c) % 2 == 0;
+                    let v = if morning {
+                        if hour == 8 {
+                            10.0
+                        } else {
+                            0.0
+                        }
+                    } else if hour == 18 {
+                        10.0
+                    } else {
+                        0.0
+                    };
+                    f.set(t, r, c, v);
+                }
+            }
+        }
+        let cfg = ClusterConfig {
+            k: 2,
+            geo_weight: 0.0,
+            ..ClusterConfig::default()
+        };
+        let map = kmeans_flow_clusters(&f, 48, 24, &cfg);
+        // all morning cells in one cluster, all evening cells in the other
+        let c00 = map.cluster_of(0, 0);
+        for r in 0..4 {
+            for c in 0..4 {
+                let morning = (r * 4 + c) % 2 == 0;
+                if morning {
+                    assert_eq!(map.cluster_of(r, c), c00);
+                } else {
+                    assert_ne!(map.cluster_of(r, c), c00);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn high_geo_weight_gives_spatially_coherent_clusters() {
+        let flow = flow();
+        let cfg = ClusterConfig {
+            k: 4,
+            geo_weight: 50.0,
+            ..ClusterConfig::default()
+        };
+        let map = kmeans_flow_clusters(&flow, 96, 24, &cfg);
+        // with geography dominating, most clusters should be connected
+        let connected = map.masks().iter().filter(|m| m.is_connected()).count();
+        assert!(connected >= 3, "only {connected}/4 clusters connected");
+    }
+
+    #[test]
+    fn no_empty_clusters() {
+        let flow = flow();
+        for k in [2usize, 8, 32] {
+            let cfg = ClusterConfig {
+                k,
+                ..ClusterConfig::default()
+            };
+            let map = kmeans_flow_clusters(&flow, 96, 24, &cfg);
+            assert!(map.sizes().iter().all(|&s| s > 0), "empty cluster at k={k}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn oversized_k_rejected() {
+        let flow = flow();
+        let cfg = ClusterConfig {
+            k: 1000,
+            ..ClusterConfig::default()
+        };
+        kmeans_flow_clusters(&flow, 96, 24, &cfg);
+    }
+}

@@ -1,0 +1,296 @@
+//! Trip-record ingestion: from raw event records to citywide crowd flow.
+//!
+//! Both of the paper's datasets start as event logs — taxi trips with
+//! pick-up time and coordinates, freight orders with start time and
+//! longitude/latitude. This module rasterizes such records into the
+//! [`FlowSeries`] the rest of the system consumes:
+//!
+//! 1. define the area of interest as a [`GeoBounds`] box plus a raster
+//!    resolution,
+//! 2. stream [`TripRecord`]s through [`FlowBuilder`] (out-of-range records
+//!    are counted and skipped, as any real pipeline must),
+//! 3. read the resulting flow series and ingestion report.
+//!
+//! A minimal CSV front-end ([`parse_csv_records`]) covers the common
+//! `timestamp,lat,lng` export format.
+
+use crate::flow::FlowSeries;
+
+/// One demand event: a timestamp (seconds since the series start) and a
+/// geographic position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripRecord {
+    /// Seconds since the series' first time slot.
+    pub timestamp_s: i64,
+    /// Latitude in degrees.
+    pub lat: f64,
+    /// Longitude in degrees.
+    pub lng: f64,
+}
+
+/// The geographic bounding box of the area of interest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoBounds {
+    /// Southern edge (minimum latitude).
+    pub lat_min: f64,
+    /// Northern edge (maximum latitude).
+    pub lat_max: f64,
+    /// Western edge (minimum longitude).
+    pub lng_min: f64,
+    /// Eastern edge (maximum longitude).
+    pub lng_max: f64,
+}
+
+impl GeoBounds {
+    /// Maps a position to a raster cell, row 0 at the northern edge (the
+    /// usual map orientation). Returns `None` outside the box.
+    pub fn to_cell(&self, lat: f64, lng: f64, h: usize, w: usize) -> Option<(usize, usize)> {
+        if lat < self.lat_min || lat >= self.lat_max || lng < self.lng_min || lng >= self.lng_max {
+            return None;
+        }
+        let row_f = (self.lat_max - lat) / (self.lat_max - self.lat_min) * h as f64;
+        let col_f = (lng - self.lng_min) / (self.lng_max - self.lng_min) * w as f64;
+        let row = (row_f as usize).min(h - 1);
+        let col = (col_f as usize).min(w - 1);
+        Some((row, col))
+    }
+}
+
+/// Ingestion statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records accumulated into the raster.
+    pub accepted: usize,
+    /// Records outside the geographic bounds.
+    pub out_of_area: usize,
+    /// Records outside the time range.
+    pub out_of_time: usize,
+}
+
+/// Accumulates trip records into a flow series.
+#[derive(Debug, Clone)]
+pub struct FlowBuilder {
+    bounds: GeoBounds,
+    slot_seconds: i64,
+    flow: FlowSeries,
+    report: IngestReport,
+}
+
+impl FlowBuilder {
+    /// Creates a builder for `slots` time slots of `slot_seconds` each over
+    /// an `h x w` raster of `bounds`.
+    pub fn new(bounds: GeoBounds, h: usize, w: usize, slots: usize, slot_seconds: i64) -> Self {
+        assert!(slot_seconds > 0, "slot length must be positive");
+        assert!(
+            bounds.lat_max > bounds.lat_min && bounds.lng_max > bounds.lng_min,
+            "degenerate bounding box"
+        );
+        FlowBuilder {
+            bounds,
+            slot_seconds,
+            flow: FlowSeries::zeros(slots, h, w),
+            report: IngestReport::default(),
+        }
+    }
+
+    /// Adds one record.
+    pub fn push(&mut self, record: TripRecord) {
+        let slot = record.timestamp_s.div_euclid(self.slot_seconds);
+        if slot < 0 || slot as usize >= self.flow.len_t() {
+            self.report.out_of_time += 1;
+            return;
+        }
+        match self
+            .bounds
+            .to_cell(record.lat, record.lng, self.flow.h(), self.flow.w())
+        {
+            None => self.report.out_of_area += 1,
+            Some((r, c)) => {
+                let t = slot as usize;
+                let v = self.flow.get(t, r, c);
+                self.flow.set(t, r, c, v + 1.0);
+                self.report.accepted += 1;
+            }
+        }
+    }
+
+    /// Adds many records.
+    pub fn extend(&mut self, records: impl IntoIterator<Item = TripRecord>) {
+        for r in records {
+            self.push(r);
+        }
+    }
+
+    /// Finishes ingestion, returning the flow and the report.
+    pub fn finish(self) -> (FlowSeries, IngestReport) {
+        (self.flow, self.report)
+    }
+
+    /// The running report.
+    pub fn report(&self) -> IngestReport {
+        self.report
+    }
+}
+
+/// Errors parsing CSV trip records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses `timestamp_s,lat,lng` CSV text (header row optional; blank lines
+/// skipped). Returns all records or the first malformed line.
+pub fn parse_csv_records(text: &str) -> Result<Vec<TripRecord>, CsvError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if i == 0 && line.chars().any(|c| c.is_ascii_alphabetic()) {
+            continue; // header
+        }
+        let mut fields = line.split(',').map(str::trim);
+        let parse = |field: Option<&str>, what: &str, line_no: usize| -> Result<f64, CsvError> {
+            field
+                .ok_or_else(|| CsvError {
+                    line: line_no,
+                    reason: format!("missing {what}"),
+                })?
+                .parse::<f64>()
+                .map_err(|_| CsvError {
+                    line: line_no,
+                    reason: format!("invalid {what}"),
+                })
+        };
+        let ts = parse(fields.next(), "timestamp", i + 1)?;
+        let lat = parse(fields.next(), "lat", i + 1)?;
+        let lng = parse(fields.next(), "lng", i + 1)?;
+        out.push(TripRecord {
+            timestamp_s: ts as i64,
+            lat,
+            lng,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds() -> GeoBounds {
+        GeoBounds {
+            lat_min: 40.0,
+            lat_max: 41.0,
+            lng_min: -74.0,
+            lng_max: -73.0,
+        }
+    }
+
+    #[test]
+    fn to_cell_orientation() {
+        let b = bounds();
+        // northern-western corner maps to (0, 0)
+        assert_eq!(b.to_cell(40.999, -73.999, 4, 4), Some((0, 0)));
+        // southern-eastern corner maps to (3, 3)
+        assert_eq!(b.to_cell(40.001, -73.001, 4, 4), Some((3, 3)));
+        // outside
+        assert_eq!(b.to_cell(39.9, -73.5, 4, 4), None);
+        assert_eq!(b.to_cell(40.5, -72.9, 4, 4), None);
+    }
+
+    #[test]
+    fn builder_accumulates_counts() {
+        let mut builder = FlowBuilder::new(bounds(), 4, 4, 2, 3600);
+        // two records in slot 0 cell (0,0), one in slot 1 cell (3,3)
+        builder.push(TripRecord {
+            timestamp_s: 10,
+            lat: 40.9,
+            lng: -73.9,
+        });
+        builder.push(TripRecord {
+            timestamp_s: 20,
+            lat: 40.9,
+            lng: -73.9,
+        });
+        builder.push(TripRecord {
+            timestamp_s: 3700,
+            lat: 40.1,
+            lng: -73.1,
+        });
+        let (flow, report) = builder.finish();
+        assert_eq!(report.accepted, 3);
+        assert_eq!(flow.get(0, 0, 0), 2.0);
+        assert_eq!(flow.get(1, 3, 3), 1.0);
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        let mut builder = FlowBuilder::new(bounds(), 4, 4, 2, 3600);
+        builder.push(TripRecord {
+            timestamp_s: -5,
+            lat: 40.5,
+            lng: -73.5,
+        });
+        builder.push(TripRecord {
+            timestamp_s: 7300,
+            lat: 40.5,
+            lng: -73.5,
+        });
+        builder.push(TripRecord {
+            timestamp_s: 10,
+            lat: 39.0,
+            lng: -73.5,
+        });
+        let report = builder.report();
+        assert_eq!(report.accepted, 0);
+        assert_eq!(report.out_of_time, 2);
+        assert_eq!(report.out_of_area, 1);
+    }
+
+    #[test]
+    fn csv_roundtrip_with_header() {
+        let text = "timestamp_s,lat,lng\n10,40.5,-73.5\n\n3700, 40.9 , -73.9\n";
+        let records = parse_csv_records(text).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].timestamp_s, 10);
+        assert!((records[1].lat - 40.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_reports_bad_lines() {
+        let err = parse_csv_records("10,40.5\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.reason.contains("lng"));
+        let err = parse_csv_records("ts,lat,lng\nabc,40.5,-73.5\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("timestamp"));
+    }
+
+    #[test]
+    fn end_to_end_ingest_feeds_pipeline() {
+        // CSV -> flow -> hierarchy aggregation: totals must survive
+        let csv = "ts,lat,lng\n10,40.9,-73.9\n20,40.6,-73.4\n3650,40.2,-73.2\n";
+        let records = parse_csv_records(csv).unwrap();
+        let mut builder = FlowBuilder::new(bounds(), 8, 8, 2, 3600);
+        builder.extend(records);
+        let (flow, report) = builder.finish();
+        assert_eq!(report.accepted, 3);
+        let hier = o4a_grid::Hierarchy::new(8, 8, 2, 3).unwrap();
+        let coarse = flow.aggregate_to_layer(&hier, 2);
+        let total: f32 = (0..2).map(|t| coarse.frame(t).iter().sum::<f32>()).sum();
+        assert_eq!(total, 3.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Evaluation metrics: RMSE, MAPE and MAE (Sec. V-A2).
+//!
+//! MAPE divides by the ground truth, so near-zero truths are excluded with
+//! a threshold (standard practice in the ST-prediction literature; the
+//! paper's freight dataset is sparse, making this unavoidable).
+
+/// Root mean square error over paired predictions/truths.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn rmse(pred: &[f32], truth: &[f32]) -> f64 {
+    check(pred, truth);
+    let n = pred.len() as f64;
+    let sse: f64 = pred
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| {
+            let d = (p - t) as f64;
+            d * d
+        })
+        .sum();
+    (sse / n).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f32], truth: &[f32]) -> f64 {
+    check(pred, truth);
+    let n = pred.len() as f64;
+    pred.iter()
+        .zip(truth)
+        .map(|(&p, &t)| (p - t).abs() as f64)
+        .sum::<f64>()
+        / n
+}
+
+/// Mean absolute percentage error over pairs whose truth exceeds
+/// `threshold`. Returns 0 if no pair qualifies.
+pub fn mape(pred: &[f32], truth: &[f32], threshold: f32) -> f64 {
+    check(pred, truth);
+    let mut acc = 0.0f64;
+    let mut n = 0usize;
+    for (&p, &t) in pred.iter().zip(truth) {
+        if t > threshold {
+            acc += ((p - t).abs() / t) as f64;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Accumulates prediction/truth pairs across batches, then reports all
+/// three metrics at once.
+#[derive(Debug, Clone, Default)]
+pub struct MetricAccumulator {
+    pred: Vec<f32>,
+    truth: Vec<f32>,
+}
+
+impl MetricAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one pair.
+    pub fn push(&mut self, pred: f32, truth: f32) {
+        self.pred.push(pred);
+        self.truth.push(truth);
+    }
+
+    /// Adds many pairs.
+    pub fn extend(&mut self, pred: &[f32], truth: &[f32]) {
+        assert_eq!(pred.len(), truth.len());
+        self.pred.extend_from_slice(pred);
+        self.truth.extend_from_slice(truth);
+    }
+
+    /// Number of accumulated pairs.
+    pub fn len(&self) -> usize {
+        self.pred.len()
+    }
+
+    /// Whether nothing has been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.pred.is_empty()
+    }
+
+    /// RMSE of the accumulated pairs.
+    pub fn rmse(&self) -> f64 {
+        rmse(&self.pred, &self.truth)
+    }
+
+    /// MAE of the accumulated pairs.
+    pub fn mae(&self) -> f64 {
+        mae(&self.pred, &self.truth)
+    }
+
+    /// MAPE of the accumulated pairs with the given truth threshold.
+    pub fn mape(&self, threshold: f32) -> f64 {
+        mape(&self.pred, &self.truth, threshold)
+    }
+}
+
+fn check(pred: &[f32], truth: &[f32]) {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    assert!(!pred.is_empty(), "metrics need at least one pair");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmse_known() {
+        assert_eq!(rmse(&[1.0, 3.0], &[1.0, 1.0]), 2.0f64.sqrt());
+        assert_eq!(rmse(&[2.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn mae_known() {
+        assert_eq!(mae(&[1.0, -1.0], &[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn mape_thresholds_small_truths() {
+        // truth 0 would divide by zero; threshold excludes it
+        let m = mape(&[1.0, 2.0, 110.0], &[0.0, 1.0, 100.0], 0.5);
+        assert!((m - (1.0 + 0.1) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_no_qualifying_pairs() {
+        assert_eq!(mape(&[1.0], &[0.0], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one pair")]
+    fn empty_panics() {
+        rmse(&[], &[]);
+    }
+
+    #[test]
+    fn accumulator_matches_direct() {
+        let mut acc = MetricAccumulator::new();
+        acc.push(1.0, 2.0);
+        acc.extend(&[3.0, 4.0], &[3.0, 2.0]);
+        assert_eq!(acc.len(), 3);
+        assert_eq!(acc.rmse(), rmse(&[1.0, 3.0, 4.0], &[2.0, 3.0, 2.0]));
+        assert_eq!(acc.mae(), mae(&[1.0, 3.0, 4.0], &[2.0, 3.0, 2.0]));
+        assert_eq!(acc.mape(0.5), mape(&[1.0, 3.0, 4.0], &[2.0, 3.0, 2.0], 0.5));
+    }
+
+    #[test]
+    fn rmse_dominated_by_large_errors() {
+        let r = rmse(&[0.0, 10.0], &[0.0, 0.0]);
+        let m = mae(&[0.0, 10.0], &[0.0, 0.0]);
+        assert!(r > m);
+    }
+}

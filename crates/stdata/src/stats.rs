@@ -1,0 +1,153 @@
+//! Statistical utilities for model comparison: paired bootstrap
+//! confidence intervals over per-query errors.
+//!
+//! The paper reports point metrics; a production evaluation harness should
+//! also say whether "model A beats model B" survives resampling. The
+//! paired bootstrap resamples the *query set* (keeping each query's A/B
+//! predictions paired) and reports a confidence interval for the RMSE
+//! difference.
+
+use o4a_tensor::SeededRng;
+
+/// Result of a paired bootstrap comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapResult {
+    /// Point estimate of `rmse(a) - rmse(b)` (negative = A better).
+    pub diff: f64,
+    /// Lower bound of the confidence interval.
+    pub lo: f64,
+    /// Upper bound of the confidence interval.
+    pub hi: f64,
+    /// Fraction of resamples where A had lower RMSE than B.
+    pub win_rate: f64,
+}
+
+impl BootstrapResult {
+    /// Whether the interval excludes zero (the difference is significant
+    /// at the chosen level).
+    pub fn significant(&self) -> bool {
+        self.lo > 0.0 || self.hi < 0.0
+    }
+}
+
+fn rmse_over(idx: &[usize], sq_a: &[f64]) -> f64 {
+    (idx.iter().map(|&i| sq_a[i]).sum::<f64>() / idx.len() as f64).sqrt()
+}
+
+/// Paired bootstrap over per-sample squared errors.
+///
+/// * `pred_a`, `pred_b`, `truth` — aligned per-sample values (one entry per
+///   (query, slot) pair),
+/// * `iters` — bootstrap resamples (1000 is typical),
+/// * `level` — confidence level, e.g. 0.95.
+///
+/// # Panics
+/// Panics on length mismatch, empty inputs, or a level outside (0, 1).
+pub fn paired_bootstrap(
+    pred_a: &[f32],
+    pred_b: &[f32],
+    truth: &[f32],
+    iters: usize,
+    level: f64,
+    seed: u64,
+) -> BootstrapResult {
+    assert_eq!(pred_a.len(), truth.len(), "A/truth length mismatch");
+    assert_eq!(pred_b.len(), truth.len(), "B/truth length mismatch");
+    assert!(!truth.is_empty(), "bootstrap needs samples");
+    assert!(iters >= 10, "too few bootstrap iterations");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "bad level");
+
+    let n = truth.len();
+    let sq_a: Vec<f64> = pred_a
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| ((p - t) as f64).powi(2))
+        .collect();
+    let sq_b: Vec<f64> = pred_b
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| ((p - t) as f64).powi(2))
+        .collect();
+    let all: Vec<usize> = (0..n).collect();
+    let diff = rmse_over(&all, &sq_a) - rmse_over(&all, &sq_b);
+
+    let mut rng = SeededRng::new(seed);
+    let mut diffs = Vec::with_capacity(iters);
+    let mut wins = 0usize;
+    let mut idx = vec![0usize; n];
+    for _ in 0..iters {
+        for slot in idx.iter_mut() {
+            *slot = rng.index(n);
+        }
+        let d = rmse_over(&idx, &sq_a) - rmse_over(&idx, &sq_b);
+        if d < 0.0 {
+            wins += 1;
+        }
+        diffs.push(d);
+    }
+    diffs.sort_by(|a, b| a.partial_cmp(b).expect("finite diffs"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = diffs[((iters as f64 * alpha) as usize).min(iters - 1)];
+    let hi = diffs[((iters as f64 * (1.0 - alpha)) as usize).min(iters - 1)];
+    BootstrapResult {
+        diff,
+        lo,
+        hi,
+        win_rate: wins as f64 / iters as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_better_model_is_significant() {
+        let mut rng = SeededRng::new(1);
+        let truth: Vec<f32> = (0..300).map(|_| rng.uniform(0.0, 10.0)).collect();
+        let good: Vec<f32> = truth.iter().map(|&t| t + 0.1 * rng.normal()).collect();
+        let bad: Vec<f32> = truth.iter().map(|&t| t + 2.0 * rng.normal()).collect();
+        let result = paired_bootstrap(&good, &bad, &truth, 500, 0.95, 7);
+        assert!(result.diff < 0.0);
+        assert!(result.significant(), "CI [{}, {}]", result.lo, result.hi);
+        assert!(result.win_rate > 0.99);
+    }
+
+    #[test]
+    fn identical_models_are_not_significant() {
+        let mut rng = SeededRng::new(2);
+        let truth: Vec<f32> = (0..200).map(|_| rng.uniform(0.0, 10.0)).collect();
+        let a: Vec<f32> = truth.iter().map(|&t| t + rng.normal()).collect();
+        let result = paired_bootstrap(&a, &a, &truth, 300, 0.95, 9);
+        assert!(result.diff.abs() < 1e-12);
+        assert!(!result.significant());
+        assert_eq!(result.win_rate, 0.0); // strict `<` never fires on ties
+    }
+
+    #[test]
+    fn near_tied_models_have_wide_interval() {
+        let mut rng = SeededRng::new(3);
+        let truth: Vec<f32> = (0..50).map(|_| rng.uniform(0.0, 10.0)).collect();
+        let a: Vec<f32> = truth.iter().map(|&t| t + rng.normal()).collect();
+        let b: Vec<f32> = truth.iter().map(|&t| t + rng.normal()).collect();
+        let result = paired_bootstrap(&a, &b, &truth, 500, 0.95, 11);
+        assert!(result.lo < result.hi);
+        assert!(result.lo <= result.diff && result.diff <= result.hi);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let truth = vec![1.0f32, 2.0, 3.0, 4.0];
+        let a = vec![1.1f32, 2.2, 2.9, 4.3];
+        let b = vec![0.8f32, 2.5, 3.4, 3.6];
+        let r1 = paired_bootstrap(&a, &b, &truth, 200, 0.9, 5);
+        let r2 = paired_bootstrap(&a, &b, &truth, 200, 0.9, 5);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        paired_bootstrap(&[1.0], &[1.0, 2.0], &[1.0], 100, 0.95, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Terminal visualization: ASCII heatmaps for rasters and sparklines for
+//! series — quick looks at flows, ACF maps and prediction errors without
+//! leaving the terminal.
+
+use crate::flow::FlowSeries;
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders a flat `h x w` raster as an ASCII heatmap, scaling values to
+/// the ramp `" .:-=+*#%@"` between the raster's min and max.
+pub fn heatmap(values: &[f32], h: usize, w: usize) -> String {
+    assert_eq!(values.len(), h * w, "raster size mismatch");
+    let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (hi - lo).max(1e-9);
+    let mut out = String::with_capacity(h * (w + 1));
+    for r in 0..h {
+        for c in 0..w {
+            let v = (values[r * w + c] - lo) / span;
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one time slot of a flow series as a heatmap.
+pub fn flow_heatmap(flow: &FlowSeries, t: usize) -> String {
+    heatmap(flow.frame(t), flow.h(), flow.w())
+}
+
+/// Renders a series as a one-line unicode sparkline (`▁▂▃▄▅▆▇█`).
+pub fn sparkline(series: &[f32]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if series.is_empty() {
+        return String::new();
+    }
+    let lo = series.iter().copied().fold(f32::INFINITY, f32::min);
+    let hi = series.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (hi - lo).max(1e-9);
+    series
+        .iter()
+        .map(|&v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_shape_and_extremes() {
+        let values = vec![0.0, 1.0, 2.0, 3.0];
+        let map = heatmap(&values, 2, 2);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0].len(), 2);
+        // min maps to ' ', max maps to '@'
+        assert_eq!(map.chars().next(), Some(' '));
+        assert_eq!(lines[1].chars().nth(1), Some('@'));
+    }
+
+    #[test]
+    fn constant_raster_does_not_panic() {
+        let map = heatmap(&[5.0; 9], 3, 3);
+        assert_eq!(map.lines().count(), 3);
+    }
+
+    #[test]
+    fn flow_heatmap_renders_frame() {
+        let mut flow = FlowSeries::zeros(2, 2, 2);
+        flow.set(1, 0, 0, 9.0);
+        let map = flow_heatmap(&flow, 1);
+        assert!(map.starts_with('@'));
+    }
+
+    #[test]
+    fn sparkline_monotone_series() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 4);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[3], '█');
+        assert!(chars.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn sparkline_empty_is_empty() {
+        assert_eq!(sparkline(&[]), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "raster size mismatch")]
+    fn heatmap_size_mismatch_panics() {
+        heatmap(&[1.0, 2.0], 2, 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Integration tests across the data pipeline: synthetic generation →
+//! aggregation → feature extraction → normalization → metrics.
+
+use o4a_data::acf::mean_acf;
+use o4a_data::features::{chronological_split, SampleSet, TemporalConfig};
+use o4a_data::metrics::rmse;
+use o4a_data::norm::Normalizer;
+use o4a_data::synthetic::{DatasetKind, SyntheticConfig};
+use o4a_grid::Hierarchy;
+
+fn cfg() -> TemporalConfig {
+    TemporalConfig::compact()
+}
+
+#[test]
+fn full_pipeline_shapes_line_up() {
+    let flow = DatasetKind::TaxiNycLike
+        .config(16, 16, 24 * 10, 3)
+        .generate();
+    let temporal = cfg();
+    let split = chronological_split(&flow, &temporal);
+    assert!(!split.train.is_empty() && !split.val.is_empty() && !split.test.is_empty());
+
+    let train = SampleSet::extract_at(&flow, &temporal, &split.train);
+    assert_eq!(train.inputs.shape()[1], temporal.channels());
+    assert_eq!(train.inputs.shape()[2..], [16, 16]);
+    assert_eq!(train.targets.shape()[1..], [1, 16, 16]);
+    assert_eq!(train.len(), split.train.len());
+
+    // normalizing then denormalizing the inputs is the identity
+    let norm = Normalizer::fit(train.targets.data());
+    let round = norm.denormalize(&norm.normalize(&train.inputs));
+    assert!(round.allclose(&train.inputs, 1e-2));
+}
+
+#[test]
+fn samples_respect_causality() {
+    // no sample's input may reference a slot at or after its target
+    let flow = DatasetKind::FreightLike.config(8, 8, 24 * 9, 4).generate();
+    let temporal = cfg();
+    for t in [temporal.min_target(), temporal.min_target() + 17] {
+        for slot in temporal.history_slots(t) {
+            assert!(slot < t, "history slot {slot} >= target {t}");
+        }
+    }
+    // and the split keeps test strictly after train
+    let split = chronological_split(&flow, &temporal);
+    assert!(split.train.last().unwrap() < split.test.first().unwrap());
+}
+
+#[test]
+fn hierarchical_aggregation_commutes_with_feature_extraction() {
+    // extracting features from an aggregated flow equals aggregating the
+    // features of the atomic flow (both are linear)
+    let flow = DatasetKind::TaxiNycLike.config(8, 8, 24 * 9, 5).generate();
+    let hier = Hierarchy::new(8, 8, 2, 3).unwrap();
+    let temporal = cfg();
+    let t = temporal.min_target() + 3;
+
+    let coarse_flow = flow.aggregate_to_layer(&hier, 1);
+    let coarse_set = SampleSet::extract_at(&coarse_flow, &temporal, &[t]);
+    let atomic_set = SampleSet::extract_at(&flow, &temporal, &[t]);
+
+    // aggregate the atomic target by 2x2 block sums
+    for lr in 0..4 {
+        for lc in 0..4 {
+            let mut sum = 0.0f32;
+            for dr in 0..2 {
+                for dc in 0..2 {
+                    sum += atomic_set
+                        .targets
+                        .get(&[0, 0, lr * 2 + dr, lc * 2 + dc])
+                        .unwrap();
+                }
+            }
+            let coarse = coarse_set.targets.get(&[0, 0, lr, lc]).unwrap();
+            assert!((sum - coarse).abs() < 1e-3);
+        }
+    }
+}
+
+#[test]
+fn predictability_orders_match_density() {
+    // hotspot-heavy taxi data is more predictable than sparse freight at
+    // the same scale (the premise behind Fig. 10's analysis)
+    let taxi = SyntheticConfig::taxi_nyc_like(12, 12, 24 * 14, 6).generate();
+    let freight = SyntheticConfig::freight_like(12, 12, 24 * 14, 6).generate();
+    let a_taxi = mean_acf(&taxi, 24);
+    let a_freight = mean_acf(&freight, 24);
+    assert!(
+        a_taxi > a_freight,
+        "taxi ACF {a_taxi} should exceed freight ACF {a_freight}"
+    );
+}
+
+#[test]
+fn rmse_of_persistence_beats_zero_on_dense_data() {
+    // a sanity bound used implicitly by the experiments: predicting the
+    // previous frame (persistence) is far better than predicting zero
+    let flow = DatasetKind::TaxiNycLike.config(8, 8, 24 * 9, 8).generate();
+    let t = 24 * 8;
+    let prev: Vec<f32> = flow.frame(t - 1).to_vec();
+    let zero = vec![0.0f32; 64];
+    let truth = flow.frame(t);
+    assert!(rmse(&prev, truth) < rmse(&zero, truth));
+}

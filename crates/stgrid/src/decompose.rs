@@ -1,0 +1,326 @@
+//! Algorithm 1: hierarchical decomposition of a rasterized region.
+//!
+//! A region query is decomposed coarse-to-fine: at every layer (starting
+//! from the coarsest) the `Match` step collects all cells fully covered by
+//! the remaining region, groups them into connected components whose members
+//! share the same upper (parent) grid, appends each component to the result
+//! and removes it from the region. Decomposing coarse-to-fine guarantees
+//! that no subset of the produced grids can be merged into a coarser grid,
+//! which is the precondition of Theorem 4.1 (the optimal combination of the
+//! region is the sum of the optimal combinations of the decomposed grids).
+
+use crate::hierarchy::{Hierarchy, LayerCell};
+use crate::mask::Mask;
+
+/// One decomposed unit: a set of (connected, same-parent) cells at a single
+/// layer. A group with one cell is a *single grid*; larger groups are the
+/// paper's *multi-grids* (always at most `K^2 - 1` cells — a full parent
+/// would have been matched one layer coarser).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecomposedGroup {
+    /// Layer of the cells (0 = atomic).
+    pub layer: usize,
+    /// Member cells as `(row, col)` in layer coordinates, sorted row-major.
+    pub cells: Vec<(usize, usize)>,
+}
+
+impl DecomposedGroup {
+    /// Whether the group is a single grid.
+    pub fn is_single(&self) -> bool {
+        self.cells.len() == 1
+    }
+
+    /// Renders the group back onto the atomic raster.
+    pub fn to_mask(&self, hier: &Hierarchy) -> Mask {
+        let mut m = Mask::empty(hier.h(), hier.w());
+        for &(r, c) in &self.cells {
+            let (r0, c0, r1, c1) = hier.atomic_rect(LayerCell::new(self.layer, r, c));
+            for rr in r0..r1 {
+                for cc in c0..c1 {
+                    m.set(rr, cc, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Area of the group in atomic grids.
+    pub fn area(&self, hier: &Hierarchy) -> usize {
+        let s = hier.scale(self.layer);
+        self.cells.len() * s * s
+    }
+}
+
+/// Decomposes `region` into hierarchical grids (Algorithm 1).
+///
+/// The returned groups are disjoint, cover the region exactly, and no
+/// subset of them merges into a coarser hierarchical grid.
+///
+/// # Panics
+/// Panics if the region's dimensions do not match the hierarchy's raster.
+pub fn decompose(hier: &Hierarchy, region: &Mask) -> Vec<DecomposedGroup> {
+    assert!(
+        region.h() == hier.h() && region.w() == hier.w(),
+        "region {}x{} does not match raster {}x{}",
+        region.h(),
+        region.w(),
+        hier.h(),
+        hier.w()
+    );
+    let mut remaining = region.clone();
+    let mut out = Vec::new();
+    for layer in (0..hier.num_layers()).rev() {
+        // Match(R, S): cells of this layer fully covered by the remaining
+        // region.
+        let covered = match_layer(hier, layer, &remaining);
+        if covered.is_empty() {
+            continue;
+        }
+        // Connected components among covered cells that share a parent.
+        let groups = group_cells(hier, layer, &covered);
+        for cells in groups {
+            for &(r, c) in &cells {
+                let (r0, c0, r1, c1) = hier.atomic_rect(LayerCell::new(layer, r, c));
+                remaining.clear_rect(r0, c0, r1, c1);
+            }
+            out.push(DecomposedGroup { layer, cells });
+        }
+    }
+    debug_assert!(remaining.is_empty(), "decomposition must cover the region");
+    out
+}
+
+/// The `Match` step: all cells of `layer` fully covered by `remaining`.
+fn match_layer(hier: &Hierarchy, layer: usize, remaining: &Mask) -> Vec<(usize, usize)> {
+    let (rows, cols) = hier.layer_dims(layer);
+    let mut covered = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let (r0, c0, r1, c1) = hier.atomic_rect(LayerCell::new(layer, r, c));
+            if remaining.covers_rect(r0, c0, r1, c1) {
+                covered.push((r, c));
+            }
+        }
+    }
+    covered
+}
+
+/// Groups covered cells into connected components where an edge exists
+/// between cells that are 4-adjacent *and* share the same parent grid.
+/// Cells of the coarsest layer have no parent, so they always form
+/// singleton groups.
+fn group_cells(
+    hier: &Hierarchy,
+    layer: usize,
+    covered: &[(usize, usize)],
+) -> Vec<Vec<(usize, usize)>> {
+    use std::collections::HashMap;
+    if layer + 1 >= hier.num_layers() {
+        return covered.iter().map(|&c| vec![c]).collect();
+    }
+    let index: HashMap<(usize, usize), usize> =
+        covered.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+    let mut visited = vec![false; covered.len()];
+    let mut groups = Vec::new();
+    for start in 0..covered.len() {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        let mut comp = vec![covered[start]];
+        let mut stack = vec![covered[start]];
+        while let Some((r, c)) = stack.pop() {
+            let cell = LayerCell::new(layer, r, c);
+            let neighbours = [
+                (r.wrapping_sub(1), c),
+                (r + 1, c),
+                (r, c.wrapping_sub(1)),
+                (r, c + 1),
+            ];
+            for (nr, nc) in neighbours {
+                if let Some(&ni) = index.get(&(nr, nc)) {
+                    if !visited[ni] && hier.same_parent(cell, LayerCell::new(layer, nr, nc)) {
+                        visited[ni] = true;
+                        comp.push((nr, nc));
+                        stack.push((nr, nc));
+                    }
+                }
+            }
+        }
+        comp.sort_unstable();
+        groups.push(comp);
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier8() -> Hierarchy {
+        Hierarchy::new(8, 8, 2, 4).unwrap() // scales {1,2,4,8}
+    }
+
+    /// Re-assembles the groups and checks they exactly tile the region.
+    fn assert_exact_cover(hier: &Hierarchy, region: &Mask, groups: &[DecomposedGroup]) {
+        let mut acc = Mask::empty(hier.h(), hier.w());
+        let mut total = 0usize;
+        for g in groups {
+            let gm = g.to_mask(hier);
+            assert!(!acc.intersects(&gm), "groups overlap");
+            total += gm.area();
+            acc.union_with(&gm);
+        }
+        assert_eq!(&acc, region, "groups do not cover the region exactly");
+        assert_eq!(total, region.area());
+    }
+
+    #[test]
+    fn full_raster_is_one_coarsest_group_set() {
+        let hier = hier8();
+        let region = Mask::full(8, 8);
+        let groups = decompose(&hier, &region);
+        // the whole raster = the single 8x8 cell of the coarsest layer
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].layer, 3);
+        assert_exact_cover(&hier, &region, &groups);
+    }
+
+    #[test]
+    fn single_atomic_cell() {
+        let hier = hier8();
+        let region = Mask::rect(8, 8, 3, 5, 4, 6);
+        let groups = decompose(&hier, &region);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].layer, 0);
+        assert_eq!(groups[0].cells, vec![(3, 5)]);
+    }
+
+    #[test]
+    fn aligned_quarter_uses_coarse_cell() {
+        let hier = hier8();
+        // top-left 4x4 block = one layer-2 cell
+        let region = Mask::rect(8, 8, 0, 0, 4, 4);
+        let groups = decompose(&hier, &region);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].layer, 2);
+        assert_eq!(groups[0].cells, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn l_shape_decomposes_hierarchically() {
+        let hier = hier8();
+        // a 4x4 block plus a 2x2 block to its right
+        let mut region = Mask::rect(8, 8, 0, 0, 4, 4);
+        region.union_with(&Mask::rect(8, 8, 0, 4, 2, 6));
+        let groups = decompose(&hier, &region);
+        assert_exact_cover(&hier, &region, &groups);
+        // expect one layer-2 cell and one layer-1 cell
+        let mut layers: Vec<usize> = groups.iter().map(|g| g.layer).collect();
+        layers.sort_unstable();
+        assert_eq!(layers, vec![1, 2]);
+    }
+
+    #[test]
+    fn no_group_can_merge_coarser() {
+        // precondition of Theorem 4.1: no produced subset merges into a
+        // coarser grid. Verify on a jagged region.
+        let hier = hier8();
+        let mut region = Mask::rect(8, 8, 0, 0, 6, 6);
+        region.set(5, 5, false);
+        let groups = decompose(&hier, &region);
+        assert_exact_cover(&hier, &region, &groups);
+        for g in &groups {
+            if g.layer + 1 >= hier.num_layers() {
+                continue;
+            }
+            // for every parent cell, its children within the region must
+            // not all be present in this group
+            let k = hier.k();
+            use std::collections::HashMap;
+            let mut by_parent: HashMap<(usize, usize), usize> = HashMap::new();
+            for &(r, c) in &g.cells {
+                *by_parent.entry((r / k, c / k)).or_insert(0) += 1;
+            }
+            for (_, count) in by_parent {
+                assert!(count < k * k, "a full parent survived decomposition");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_grid_groups_share_parent() {
+        let hier = hier8();
+        // three atomic cells forming an L inside one layer-1 parent
+        let mut region = Mask::empty(8, 8);
+        region.set(0, 0, true);
+        region.set(0, 1, true);
+        region.set(1, 0, true);
+        let groups = decompose(&hier, &region);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].layer, 0);
+        assert_eq!(groups[0].cells.len(), 3);
+    }
+
+    #[test]
+    fn adjacent_cells_in_different_parents_stay_separate() {
+        let hier = hier8();
+        // atomic cells (0,1) and (0,2) are adjacent but in different parents
+        let mut region = Mask::empty(8, 8);
+        region.set(0, 1, true);
+        region.set(0, 2, true);
+        let groups = decompose(&hier, &region);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.cells.len() == 1));
+    }
+
+    #[test]
+    fn empty_region_decomposes_to_nothing() {
+        let hier = hier8();
+        let groups = decompose(&hier, &Mask::empty(8, 8));
+        assert!(groups.is_empty());
+    }
+
+    #[test]
+    fn disconnected_region_covered() {
+        let hier = hier8();
+        let mut region = Mask::rect(8, 8, 0, 0, 2, 2);
+        region.union_with(&Mask::rect(8, 8, 6, 6, 8, 8));
+        let groups = decompose(&hier, &region);
+        assert_exact_cover(&hier, &region, &groups);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.layer == 1));
+    }
+
+    #[test]
+    fn irregular_region_exact_cover() {
+        let hier = Hierarchy::new(16, 16, 2, 5).unwrap();
+        // a blobby region built from overlapping rectangles
+        let mut region = Mask::rect(16, 16, 2, 2, 10, 9);
+        region.union_with(&Mask::rect(16, 16, 5, 7, 13, 14));
+        region.set(0, 0, true);
+        let groups = decompose(&hier, &region);
+        assert_exact_cover(&hier, &region, &groups);
+    }
+
+    #[test]
+    fn window3_decomposition() {
+        let hier = Hierarchy::new(9, 9, 3, 3).unwrap(); // scales {1,3,9}
+        let region = Mask::rect(9, 9, 0, 0, 3, 6);
+        let groups = decompose(&hier, &region);
+        assert_exact_cover(&hier, &region, &groups);
+        // two layer-1 cells, grouped: (0,0) and (0,1) share parent (0,0)
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].layer, 1);
+        assert_eq!(groups[0].cells.len(), 2);
+    }
+
+    #[test]
+    fn group_area_matches_mask() {
+        let hier = hier8();
+        let region = Mask::rect(8, 8, 0, 0, 4, 6);
+        for g in decompose(&hier, &region) {
+            assert_eq!(g.area(&hier), g.to_mask(&hier).area());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Polygon geometry and rasterization (Definition 4).
+//!
+//! Regions arrive as geographic polygons; the paper rasterizes them by
+//! aligning them with the atomic grid. Here polygons live in raster
+//! coordinates (1 unit = 1 atomic grid side; the paper's 150 m), with `x`
+//! growing along columns and `y` along rows. A cell `(row, col)` belongs to
+//! the rasterized region iff its centre `(col + 0.5, row + 0.5)` lies inside
+//! the polygon.
+
+use crate::mask::Mask;
+
+/// A 2-D point in raster coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Horizontal coordinate (columns).
+    pub x: f64,
+    /// Vertical coordinate (rows).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// A simple polygon given by its boundary path (implicitly closed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its boundary vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than 3 vertices are supplied.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 3, "a polygon needs at least 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// A rectangle `[x0, x1] x [y0, y1]`.
+    pub fn rectangle(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Polygon::new(vec![
+            Point::new(x0, y0),
+            Point::new(x1, y0),
+            Point::new(x1, y1),
+            Point::new(x0, y1),
+        ])
+    }
+
+    /// A regular hexagon (flat-top) centred at `(cx, cy)` with the given
+    /// circumradius.
+    pub fn hexagon(cx: f64, cy: f64, radius: f64) -> Self {
+        let vertices = (0..6)
+            .map(|i| {
+                let angle = std::f64::consts::PI / 3.0 * i as f64;
+                Point::new(cx + radius * angle.cos(), cy + radius * angle.sin())
+            })
+            .collect();
+        Polygon::new(vertices)
+    }
+
+    /// The boundary vertices.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// Signed area via the shoelace formula (positive for counter-clockwise
+    /// winding).
+    pub fn signed_area(&self) -> f64 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Even-odd (ray casting) point-in-polygon test.
+    pub fn contains(&self, p: Point) -> bool {
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Axis-aligned bounding box `(x_min, y_min, x_max, y_max)`.
+    pub fn bounding_box(&self) -> (f64, f64, f64, f64) {
+        let mut bb = (
+            f64::INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for v in &self.vertices {
+            bb.0 = bb.0.min(v.x);
+            bb.1 = bb.1.min(v.y);
+            bb.2 = bb.2.max(v.x);
+            bb.3 = bb.3.max(v.y);
+        }
+        bb
+    }
+
+    /// Rasterizes the polygon onto an `h x w` atomic raster: a cell is set
+    /// iff its centre lies inside the polygon. Cells outside the raster are
+    /// clipped.
+    pub fn rasterize(&self, h: usize, w: usize) -> Mask {
+        let mut mask = Mask::empty(h, w);
+        let (x0, y0, x1, y1) = self.bounding_box();
+        let r0 = (y0.floor().max(0.0)) as usize;
+        let c0 = (x0.floor().max(0.0)) as usize;
+        let r1 = (y1.ceil().min(h as f64)) as usize;
+        let c1 = (x1.ceil().min(w as f64)) as usize;
+        for r in r0..r1 {
+            for c in c0..c1 {
+                let centre = Point::new(c as f64 + 0.5, r as f64 + 0.5);
+                if self.contains(centre) {
+                    mask.set(r, c, true);
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_area() {
+        let p = Polygon::rectangle(0.0, 0.0, 4.0, 3.0);
+        assert!((p.area() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_inside_outside() {
+        let p = Polygon::rectangle(1.0, 1.0, 3.0, 3.0);
+        assert!(p.contains(Point::new(2.0, 2.0)));
+        assert!(!p.contains(Point::new(0.5, 0.5)));
+        assert!(!p.contains(Point::new(3.5, 2.0)));
+    }
+
+    #[test]
+    fn concave_polygon_contains() {
+        // L-shape
+        let p = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 2.0),
+            Point::new(2.0, 2.0),
+            Point::new(2.0, 4.0),
+            Point::new(0.0, 4.0),
+        ]);
+        assert!(p.contains(Point::new(1.0, 3.0)));
+        assert!(p.contains(Point::new(3.0, 1.0)));
+        assert!(!p.contains(Point::new(3.0, 3.0))); // the notch
+    }
+
+    #[test]
+    fn rasterize_rectangle_exact() {
+        let p = Polygon::rectangle(1.0, 1.0, 3.0, 3.0);
+        let m = p.rasterize(4, 4);
+        assert_eq!(m.area(), 4);
+        assert!(m.get(1, 1) && m.get(1, 2) && m.get(2, 1) && m.get(2, 2));
+    }
+
+    #[test]
+    fn rasterize_clips_to_raster() {
+        let p = Polygon::rectangle(-5.0, -5.0, 2.0, 2.0);
+        let m = p.rasterize(4, 4);
+        assert_eq!(m.area(), 4); // only the in-raster 2x2 corner
+    }
+
+    #[test]
+    fn hexagon_area_close_to_formula() {
+        let r = 10.0;
+        let p = Polygon::hexagon(32.0, 32.0, r);
+        let expected = 3.0 * (3.0f64).sqrt() / 2.0 * r * r;
+        assert!((p.area() - expected).abs() / expected < 1e-9);
+        // rasterized area approximates polygon area
+        let m = p.rasterize(64, 64);
+        let rel = (m.area() as f64 - expected).abs() / expected;
+        assert!(rel < 0.05, "rasterized area off by {rel}");
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        let ccw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+        ]);
+        let cw = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 0.0),
+        ]);
+        assert!(ccw.signed_area() > 0.0);
+        assert!(cw.signed_area() < 0.0);
+    }
+}

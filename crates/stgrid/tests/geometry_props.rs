@@ -1,0 +1,98 @@
+//! Property tests for polygon rasterization and the query generators.
+
+use o4a_grid::geometry::{Point, Polygon};
+use o4a_grid::mask::Mask;
+use o4a_grid::queries::{hexagon_queries, road_segment_queries, tract_queries};
+use o4a_tensor::SeededRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An integer-aligned rectangle polygon rasterizes to exactly the
+    /// corresponding rectangular mask.
+    #[test]
+    fn rectangle_rasterization_exact(
+        r0 in 0usize..6, c0 in 0usize..6, dh in 1usize..5, dw in 1usize..5
+    ) {
+        let (r1, c1) = ((r0 + dh).min(10), (c0 + dw).min(10));
+        let poly = Polygon::rectangle(c0 as f64, r0 as f64, c1 as f64, r1 as f64);
+        let mask = poly.rasterize(10, 10);
+        prop_assert_eq!(mask, Mask::rect(10, 10, r0, c0, r1, c1));
+    }
+
+    /// Rasterized area approximates polygon area for random convex quads.
+    #[test]
+    fn rasterized_area_tracks_polygon_area(seed in 0u64..10_000) {
+        let mut rng = SeededRng::new(seed);
+        let cx = rng.uniform(20.0, 44.0) as f64;
+        let cy = rng.uniform(20.0, 44.0) as f64;
+        let rx = rng.uniform(6.0, 14.0) as f64;
+        let ry = rng.uniform(6.0, 14.0) as f64;
+        // a convex quadrilateral around (cx, cy)
+        let poly = Polygon::new(vec![
+            Point::new(cx - rx, cy),
+            Point::new(cx, cy - ry),
+            Point::new(cx + rx, cy),
+            Point::new(cx, cy + ry),
+        ]);
+        let mask = poly.rasterize(64, 64);
+        let expected = poly.area();
+        let got = mask.area() as f64;
+        prop_assert!(
+            (got - expected).abs() / expected < 0.25,
+            "area {got} vs polygon {expected}"
+        );
+    }
+
+    /// Point-in-polygon agrees with the bounding box on the outside.
+    #[test]
+    fn contains_never_outside_bbox(seed in 0u64..10_000, px in -5.0f64..70.0, py in -5.0f64..70.0) {
+        let mut rng = SeededRng::new(seed);
+        let verts: Vec<Point> = (0..5)
+            .map(|i| {
+                let angle = i as f64 * std::f64::consts::TAU / 5.0;
+                let r = rng.uniform(5.0, 15.0) as f64;
+                Point::new(32.0 + r * angle.cos(), 32.0 + r * angle.sin())
+            })
+            .collect();
+        let poly = Polygon::new(verts);
+        let (x0, y0, x1, y1) = poly.bounding_box();
+        let p = Point::new(px, py);
+        if px < x0 || px > x1 || py < y0 || py > y1 {
+            prop_assert!(!poly.contains(p));
+        }
+    }
+
+    /// Road-segment partitions tile the raster for any target area.
+    #[test]
+    fn road_segments_always_tile(seed in 0u64..1000, target in 4.0f64..120.0) {
+        let mut rng = SeededRng::new(seed);
+        let masks = road_segment_queries(32, 32, target, &mut rng);
+        let total: usize = masks.iter().map(Mask::area).sum();
+        prop_assert_eq!(total, 32 * 32);
+    }
+
+    /// Tract partitions tile the raster and every tract is connected.
+    #[test]
+    fn tracts_always_tile_and_connect(seed in 0u64..200, count in 2usize..40) {
+        let mut rng = SeededRng::new(seed);
+        let masks = tract_queries(16, 16, count, &mut rng);
+        let total: usize = masks.iter().map(Mask::area).sum();
+        prop_assert_eq!(total, 256);
+        for m in &masks {
+            prop_assert!(m.is_connected());
+        }
+    }
+
+    /// Hexagon tilings cover the raster for any reasonable cell area.
+    #[test]
+    fn hexagons_always_cover(area in 6.0f64..80.0) {
+        let masks = hexagon_queries(32, 32, area);
+        let mut acc = Mask::empty(32, 32);
+        for m in &masks {
+            acc.union_with(m);
+        }
+        prop_assert_eq!(acc.area(), 32 * 32);
+    }
+}

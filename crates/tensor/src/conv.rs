@@ -1,0 +1,551 @@
+//! 2-D convolution (forward + backward) and nearest-neighbour upsampling.
+//!
+//! Convolution is implemented with the classic `im2col`/`col2im` lowering:
+//! each input window is unrolled into a column so the convolution becomes a
+//! single matrix multiplication. This is the same lowering used by reference
+//! CPU implementations of the conv layers in the paper's network (temporal
+//! convs, scale-merging layers with `kernel = stride = K`, and the spatial
+//! modeling blocks).
+//!
+//! Tensors use NCHW layout: `[batch, channels, height, width]`.
+
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the input, shape `[n, c_in, h, w]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weights, shape `[c_out, c_in, kh, kw]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, shape `[c_out]`.
+    pub grad_bias: Tensor,
+}
+
+/// Output spatial size of a convolution along one axis.
+#[inline]
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad).saturating_sub(kernel) / stride + 1
+}
+
+fn check_conv_args(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: weight.rank(),
+        });
+    }
+    assert!(stride >= 1, "stride must be >= 1");
+    let (n, c_in, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (c_out, wc_in, kh, kw) = (
+        weight.shape()[0],
+        weight.shape()[1],
+        weight.shape()[2],
+        weight.shape()[3],
+    );
+    if wc_in != c_in {
+        return Err(TensorError::ShapeMismatch {
+            lhs: input.shape().to_vec(),
+            rhs: weight.shape().to_vec(),
+        });
+    }
+    if bias.shape() != [c_out] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![c_out],
+            rhs: bias.shape().to_vec(),
+        });
+    }
+    Ok((n, c_in, h, w, c_out, kh, kw))
+}
+
+/// Unrolls one batch image `[c_in, h, w]` into a column matrix
+/// `[c_in*kh*kw, out_h*out_w]` (zero padding applied implicitly).
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    img: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out_h: usize,
+    out_w: usize,
+    col: &mut [f32],
+) {
+    let cols = out_h * out_w;
+    for c in 0..c_in {
+        let chan = &img[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row_idx = (c * kh + ki) * kw + kj;
+                let dst = &mut col[row_idx * cols..(row_idx + 1) * cols];
+                for oi in 0..out_h {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    let dst_row = &mut dst[oi * out_w..(oi + 1) * out_w];
+                    if ii < 0 || ii >= h as isize {
+                        for v in dst_row.iter_mut() {
+                            *v = 0.0;
+                        }
+                        continue;
+                    }
+                    let src_row = &chan[ii as usize * w..(ii as usize + 1) * w];
+                    for (oj, v) in dst_row.iter_mut().enumerate() {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        *v = if jj < 0 || jj >= w as isize {
+                            0.0
+                        } else {
+                            src_row[jj as usize]
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a column matrix back into an image (the adjoint of [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    col: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out_h: usize,
+    out_w: usize,
+    img: &mut [f32],
+) {
+    let cols = out_h * out_w;
+    for c in 0..c_in {
+        let chan = &mut img[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row_idx = (c * kh + ki) * kw + kj;
+                let src = &col[row_idx * cols..(row_idx + 1) * cols];
+                for oi in 0..out_h {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    if ii < 0 || ii >= h as isize {
+                        continue;
+                    }
+                    let dst_row = &mut chan[ii as usize * w..(ii as usize + 1) * w];
+                    let src_row = &src[oi * out_w..(oi + 1) * out_w];
+                    for (oj, &v) in src_row.iter().enumerate() {
+                        let jj = (oj * stride + kj) as isize - pad as isize;
+                        if jj >= 0 && jj < w as isize {
+                            dst_row[jj as usize] += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input`: `[n, c_in, h, w]`
+/// * `weight`: `[c_out, c_in, kh, kw]`
+/// * `bias`: `[c_out]`
+///
+/// Returns `[n, c_out, out_h, out_w]`.
+pub fn conv2d(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (n, c_in, h, w, c_out, kh, kw) = check_conv_args(input, weight, bias, stride)?;
+    let out_h = conv_out_size(h, kh, stride, pad);
+    let out_w = conv_out_size(w, kw, stride, pad);
+    let cols = out_h * out_w;
+    let krows = c_in * kh * kw;
+
+    let mut col = vec![0.0f32; krows * cols];
+    let mut out = vec![0.0f32; n * c_out * cols];
+    let wdata = weight.data();
+    let bdata = bias.data();
+
+    for b in 0..n {
+        let img = &input.data()[b * c_in * h * w..(b + 1) * c_in * h * w];
+        im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut col);
+        let out_b = &mut out[b * c_out * cols..(b + 1) * c_out * cols];
+        // out_b[oc] = W[oc] . col + bias[oc]
+        for oc in 0..c_out {
+            let wrow = &wdata[oc * krows..(oc + 1) * krows];
+            let orow = &mut out_b[oc * cols..(oc + 1) * cols];
+            for v in orow.iter_mut() {
+                *v = bdata[oc];
+            }
+            for (k, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let crow = &col[k * cols..(k + 1) * cols];
+                for (o, &cv) in orow.iter_mut().zip(crow) {
+                    *o += wv * cv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c_out, out_h, out_w])
+}
+
+/// 2-D convolution backward pass.
+///
+/// Given the upstream gradient `grad_output` (`[n, c_out, out_h, out_w]`),
+/// computes gradients for the input, weight and bias of the forward call
+/// with identical arguments.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    grad_output: &Tensor,
+) -> Result<Conv2dGrads> {
+    let (n, c_in, h, w, c_out, kh, kw) = check_conv_args(input, weight, bias, stride)?;
+    let out_h = conv_out_size(h, kh, stride, pad);
+    let out_w = conv_out_size(w, kw, stride, pad);
+    if grad_output.shape() != [n, c_out, out_h, out_w] {
+        return Err(TensorError::ShapeMismatch {
+            lhs: vec![n, c_out, out_h, out_w],
+            rhs: grad_output.shape().to_vec(),
+        });
+    }
+    let cols = out_h * out_w;
+    let krows = c_in * kh * kw;
+
+    let mut col = vec![0.0f32; krows * cols];
+    let mut col_grad = vec![0.0f32; krows * cols];
+    let mut grad_input = vec![0.0f32; n * c_in * h * w];
+    let mut grad_weight = vec![0.0f32; c_out * krows];
+    let mut grad_bias = vec![0.0f32; c_out];
+    let wdata = weight.data();
+
+    for b in 0..n {
+        let img = &input.data()[b * c_in * h * w..(b + 1) * c_in * h * w];
+        im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut col);
+        let go = &grad_output.data()[b * c_out * cols..(b + 1) * c_out * cols];
+
+        // grad_bias[oc] += sum(go[oc])
+        for oc in 0..c_out {
+            grad_bias[oc] += go[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+        }
+        // grad_weight[oc, k] += go[oc] . col[k]
+        for oc in 0..c_out {
+            let gorow = &go[oc * cols..(oc + 1) * cols];
+            let gwrow = &mut grad_weight[oc * krows..(oc + 1) * krows];
+            for (k, gw) in gwrow.iter_mut().enumerate() {
+                let crow = &col[k * cols..(k + 1) * cols];
+                let mut acc = 0.0f32;
+                for (&g, &c) in gorow.iter().zip(crow) {
+                    acc += g * c;
+                }
+                *gw += acc;
+            }
+        }
+        // col_grad[k] = sum_oc W[oc, k] * go[oc]
+        for v in col_grad.iter_mut() {
+            *v = 0.0;
+        }
+        for oc in 0..c_out {
+            let wrow = &wdata[oc * krows..(oc + 1) * krows];
+            let gorow = &go[oc * cols..(oc + 1) * cols];
+            for (k, &wv) in wrow.iter().enumerate() {
+                if wv == 0.0 {
+                    continue;
+                }
+                let cg = &mut col_grad[k * cols..(k + 1) * cols];
+                for (c, &g) in cg.iter_mut().zip(gorow) {
+                    *c += wv * g;
+                }
+            }
+        }
+        let gi = &mut grad_input[b * c_in * h * w..(b + 1) * c_in * h * w];
+        col2im(&col_grad, c_in, h, w, kh, kw, stride, pad, out_h, out_w, gi);
+    }
+
+    Ok(Conv2dGrads {
+        grad_input: Tensor::from_vec(grad_input, &[n, c_in, h, w])?,
+        grad_weight: Tensor::from_vec(grad_weight, &[c_out, c_in, kh, kw])?,
+        grad_bias: Tensor::from_vec(grad_bias, &[c_out])?,
+    })
+}
+
+/// Nearest-neighbour upsampling by an integer factor along both spatial
+/// axes: `[n, c, h, w] -> [n, c, h*factor, w*factor]`.
+///
+/// This is the `UpSample` operation of the cross-scale modeling module
+/// (Eq. 9): each coarse-grid feature is replicated over the `factor x factor`
+/// block of finer grids it covers.
+pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: input.rank(),
+        });
+    }
+    assert!(factor >= 1, "upsample factor must be >= 1");
+    let (n, c, h, w) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (oh, ow) = (h * factor, w * factor);
+    let mut out = vec![0.0f32; n * c * oh * ow];
+    for bc in 0..n * c {
+        let src = &input.data()[bc * h * w..(bc + 1) * h * w];
+        let dst = &mut out[bc * oh * ow..(bc + 1) * oh * ow];
+        for oi in 0..oh {
+            let si = oi / factor;
+            let srow = &src[si * w..(si + 1) * w];
+            let drow = &mut dst[oi * ow..(oi + 1) * ow];
+            for (oj, v) in drow.iter_mut().enumerate() {
+                *v = srow[oj / factor];
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, oh, ow])
+}
+
+/// Backward pass of [`upsample_nearest`]: each coarse cell accumulates the
+/// gradients of all fine cells it was replicated into.
+pub fn upsample_nearest_backward(grad_output: &Tensor, factor: usize) -> Result<Tensor> {
+    if grad_output.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: grad_output.rank(),
+        });
+    }
+    let (n, c, oh, ow) = (
+        grad_output.shape()[0],
+        grad_output.shape()[1],
+        grad_output.shape()[2],
+        grad_output.shape()[3],
+    );
+    assert!(
+        oh % factor == 0 && ow % factor == 0,
+        "grad_output spatial dims must be divisible by factor"
+    );
+    let (h, w) = (oh / factor, ow / factor);
+    let mut out = vec![0.0f32; n * c * h * w];
+    for bc in 0..n * c {
+        let src = &grad_output.data()[bc * oh * ow..(bc + 1) * oh * ow];
+        let dst = &mut out[bc * h * w..(bc + 1) * h * w];
+        for oi in 0..oh {
+            let si = oi / factor;
+            let srow = &src[oi * ow..(oi + 1) * ow];
+            let drow = &mut dst[si * w..(si + 1) * w];
+            for (oj, &g) in srow.iter().enumerate() {
+                drow[oj / factor] += g;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[n, c, h, w])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), s).unwrap()
+    }
+
+    #[test]
+    fn out_size_math() {
+        assert_eq!(conv_out_size(4, 3, 1, 1), 4); // same padding
+        assert_eq!(conv_out_size(4, 2, 2, 0), 2); // scale merging K=2
+        assert_eq!(conv_out_size(6, 3, 3, 0), 2); // scale merging K=3
+        assert_eq!(conv_out_size(5, 3, 1, 0), 3);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 kernel with weight 1, bias 0 is the identity.
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let w = t(&[1.0], &[1, 1, 1, 1]);
+        let b = t(&[0.0], &[1]);
+        let y = conv2d(&x, &w, &b, 1, 0).unwrap();
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn bias_applied_per_channel() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        let w = Tensor::zeros(&[2, 1, 1, 1]);
+        let b = t(&[1.0, -3.0], &[2]);
+        let y = conv2d(&x, &w, &b, 1, 0).unwrap();
+        assert_eq!(y.shape(), &[1, 2, 2, 2]);
+        assert_eq!(&y.data()[0..4], &[1.0; 4]);
+        assert_eq!(&y.data()[4..8], &[-3.0; 4]);
+    }
+
+    #[test]
+    fn known_3x3_valid_convolution() {
+        // 3x3 input, 2x2 kernel of all ones => sums of 2x2 windows.
+        let x = t(
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, 1, 0).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn stride_equals_kernel_is_scale_merge() {
+        // 4x4 input, K=2 kernel of ones with stride 2 sums disjoint 2x2 blocks
+        // — exactly the paper's scale-merging layer semantics.
+        let x = t(
+            &(1..=16).map(|v| v as f32).collect::<Vec<_>>(),
+            &[1, 1, 4, 4],
+        );
+        let w = Tensor::ones(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, 2, 0).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[14.0, 22.0, 46.0, 54.0]);
+    }
+
+    #[test]
+    fn padding_same_keeps_size() {
+        let x = Tensor::ones(&[2, 3, 5, 5]);
+        let w = Tensor::ones(&[4, 3, 3, 3]);
+        let b = Tensor::zeros(&[4]);
+        let y = conv2d(&x, &w, &b, 1, 1).unwrap();
+        assert_eq!(y.shape(), &[2, 4, 5, 5]);
+        // centre value: 3 channels * 9 taps = 27
+        assert_eq!(y.get(&[0, 0, 2, 2]).unwrap(), 27.0);
+        // corner value: 3 channels * 4 taps = 12
+        assert_eq!(y.get(&[0, 0, 0, 0]).unwrap(), 12.0);
+    }
+
+    #[test]
+    fn multi_channel_mixes_inputs() {
+        let x = t(&[1.0, 2.0, 10.0, 20.0], &[1, 2, 2, 1]);
+        // one output channel, w = [c0 -> 1, c1 -> 0.5], 1x1 kernel
+        let w = t(&[1.0, 0.5], &[1, 2, 1, 1]);
+        let b = Tensor::zeros(&[1]);
+        let y = conv2d(&x, &w, &b, 1, 0).unwrap();
+        assert_eq!(y.data(), &[6.0, 12.0]);
+    }
+
+    /// Finite-difference check of the full conv backward pass.
+    #[test]
+    fn backward_matches_finite_differences() {
+        use crate::init::SeededRng;
+        let mut rng = SeededRng::new(7);
+        let x = rng.uniform_tensor(&[2, 2, 4, 4], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[3, 2, 3, 3], -0.5, 0.5);
+        let b = rng.uniform_tensor(&[3], -0.5, 0.5);
+        let stride = 1;
+        let pad = 1;
+
+        // loss = sum(conv(x)) => grad_output = ones
+        let y = conv2d(&x, &w, &b, stride, pad).unwrap();
+        let go = Tensor::ones(y.shape());
+        let grads = conv2d_backward(&x, &w, &b, stride, pad, &go).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d(x, w, b, stride, pad).unwrap().sum()
+        };
+        // check a sample of coordinates in each gradient
+        for idx in [0usize, 5, 17, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!(
+                (fd - grads.grad_input.data()[idx]).abs() < 1e-2,
+                "grad_input[{idx}]: fd={fd} analytic={}",
+                grads.grad_input.data()[idx]
+            );
+        }
+        for idx in [0usize, 7, 23] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!(
+                (fd - grads.grad_weight.data()[idx]).abs() < 5e-2,
+                "grad_weight[{idx}]: fd={fd} analytic={}",
+                grads.grad_weight.data()[idx]
+            );
+        }
+        for idx in 0..3 {
+            let mut bp = b.clone();
+            bp.data_mut()[idx] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!(
+                (fd - grads.grad_bias.data()[idx]).abs() < 5e-2,
+                "grad_bias[{idx}]: fd={fd} analytic={}",
+                grads.grad_bias.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn upsample_replicates_blocks() {
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let y = upsample_nearest(&x, 2).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(
+            y.data(),
+            &[1.0, 1.0, 2.0, 2.0, 1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0, 3.0, 3.0, 4.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn upsample_backward_accumulates() {
+        let g = Tensor::ones(&[1, 1, 4, 4]);
+        let gi = upsample_nearest_backward(&g, 2).unwrap();
+        assert_eq!(gi.shape(), &[1, 1, 2, 2]);
+        assert_eq!(gi.data(), &[4.0; 4]);
+    }
+
+    #[test]
+    fn upsample_roundtrip_adjoint() {
+        // <upsample(x), g> == <x, upsample_backward(g)> (adjoint property)
+        use crate::init::SeededRng;
+        let mut rng = SeededRng::new(3);
+        let x = rng.uniform_tensor(&[2, 3, 2, 2], -1.0, 1.0);
+        let g = rng.uniform_tensor(&[2, 3, 4, 4], -1.0, 1.0);
+        let up = upsample_nearest(&x, 2).unwrap();
+        let down = upsample_nearest_backward(&g, 2).unwrap();
+        let lhs: f32 = up.data().iter().zip(g.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(down.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+}

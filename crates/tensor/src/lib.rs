@@ -1,0 +1,89 @@
+#![warn(missing_docs)]
+
+//! # o4a-tensor
+//!
+//! A small, dependency-light dense tensor library used by the One4All-ST
+//! reproduction. Tensors are row-major `f32` buffers with an explicit shape.
+//!
+//! The library provides exactly what the hierarchical multi-scale ST network
+//! and the baseline models need:
+//!
+//! * shape/stride bookkeeping and safe element access ([`Tensor`]),
+//! * broadcast-free elementwise arithmetic (shapes must match; the network
+//!   code is explicit about alignment, mirroring the paper's fixed grids),
+//! * 2-D matrix multiplication for linear and graph-convolution layers,
+//! * `im2col`-based 2-D convolution forward *and* backward passes
+//!   ([`conv`]), the workhorse of every spatial-modeling block,
+//! * nearest-neighbour upsampling used by the cross-scale top-down pathway
+//!   (Eq. 9 of the paper), and
+//! * seeded random initialisation ([`init`]).
+//!
+//! All operations are implemented in safe Rust. Hot loops iterate over
+//! slices (bounds checks are hoisted by the compiler) and buffers are
+//! preallocated with exact capacities.
+
+pub mod conv;
+pub mod init;
+pub mod ops;
+pub mod tensor;
+
+pub use conv::{conv2d, conv2d_backward, upsample_nearest, upsample_nearest_backward, Conv2dGrads};
+pub use init::{glorot_uniform, he_normal, SeededRng};
+pub use tensor::Tensor;
+
+/// Error type for shape mismatches and invalid tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The shapes of two operands do not match.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The requested shape does not contain the same number of elements.
+    InvalidReshape {
+        /// Number of elements in the source tensor.
+        len: usize,
+        /// The requested target shape.
+        shape: Vec<usize>,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// Shape of the tensor.
+        shape: Vec<usize>,
+    },
+    /// The operation is only defined for a specific rank.
+    RankMismatch {
+        /// Expected tensor rank.
+        expected: usize,
+        /// Actual tensor rank.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "shape mismatch: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::InvalidReshape { len, shape } => {
+                write!(f, "cannot reshape {len} elements into {shape:?}")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience result alias for tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

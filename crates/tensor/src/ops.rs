@@ -1,0 +1,302 @@
+//! Elementwise and axis operations on [`Tensor`]s.
+//!
+//! All binary operations require identical shapes — the network code works on
+//! fixed grid sizes, so implicit broadcasting would only hide bugs.
+
+use crate::tensor::Tensor;
+use crate::Result;
+
+impl Tensor {
+    /// Elementwise addition.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(rhs)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(rhs)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| a - b)
+            .collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Elementwise (Hadamard) multiplication.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(rhs)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| a * b)
+            .collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// Elementwise division.
+    pub fn div(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.check_same_shape(rhs)?;
+        let data = self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| a / b)
+            .collect();
+        Tensor::from_vec(data, self.shape())
+    }
+
+    /// In-place elementwise addition (`self += rhs`).
+    pub fn add_assign(&mut self, rhs: &Tensor) -> Result<()> {
+        self.check_same_shape(rhs)?;
+        for (a, b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaled addition (`self += alpha * rhs`), the AXPY kernel used
+    /// by optimizers and gradient accumulation.
+    pub fn axpy(&mut self, alpha: f32, rhs: &Tensor) -> Result<()> {
+        self.check_same_shape(rhs)?;
+        for (a, b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Adds a scalar to every element, producing a new tensor.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|v| v + s)
+    }
+
+    /// Multiplies every element by a scalar, producing a new tensor.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|v| v * s)
+    }
+
+    /// Multiplies every element by a scalar in place.
+    pub fn scale_in_place(&mut self, s: f32) {
+        self.map_in_place(|v| v * s);
+    }
+
+    /// Fills the tensor with a constant.
+    pub fn fill(&mut self, value: f32) {
+        for v in self.data_mut() {
+            *v = value;
+        }
+    }
+
+    /// Sum along the first axis of a rank-2 tensor, producing shape `[cols]`.
+    ///
+    /// Used to reduce per-sample bias gradients.
+    pub fn sum_axis0(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(crate::TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        let mut out = vec![0.0f32; c];
+        for i in 0..r {
+            let row = &self.data()[i * c..(i + 1) * c];
+            for (o, &v) in out.iter_mut().zip(row) {
+                *o += v;
+            }
+        }
+        Tensor::from_vec(out, &[c])
+    }
+
+    /// Concatenates rank-4 `[n, c, h, w]` tensors along the channel axis.
+    ///
+    /// All inputs must agree on `n`, `h`, `w`. This is the operation behind
+    /// Eq. 7 of the paper (fusing closeness / period / trend features).
+    pub fn concat_channels(parts: &[&Tensor]) -> Result<Tensor> {
+        assert!(!parts.is_empty(), "concat_channels needs at least one part");
+        let first = parts[0];
+        if first.rank() != 4 {
+            return Err(crate::TensorError::RankMismatch {
+                expected: 4,
+                actual: first.rank(),
+            });
+        }
+        let (n, h, w) = (first.shape()[0], first.shape()[2], first.shape()[3]);
+        let mut total_c = 0usize;
+        for p in parts {
+            if p.rank() != 4 || p.shape()[0] != n || p.shape()[2] != h || p.shape()[3] != w {
+                return Err(crate::TensorError::ShapeMismatch {
+                    lhs: first.shape().to_vec(),
+                    rhs: p.shape().to_vec(),
+                });
+            }
+            total_c += p.shape()[1];
+        }
+        let plane = h * w;
+        let mut out = Vec::with_capacity(n * total_c * plane);
+        for b in 0..n {
+            for p in parts {
+                let c = p.shape()[1];
+                let start = b * c * plane;
+                out.extend_from_slice(&p.data()[start..start + c * plane]);
+            }
+        }
+        Tensor::from_vec(out, &[n, total_c, h, w])
+    }
+
+    /// Splits a rank-4 `[n, c, h, w]` tensor into channel groups with the
+    /// given sizes (the inverse of [`Tensor::concat_channels`]).
+    pub fn split_channels(&self, sizes: &[usize]) -> Result<Vec<Tensor>> {
+        if self.rank() != 4 {
+            return Err(crate::TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
+        }
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        let total: usize = sizes.iter().sum();
+        if total != c {
+            return Err(crate::TensorError::ShapeMismatch {
+                lhs: vec![c],
+                rhs: vec![total],
+            });
+        }
+        let plane = h * w;
+        let mut outs: Vec<Vec<f32>> = sizes
+            .iter()
+            .map(|&s| Vec::with_capacity(n * s * plane))
+            .collect();
+        for b in 0..n {
+            let mut ch_off = 0usize;
+            for (gi, &s) in sizes.iter().enumerate() {
+                let start = (b * c + ch_off) * plane;
+                outs[gi].extend_from_slice(&self.data()[start..start + s * plane]);
+                ch_off += s;
+            }
+        }
+        outs.into_iter()
+            .zip(sizes)
+            .map(|(data, &s)| Tensor::from_vec(data, &[n, s, h, w]))
+            .collect()
+    }
+
+    /// Mean squared error between two same-shape tensors.
+    pub fn mse(&self, rhs: &Tensor) -> Result<f32> {
+        self.check_same_shape(rhs)?;
+        let n = self.len().max(1) as f32;
+        Ok(self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            / n)
+    }
+
+    /// Squared L2 norm of the tensor.
+    pub fn norm_sq(&self) -> f32 {
+        self.data().iter().map(|&v| v * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32], s: &[usize]) -> Tensor {
+        Tensor::from_vec(v.to_vec(), s).unwrap()
+    }
+
+    #[test]
+    fn add_sub_mul_div() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[4.0, 3.0, 2.0, 1.0], &[2, 2]);
+        assert_eq!(a.add(&b).unwrap().data(), &[5.0, 5.0, 5.0, 5.0]);
+        assert_eq!(a.sub(&b).unwrap().data(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.div(&b).unwrap().data(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(a.add(&b).is_err());
+        assert!(a.mul(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0], &[2]);
+        let g = t(&[2.0, 4.0], &[2]);
+        a.axpy(0.5, &g).unwrap();
+        assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, 2.0], &[2]);
+        assert_eq!(a.add_scalar(1.0).data(), &[2.0, 3.0]);
+        assert_eq!(a.scale(3.0).data(), &[3.0, 6.0]);
+    }
+
+    #[test]
+    fn sum_axis0_reduces_rows() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let s = a.sum_axis0().unwrap();
+        assert_eq!(s.shape(), &[3]);
+        assert_eq!(s.data(), &[5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn concat_and_split_channels_roundtrip() {
+        // [n=2, c, h=2, w=1]
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 1, 2, 1]);
+        let b = t(
+            &[10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0],
+            &[2, 2, 2, 1],
+        );
+        let cat = Tensor::concat_channels(&[&a, &b]).unwrap();
+        assert_eq!(cat.shape(), &[2, 3, 2, 1]);
+        // batch 0 must contain a's batch0 then b's batch0
+        assert_eq!(&cat.data()[0..6], &[1.0, 2.0, 10.0, 20.0, 30.0, 40.0]);
+        let parts = cat.split_channels(&[1, 2]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_planes() {
+        let a = Tensor::zeros(&[1, 1, 2, 2]);
+        let b = Tensor::zeros(&[1, 1, 3, 2]);
+        assert!(Tensor::concat_channels(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn split_rejects_bad_sizes() {
+        let a = Tensor::zeros(&[1, 3, 2, 2]);
+        assert!(a.split_channels(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn mse_basics() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 2.0], &[2]);
+        assert_eq!(a.mse(&b).unwrap(), 2.0);
+        assert_eq!(a.mse(&a).unwrap(), 0.0);
+    }
+}

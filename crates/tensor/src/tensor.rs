@@ -1,0 +1,438 @@
+//! The core dense [`Tensor`] type: a row-major `f32` buffer plus a shape.
+
+use crate::{Result, TensorError};
+
+/// A dense, row-major, `f32` tensor of arbitrary rank.
+///
+/// The shape is stored as a `Vec<usize>`; strides are derived on demand
+/// (tensors are always contiguous). Rank-0 tensors are not supported — a
+/// scalar is represented as shape `[1]`.
+///
+/// ```
+/// use o4a_tensor::Tensor;
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty.
+    pub fn zeros(shape: &[usize]) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let len = shape.iter().product();
+        Tensor {
+            data: vec![0.0; len],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor filled with a constant value.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        assert!(!shape.is_empty(), "tensor shape must not be empty");
+        let len = shape.iter().product();
+        Tensor {
+            data: vec![value; len],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor from a flat buffer, checking that the element count
+    /// matches the shape.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected || shape.is_empty() {
+            return Err(TensorError::InvalidReshape {
+                len: data.len(),
+                shape: shape.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor {
+            data: data.to_vec(),
+            shape: vec![data.len()],
+        }
+    }
+
+    /// The shape of the tensor.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The rank (number of dimensions).
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements (only possible via a
+    /// zero-length dimension).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the underlying row-major buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major strides for the current shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.shape.len()];
+        for i in (0..self.shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.shape[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat offset, validating
+    /// every coordinate.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.shape.len() {
+            return Err(TensorError::RankMismatch {
+                expected: self.shape.len(),
+                actual: index.len(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for ((&i, &d), &s) in index.iter().zip(&self.shape).zip(&strides) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: index.to_vec(),
+                    shape: self.shape.clone(),
+                });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Reads one element by multi-dimensional index.
+    pub fn get(&self, index: &[usize]) -> Result<f32> {
+        Ok(self.data[self.offset(index)?])
+    }
+
+    /// Writes one element by multi-dimensional index.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
+        let off = self.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a tensor with the same data but a new shape.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() || shape.is_empty() {
+            return Err(TensorError::InvalidReshape {
+                len: self.data.len(),
+                shape: shape.to_vec(),
+            });
+        }
+        Ok(Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// In-place reshape (no data copy).
+    pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<()> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() || shape.is_empty() {
+            return Err(TensorError::InvalidReshape {
+                len: self.data.len(),
+                shape: shape.to_vec(),
+            });
+        }
+        self.shape = shape.to_vec();
+        Ok(())
+    }
+
+    /// Transpose of a rank-2 tensor.
+    pub fn transpose2(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.rank(),
+            });
+        }
+        let (r, c) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            let row = &self.data[i * c..(i + 1) * c];
+            for (j, &v) in row.iter().enumerate() {
+                out[j * r + i] = v;
+            }
+        }
+        Tensor::from_vec(out, &[c, r])
+    }
+
+    /// Matrix multiplication of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
+    ///
+    /// Uses the classic `ikj` loop order so the inner loop is a contiguous
+    /// fused multiply-add over the output row.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        if self.rank() != 2 || rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.rank() != 2 {
+                    self.rank()
+                } else {
+                    rhs.rank()
+                },
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        if k != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &rhs.data[p * n..(p + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Population variance of all elements. Returns 0 for an empty tensor.
+    pub fn variance(&self) -> f32 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        let mu = self.mean();
+        self.data.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / self.data.len() as f32
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element. Returns `f32::INFINITY` for an empty tensor.
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Applies a function to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies a function to every element in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Checks that two tensors have identical shapes.
+    pub fn check_same_shape(&self, rhs: &Tensor) -> Result<()> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: rhs.shape.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Returns true if every pair of elements differs by at most `tol`.
+    pub fn allclose(&self, rhs: &Tensor, tol: f32) -> bool {
+        self.shape == rhs.shape
+            && self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.rank(), 3);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn full_and_ones() {
+        assert_eq!(Tensor::ones(&[3]).sum(), 3.0);
+        assert_eq!(Tensor::full(&[2, 2], 2.5).sum(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape must not be empty")]
+    fn empty_shape_panics() {
+        let _ = Tensor::zeros(&[]);
+    }
+
+    #[test]
+    fn from_vec_validates_len() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 7.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 7.0);
+        assert_eq!(t.data()[5], 7.0);
+    }
+
+    #[test]
+    fn get_out_of_bounds() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            t.get(&[2, 0]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(t.get(&[0]), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn reshape_checks_len() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.reshape(&[6]).is_ok());
+        assert!(t.reshape(&[4]).is_err());
+        assert!(t.reshape(&[3, 2]).is_ok());
+    }
+
+    #[test]
+    fn transpose2_correct() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let tt = t.transpose2().unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.get(&[0, 1]).unwrap(), 4.0);
+        assert_eq!(tt.get(&[2, 0]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        assert_eq!(a.matmul(&i).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4]).unwrap();
+        assert_eq!(t.sum(), 10.0);
+        assert_eq!(t.mean(), 2.5);
+        assert_eq!(t.max(), 4.0);
+        assert_eq!(t.min(), 1.0);
+        assert!((t.variance() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn map_applies() {
+        let t = Tensor::from_vec(vec![1.0, -2.0], &[2]).unwrap();
+        let relu = t.map(|v| v.max(0.0));
+        assert_eq!(relu.data(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn allclose_tolerates() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![1.0 + 1e-7, 2.0], &[2]).unwrap();
+        assert!(a.allclose(&b, 1e-6));
+        assert!(!a.allclose(&b, 1e-9));
+    }
+}

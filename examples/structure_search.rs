@@ -1,0 +1,58 @@
+//! Structure-search scenario (the paper's future work #1): when the
+//! query-scale distribution is known in advance — say a logistics service
+//! that only ever asks about ~1 km² depots zones — choose the cheapest
+//! hierarchical structure (merging window + depth) within a parameter
+//! budget before training anything.
+//!
+//! Run with: `cargo run --release --example structure_search`
+
+use one4all_st::core::network::NetworkConfig;
+use one4all_st::core::structure::StructureSearch;
+use one4all_st::grid::queries::{task_queries, TaskSpec};
+use one4all_st::tensor::SeededRng;
+
+fn main() {
+    let (h, w) = (32usize, 32usize);
+    let net_cfg = NetworkConfig::standard([6, 3, 1]);
+    let search = StructureSearch::standard(net_cfg);
+
+    let mut rng = SeededRng::new(4);
+    for (label, spec) in [
+        (
+            "fine (Task 1, ~0.3 km²)",
+            TaskSpec::standard_tasks(150.0)[0],
+        ),
+        (
+            "coarse (Task 4, ~4.8 km²)",
+            TaskSpec::standard_tasks(150.0)[3],
+        ),
+    ] {
+        let queries = task_queries(h, w, spec, false, &mut rng);
+        println!("\nworkload: {label} — {} queries", queries.len());
+        println!(
+            "{:<24} {:>10} {:>12} {:>12} {:>8}",
+            "structure", "params", "grids/query", "terms/query", "cost"
+        );
+        for cand in search.enumerate(h, w, &queries).into_iter().take(5) {
+            println!(
+                "{:<24} {:>10} {:>12.2} {:>12.2} {:>8.2}",
+                format!("K={} P={:?}", cand.hier.k(), cand.hier.scales()),
+                cand.params,
+                cand.mean_groups,
+                cand.mean_cells,
+                cand.cost()
+            );
+        }
+        let best = search.best(h, w, &queries).expect("candidates exist");
+        println!(
+            "-> chosen: K={} P={:?} ({} params)",
+            best.hier.k(),
+            best.hier.scales(),
+            best.params
+        );
+    }
+    println!(
+        "\nfine workloads justify fewer layers (coarse scales go unused); \
+         coarse workloads pay for deeper pyramids with fewer terms per query."
+    );
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # one4all-st
+//!
+//! Meta-crate for the Rust reproduction of **One4All-ST** (ICDE 2024): a
+//! unified model for spatio-temporal prediction queries with arbitrary
+//! modifiable areal units.
+//!
+//! This crate re-exports the public API of every workspace crate so
+//! downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense tensors, conv2d, upsampling ([`o4a_tensor`])
+//! * [`nn`] — layer-wise NN framework with exact backprop ([`o4a_nn`])
+//! * [`grid`] — hierarchical grids, regions, decomposition, quad-tree
+//!   ([`o4a_grid`])
+//! * [`data`] — synthetic citywide crowd-flow datasets & metrics
+//!   ([`o4a_data`])
+//! * [`models`] — baseline ST predictors ([`o4a_models`])
+//! * [`core`] — the One4All-ST framework itself ([`o4a_core`])
+//!
+//! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` for the
+//! system inventory.
+
+pub use o4a_core as core;
+pub use o4a_data as data;
+pub use o4a_grid as grid;
+pub use o4a_models as models;
+pub use o4a_nn as nn;
+pub use o4a_tensor as tensor;
