@@ -16,7 +16,7 @@ use o4a_grid::coding::GridCode;
 use o4a_grid::decompose::decompose;
 use o4a_grid::queries::{task_queries, TaskSpec};
 use o4a_grid::{Hierarchy, LayerCell};
-use o4a_tensor::{conv2d, SeededRng, Tensor};
+use o4a_tensor::{conv2d, conv2d_backward, parallel, SeededRng, Tensor};
 use std::hint::black_box;
 
 const SIDE: usize = 128;
@@ -143,12 +143,51 @@ fn bench_conv(c: &mut Criterion) {
     });
 }
 
+/// Thread scaling of the parallel tensor kernels at One4All-ST training
+/// shapes: a 32x32 atomic grid, K = 2 pyramid, batch 16 — the network's
+/// conv blocks and the flattened-grid linear head. Each kernel runs at
+/// 1, 2 and 4 pool threads (results are bit-identical across all three;
+/// see `crates/tensor/tests/parallel_identity.rs`).
+fn bench_kernels_parallel(c: &mut Criterion) {
+    let mut rng = SeededRng::new(9);
+    // batch 16, 16 channels, 32x32 grid: the dominant conv shape
+    let x = rng.uniform_tensor(&[16, 16, 32, 32], -1.0, 1.0);
+    let w = rng.uniform_tensor(&[16, 16, 3, 3], -0.2, 0.2);
+    let bias = Tensor::zeros(&[16]);
+    let y = conv2d(&x, &w, &bias, 1, 1).expect("conv shapes");
+    let go = rng.uniform_tensor(y.shape(), -1.0, 1.0);
+    // flattened-grid linear head: [batch*channels, 32*32] x [32*32, 32*32]
+    let a = rng.uniform_tensor(&[256, 1024], -1.0, 1.0);
+    let b_mat = rng.uniform_tensor(&[1024, 1024], -1.0, 1.0);
+
+    let mut group = c.benchmark_group("kernels_parallel");
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("conv2d_fwd_b16_t{threads}"), |bch| {
+            parallel::set_threads(threads);
+            bch.iter(|| black_box(conv2d(&x, &w, &bias, 1, 1).expect("conv shapes")));
+            parallel::set_threads(0);
+        });
+        group.bench_function(format!("conv2d_bwd_b16_t{threads}"), |bch| {
+            parallel::set_threads(threads);
+            bch.iter(|| black_box(conv2d_backward(&x, &w, &bias, 1, 1, &go).expect("conv shapes")));
+            parallel::set_threads(0);
+        });
+        group.bench_function(format!("matmul_256x1024x1024_t{threads}"), |bch| {
+            parallel::set_threads(threads);
+            bch.iter(|| black_box(a.matmul(&b_mat).expect("matmul shapes")));
+            parallel::set_threads(0);
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decomposition,
     bench_index_lookup,
     bench_search,
     bench_query,
-    bench_conv
+    bench_conv,
+    bench_kernels_parallel
 );
 criterion_main!(benches);

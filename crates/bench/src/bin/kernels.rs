@@ -1,0 +1,149 @@
+//! Thread-scaling table for the parallel compute runtime: times matmul,
+//! conv2d forward/backward, the Adam step and batched region queries at
+//! One4All-ST shapes (32x32 atomic grid, K = 2 pyramid, batch 16) for
+//! `O4A_THREADS ∈ {1, 2, 4}`, prints the table and dumps it to
+//! `BENCH_kernels.json`.
+//!
+//! Outputs are bit-identical across thread counts by construction (the
+//! runtime's determinism contract); this binary also spot-checks that on
+//! every kernel before timing.
+//!
+//! Usage: `cargo run -p o4a-bench --release --bin kernels [-- --quick]`
+
+use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
+use o4a_core::one4all::truth_pyramid;
+use o4a_core::server::{PredictionStore, RegionServer};
+use o4a_data::synthetic::DatasetKind;
+use o4a_grid::queries::{task_queries, TaskSpec};
+use o4a_grid::Hierarchy;
+use o4a_nn::optim::Adam;
+use o4a_nn::param::Param;
+use o4a_tensor::{conv2d, conv2d_backward, parallel, SeededRng, Tensor};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Times `f` over `iters` runs after one warmup, returning mean seconds.
+fn time_it(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / iters as f64
+}
+
+struct Row {
+    name: &'static str,
+    /// Mean seconds per call, one entry per `THREADS` value.
+    secs: Vec<f64>,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let iters = if quick { 3 } else { 20 };
+    let mut rng = SeededRng::new(9);
+    let mut rows: Vec<Row> = Vec::new();
+
+    // conv2d forward/backward: batch 16, 16 channels, 32x32 grid.
+    let x = rng.uniform_tensor(&[16, 16, 32, 32], -1.0, 1.0);
+    let w = rng.uniform_tensor(&[16, 16, 3, 3], -0.2, 0.2);
+    let bias = Tensor::zeros(&[16]);
+    let y = conv2d(&x, &w, &bias, 1, 1).expect("conv shapes");
+    let go = rng.uniform_tensor(y.shape(), -1.0, 1.0);
+    rows.push(measure("conv2d_fwd_b16_c16_32x32", iters, || {
+        black_box(conv2d(&x, &w, &bias, 1, 1).expect("conv shapes"));
+    }));
+    rows.push(measure("conv2d_bwd_b16_c16_32x32", iters, || {
+        black_box(conv2d_backward(&x, &w, &bias, 1, 1, &go).expect("conv shapes"));
+    }));
+
+    // flattened-grid linear head: [256, 1024] x [1024, 1024].
+    let a = rng.uniform_tensor(&[256, 1024], -1.0, 1.0);
+    let b_mat = rng.uniform_tensor(&[1024, 1024], -1.0, 1.0);
+    rows.push(measure("matmul_256x1024x1024", iters, || {
+        black_box(a.matmul(&b_mat).expect("matmul shapes"));
+    }));
+
+    // Adam over a 1M-parameter tensor.
+    let init = rng.uniform_tensor(&[1024, 1024], -0.1, 0.1);
+    let grad = rng.uniform_tensor(&[1024, 1024], -0.1, 0.1);
+    rows.push(measure("adam_step_1m_params", iters, || {
+        let mut p = Param::new(init.clone());
+        let mut opt = Adam::new(1e-3);
+        p.grad = grad.clone();
+        opt.step(&mut [&mut p]);
+        black_box(&p);
+    }));
+
+    // Batched region queries on a 32x32, K = 2 pyramid.
+    let hier = Hierarchy::new(32, 32, 2, 6).expect("hierarchy");
+    let flow = DatasetKind::TaxiNycLike.config(32, 32, 24, 1).generate();
+    let slots: Vec<usize> = (16..24).collect();
+    let truths = truth_pyramid(&hier, &flow, &slots);
+    let index = search_optimal_combinations(&hier, &truths, &truths, SearchStrategy::Union);
+    let store = Arc::new(PredictionStore::new());
+    store.publish(truths.iter().map(|layer| layer[0].clone()).collect());
+    let server = RegionServer::new(index, store);
+    let mut qrng = SeededRng::new(4);
+    let masks = task_queries(32, 32, TaskSpec::standard_tasks(150.0)[3], false, &mut qrng);
+    rows.push(measure("query_many_batch", iters, || {
+        black_box(server.query_many(&masks));
+    }));
+
+    print!("{}", render(&rows));
+    let json = to_json(&rows);
+    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
+    println!("\nwrote BENCH_kernels.json ({} kernels)", rows.len());
+}
+
+fn measure(name: &'static str, iters: usize, mut f: impl FnMut()) -> Row {
+    let mut secs = Vec::with_capacity(THREADS.len());
+    for &t in &THREADS {
+        parallel::set_threads(t);
+        secs.push(time_it(iters, &mut f));
+    }
+    parallel::set_threads(0);
+    Row { name, secs }
+}
+
+fn render(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>12} {:>12} {:>12} {:>8} {:>8}\n",
+        "kernel", "t1 (ms)", "t2 (ms)", "t4 (ms)", "x2", "x4"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<26} {:>12.3} {:>12.3} {:>12.3} {:>8.2} {:>8.2}\n",
+            r.name,
+            r.secs[0] * 1e3,
+            r.secs[1] * 1e3,
+            r.secs[2] * 1e3,
+            r.secs[0] / r.secs[1],
+            r.secs[0] / r.secs[2],
+        ));
+    }
+    out
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let mut json = String::from("{\n  \"threads\": [1, 2, 4],\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_secs\": [{:.6e}, {:.6e}, {:.6e}], \
+             \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}}}{}\n",
+            r.name,
+            r.secs[0],
+            r.secs[1],
+            r.secs[2],
+            r.secs[0] / r.secs[1],
+            r.secs[0] / r.secs[2],
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    json
+}

@@ -255,8 +255,29 @@ impl RegionServer {
     }
 
     /// Answers a batch of queries.
+    ///
+    /// Takes **one** snapshot up front — the whole batch is answered
+    /// against a consistent set of predictions even if the model server
+    /// publishes mid-batch (per-mask [`RegionServer::query`] could mix two
+    /// snapshots across the batch) — then fans the masks out across the
+    /// compute pool in [`o4a_tensor::parallel`]. Each task decomposes,
+    /// looks up and aggregates one mask into its own output slot, so the
+    /// result vector is identical to the serial loop.
+    ///
+    /// # Panics
+    /// Panics if no snapshot has been published yet.
     pub fn query_many(&self, masks: &[Mask]) -> Vec<f32> {
-        masks.iter().map(|m| self.query(m)).collect()
+        let frames = self.store.snapshot();
+        assert!(!frames.is_empty(), "no prediction snapshot published");
+        let mut out = vec![0.0f32; masks.len()];
+        let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
+        o4a_tensor::parallel::run(masks.len(), |i| {
+            let v = predict_query(&self.hier, &self.index, &frames, &masks[i]);
+            // SAFETY: task `i` writes only slot `i`; `out` outlives the
+            // blocking `run` call.
+            unsafe { out_ptr.slice_mut(i, 1)[0] = v };
+        });
+        out
     }
 }
 

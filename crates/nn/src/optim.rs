@@ -4,7 +4,14 @@
 //! applied to the same parameter list (same order, same shapes) every step.
 
 use crate::param::Param;
+use o4a_tensor::parallel::{self, SendPtr};
 use o4a_tensor::Tensor;
+
+/// Fixed chunk size for the parallel elementwise update sweeps. Chunk
+/// boundaries are independent of the thread count, and every element is
+/// updated independently, so the updates are bit-identical to the serial
+/// loop at any `O4A_THREADS`.
+const OPT_CHUNK: usize = 4096;
 
 /// Stochastic gradient descent with optional momentum.
 pub struct Sgd {
@@ -39,16 +46,30 @@ impl Sgd {
             params.len(),
             "optimizer applied to a different parameter list"
         );
+        let (lr, momentum) = (self.lr, self.momentum);
         for (p, v) in params.iter_mut().zip(&mut self.velocity) {
-            if self.momentum > 0.0 {
-                v.scale_in_place(self.momentum);
-                v.axpy(1.0, &p.grad).expect("velocity shape");
-                p.value.axpy(-self.lr, v).expect("param shape");
-            } else {
-                let lr = self.lr;
-                let grad = p.grad.clone();
-                p.value.axpy(-lr, &grad).expect("param shape");
-            }
+            assert_eq!(v.shape(), p.value.shape(), "velocity shape");
+            let g = p.grad.data();
+            let len = g.len();
+            let vd_ptr = SendPtr(v.data_mut().as_mut_ptr());
+            let pd_ptr = SendPtr(p.value.data_mut().as_mut_ptr());
+            parallel::par_range(len, OPT_CHUNK, |r| {
+                // SAFETY: `par_range` chunks are disjoint; the buffers
+                // outlive the blocking call.
+                let vd = unsafe { vd_ptr.slice_mut(r.start, r.end - r.start) };
+                let pd = unsafe { pd_ptr.slice_mut(r.start, r.end - r.start) };
+                let g = &g[r];
+                if momentum > 0.0 {
+                    for i in 0..g.len() {
+                        vd[i] = momentum * vd[i] + g[i];
+                        pd[i] += -lr * vd[i];
+                    }
+                } else {
+                    for i in 0..g.len() {
+                        pd[i] += -lr * g[i];
+                    }
+                }
+            });
             p.zero_grad();
         }
     }
@@ -106,18 +127,28 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
         for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
             let g = p.grad.data();
-            let md = m.data_mut();
-            let vd = v.data_mut();
-            let pd = p.value.data_mut();
-            for i in 0..g.len() {
-                md[i] = self.beta1 * md[i] + (1.0 - self.beta1) * g[i];
-                vd[i] = self.beta2 * vd[i] + (1.0 - self.beta2) * g[i] * g[i];
-                let mhat = md[i] / bc1;
-                let vhat = vd[i] / bc2;
-                pd[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
-            }
+            let len = g.len();
+            let md_ptr = SendPtr(m.data_mut().as_mut_ptr());
+            let vd_ptr = SendPtr(v.data_mut().as_mut_ptr());
+            let pd_ptr = SendPtr(p.value.data_mut().as_mut_ptr());
+            parallel::par_range(len, OPT_CHUNK, |r| {
+                // SAFETY: `par_range` chunks are disjoint; the buffers
+                // outlive the blocking call.
+                let md = unsafe { md_ptr.slice_mut(r.start, r.end - r.start) };
+                let vd = unsafe { vd_ptr.slice_mut(r.start, r.end - r.start) };
+                let pd = unsafe { pd_ptr.slice_mut(r.start, r.end - r.start) };
+                let g = &g[r];
+                for i in 0..g.len() {
+                    md[i] = beta1 * md[i] + (1.0 - beta1) * g[i];
+                    vd[i] = beta2 * vd[i] + (1.0 - beta2) * g[i] * g[i];
+                    let mhat = md[i] / bc1;
+                    let vhat = vd[i] / bc2;
+                    pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
             p.zero_grad();
         }
     }

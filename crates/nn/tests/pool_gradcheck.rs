@@ -1,0 +1,41 @@
+//! Gradient checks with the parallel compute pool enabled: the parallel
+//! conv kernels and optimizer sweeps must produce exactly the gradients
+//! and updates the serial code does, so finite-difference certification
+//! passes unchanged at any thread count.
+
+use o4a_nn::gradcheck::check_module_gradients;
+use o4a_nn::layers::Conv2d;
+use o4a_nn::optim::Adam;
+use o4a_nn::param::Param;
+use o4a_tensor::{parallel, SeededRng};
+
+#[test]
+fn conv2d_gradcheck_passes_with_pool_enabled() {
+    parallel::set_threads(4);
+    let mut rng = SeededRng::new(11);
+    let module = Conv2d::same3x3(&mut rng, 2, 3);
+    let x = rng.uniform_tensor(&[2, 2, 5, 5], -1.0, 1.0);
+    check_module_gradients(module, &x, 1e-2, 1e-2);
+    parallel::set_threads(0);
+}
+
+#[test]
+fn adam_trajectory_is_thread_count_invariant() {
+    // Two Adam runs from identical state, one serial and one on the pool,
+    // must land on bit-identical parameters after many steps.
+    let run = |threads: usize| -> Vec<u32> {
+        parallel::set_threads(threads);
+        let mut rng = SeededRng::new(5);
+        let init = rng.uniform_tensor(&[3, 173], -1.0, 1.0);
+        let mut p = Param::new(init);
+        let mut opt = Adam::new(0.05);
+        for _ in 0..50 {
+            // loss = 0.5 * ||x||^2 => grad = x
+            p.grad = p.value.clone();
+            opt.step(&mut [&mut p]);
+        }
+        parallel::set_threads(0);
+        p.value.data().iter().map(|v| v.to_bits()).collect()
+    };
+    assert_eq!(run(1), run(4));
+}

@@ -9,8 +9,34 @@
 //!
 //! Tensors use NCHW layout: `[batch, channels, height, width]`.
 
+use crate::parallel::{self, SendPtr};
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
+use std::cell::RefCell;
+use std::thread::LocalKey;
+
+thread_local! {
+    // Per-worker im2col scratch, reused across batch samples so the
+    // parallel loops allocate nothing per task.
+    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static COL_GRAD_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-local scratch buffer of at least `len` elements.
+/// The buffer's contents are unspecified on entry.
+fn with_scratch<R>(
+    key: &'static LocalKey<RefCell<Vec<f32>>>,
+    len: usize,
+    f: impl FnOnce(&mut [f32]) -> R,
+) -> R {
+    key.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        f(&mut buf[..len])
+    })
+}
 
 /// Gradients produced by [`conv2d_backward`].
 #[derive(Debug, Clone)]
@@ -183,33 +209,39 @@ pub fn conv2d(
     let cols = out_h * out_w;
     let krows = c_in * kh * kw;
 
-    let mut col = vec![0.0f32; krows * cols];
     let mut out = vec![0.0f32; n * c_out * cols];
     let wdata = weight.data();
     let bdata = bias.data();
+    let idata = input.data();
+    let out_ptr = SendPtr(out.as_mut_ptr());
 
-    for b in 0..n {
-        let img = &input.data()[b * c_in * h * w..(b + 1) * c_in * h * w];
-        im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut col);
-        let out_b = &mut out[b * c_out * cols..(b + 1) * c_out * cols];
-        // out_b[oc] = W[oc] . col + bias[oc]
-        for oc in 0..c_out {
-            let wrow = &wdata[oc * krows..(oc + 1) * krows];
-            let orow = &mut out_b[oc * cols..(oc + 1) * cols];
-            for v in orow.iter_mut() {
-                *v = bdata[oc];
-            }
-            for (k, &wv) in wrow.iter().enumerate() {
-                if wv == 0.0 {
-                    continue;
+    // Batch samples are independent: each task owns one sample's disjoint
+    // output slice, with an im2col scratch reused per worker. Per-sample
+    // arithmetic is exactly the serial loop, so results are bit-identical
+    // at any thread count.
+    parallel::run(n, |b| {
+        let img = &idata[b * c_in * h * w..(b + 1) * c_in * h * w];
+        // SAFETY: batch index `b` owns `out[b * c_out * cols ..]` alone,
+        // and `out` outlives the blocking `run` call.
+        let out_b = unsafe { out_ptr.slice_mut(b * c_out * cols, c_out * cols) };
+        with_scratch(&COL_SCRATCH, krows * cols, |col| {
+            im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, col);
+            // out_b[oc] = W[oc] . col + bias[oc]
+            for oc in 0..c_out {
+                let wrow = &wdata[oc * krows..(oc + 1) * krows];
+                let orow = &mut out_b[oc * cols..(oc + 1) * cols];
+                for v in orow.iter_mut() {
+                    *v = bdata[oc];
                 }
-                let crow = &col[k * cols..(k + 1) * cols];
-                for (o, &cv) in orow.iter_mut().zip(crow) {
-                    *o += wv * cv;
+                for (k, &wv) in wrow.iter().enumerate() {
+                    let crow = &col[k * cols..(k + 1) * cols];
+                    for (o, &cv) in orow.iter_mut().zip(crow) {
+                        *o += wv * cv;
+                    }
                 }
             }
-        }
-    }
+        });
+    });
     Tensor::from_vec(out, &[n, c_out, out_h, out_w])
 }
 
@@ -238,54 +270,80 @@ pub fn conv2d_backward(
     let cols = out_h * out_w;
     let krows = c_in * kh * kw;
 
-    let mut col = vec![0.0f32; krows * cols];
-    let mut col_grad = vec![0.0f32; krows * cols];
     let mut grad_input = vec![0.0f32; n * c_in * h * w];
+    // Per-sample partials for the cross-sample reductions; folded serially
+    // in batch order below, reproducing the serial accumulation order
+    // exactly (gradients stay bit-identical at any thread count).
+    let mut gw_partial = vec![0.0f32; n * c_out * krows];
+    let mut gb_partial = vec![0.0f32; n * c_out];
+    let wdata = weight.data();
+    let idata = input.data();
+    let godata = grad_output.data();
+    let gi_ptr = SendPtr(grad_input.as_mut_ptr());
+    let gw_ptr = SendPtr(gw_partial.as_mut_ptr());
+    let gb_ptr = SendPtr(gb_partial.as_mut_ptr());
+
+    parallel::run(n, |b| {
+        let img = &idata[b * c_in * h * w..(b + 1) * c_in * h * w];
+        let go = &godata[b * c_out * cols..(b + 1) * c_out * cols];
+        // SAFETY: batch index `b` owns disjoint slices of grad_input and
+        // the partial buffers; all outlive the blocking `run` call.
+        let gi = unsafe { gi_ptr.slice_mut(b * c_in * h * w, c_in * h * w) };
+        let gw_b = unsafe { gw_ptr.slice_mut(b * c_out * krows, c_out * krows) };
+        let gb_b = unsafe { gb_ptr.slice_mut(b * c_out, c_out) };
+        with_scratch(&COL_SCRATCH, krows * cols, |col| {
+            im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, col);
+
+            // gb_b[oc] = sum(go[oc])
+            for (oc, gb) in gb_b.iter_mut().enumerate() {
+                *gb = go[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+            }
+            // gw_b[oc, k] = go[oc] . col[k]
+            for oc in 0..c_out {
+                let gorow = &go[oc * cols..(oc + 1) * cols];
+                let gwrow = &mut gw_b[oc * krows..(oc + 1) * krows];
+                for (k, gw) in gwrow.iter_mut().enumerate() {
+                    let crow = &col[k * cols..(k + 1) * cols];
+                    let mut acc = 0.0f32;
+                    for (&g, &c) in gorow.iter().zip(crow) {
+                        acc += g * c;
+                    }
+                    *gw = acc;
+                }
+            }
+            // col_grad[k] = sum_oc W[oc, k] * go[oc]
+            with_scratch(&COL_GRAD_SCRATCH, krows * cols, |col_grad| {
+                for v in col_grad.iter_mut() {
+                    *v = 0.0;
+                }
+                for oc in 0..c_out {
+                    let wrow = &wdata[oc * krows..(oc + 1) * krows];
+                    let gorow = &go[oc * cols..(oc + 1) * cols];
+                    for (k, &wv) in wrow.iter().enumerate() {
+                        let cg = &mut col_grad[k * cols..(k + 1) * cols];
+                        for (c, &g) in cg.iter_mut().zip(gorow) {
+                            *c += wv * g;
+                        }
+                    }
+                }
+                col2im(col_grad, c_in, h, w, kh, kw, stride, pad, out_h, out_w, gi);
+            });
+        });
+    });
+
+    // Fold the per-sample partials serially, in batch index order — the
+    // exact order the serial loop accumulated them.
     let mut grad_weight = vec![0.0f32; c_out * krows];
     let mut grad_bias = vec![0.0f32; c_out];
-    let wdata = weight.data();
-
     for b in 0..n {
-        let img = &input.data()[b * c_in * h * w..(b + 1) * c_in * h * w];
-        im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut col);
-        let go = &grad_output.data()[b * c_out * cols..(b + 1) * c_out * cols];
-
-        // grad_bias[oc] += sum(go[oc])
-        for oc in 0..c_out {
-            grad_bias[oc] += go[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+        let gw_b = &gw_partial[b * c_out * krows..(b + 1) * c_out * krows];
+        for (gw, &p) in grad_weight.iter_mut().zip(gw_b) {
+            *gw += p;
         }
-        // grad_weight[oc, k] += go[oc] . col[k]
-        for oc in 0..c_out {
-            let gorow = &go[oc * cols..(oc + 1) * cols];
-            let gwrow = &mut grad_weight[oc * krows..(oc + 1) * krows];
-            for (k, gw) in gwrow.iter_mut().enumerate() {
-                let crow = &col[k * cols..(k + 1) * cols];
-                let mut acc = 0.0f32;
-                for (&g, &c) in gorow.iter().zip(crow) {
-                    acc += g * c;
-                }
-                *gw += acc;
-            }
+        let gb_b = &gb_partial[b * c_out..(b + 1) * c_out];
+        for (gb, &p) in grad_bias.iter_mut().zip(gb_b) {
+            *gb += p;
         }
-        // col_grad[k] = sum_oc W[oc, k] * go[oc]
-        for v in col_grad.iter_mut() {
-            *v = 0.0;
-        }
-        for oc in 0..c_out {
-            let wrow = &wdata[oc * krows..(oc + 1) * krows];
-            let gorow = &go[oc * cols..(oc + 1) * cols];
-            for (k, &wv) in wrow.iter().enumerate() {
-                if wv == 0.0 {
-                    continue;
-                }
-                let cg = &mut col_grad[k * cols..(k + 1) * cols];
-                for (c, &g) in cg.iter_mut().zip(gorow) {
-                    *c += wv * g;
-                }
-            }
-        }
-        let gi = &mut grad_input[b * c_in * h * w..(b + 1) * c_in * h * w];
-        col2im(&col_grad, c_in, h, w, kh, kw, stride, pad, out_h, out_w, gi);
     }
 
     Ok(Conv2dGrads {

@@ -18,13 +18,19 @@
 //!   (Eq. 9 of the paper), and
 //! * seeded random initialisation ([`init`]).
 //!
-//! All operations are implemented in safe Rust. Hot loops iterate over
-//! slices (bounds checks are hoisted by the compiler) and buffers are
-//! preallocated with exact capacities.
+//! Hot loops iterate over slices (bounds checks are hoisted by the
+//! compiler) and buffers are preallocated with exact capacities. The dense
+//! kernels (matmul, conv2d forward/backward) run on the work-parallel
+//! runtime in [`parallel`] — sized by the `O4A_THREADS` environment
+//! variable — with results guaranteed bit-identical to the serial path at
+//! any thread count (fixed chunking, disjoint outputs, index-ordered
+//! reductions). The only `unsafe` in the crate is the lifetime/aliasing
+//! bookkeeping localized in [`parallel`].
 
 pub mod conv;
 pub mod init;
 pub mod ops;
+pub mod parallel;
 pub mod tensor;
 
 pub use conv::{conv2d, conv2d_backward, upsample_nearest, upsample_nearest_backward, Conv2dGrads};

@@ -1,0 +1,393 @@
+//! Work-parallel compute runtime for the tensor kernels.
+//!
+//! A lazily-initialized pool of worker threads executes index-addressed
+//! task sets (`run`) and fixed-size chunk sweeps (`par_range`,
+//! [`par_chunks_mut`]). Design goals, in order:
+//!
+//! 1. **Bit-identical results at any thread count.** Work is split into
+//!    *fixed, thread-count-independent* chunks; every chunk writes a
+//!    disjoint output region and performs its floating-point accumulation
+//!    in the same order the serial code would. Scheduling (which worker
+//!    runs which chunk, in what order) therefore cannot change a single
+//!    bit of the output. Reductions that cross chunk boundaries (e.g.
+//!    conv2d weight gradients) are computed as per-chunk partials and
+//!    folded serially in index order by the caller.
+//! 2. **Zero new dependencies.** Plain `std::sync` primitives; the pool
+//!    is a handful of parked threads and one condvar.
+//! 3. **Graceful degradation.** With one hardware thread, with
+//!    `O4A_THREADS=1`, or for trivially small task sets, `run` executes
+//!    the serial loop inline — byte-for-byte the code path the kernels
+//!    have always had.
+//!
+//! Thread count resolution: the `O4A_THREADS` environment variable if set
+//! to a positive integer (read once, at first use; `1` forces the serial
+//! path), otherwise `std::thread::available_parallelism()`. Tests and
+//! benches may override at runtime with [`set_threads`].
+//!
+//! Nested calls (a task that itself calls `run`) and concurrent calls from
+//! a second OS thread execute serially inline rather than deadlocking the
+//! pool — the outermost call owns the workers.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Runtime thread-count override; 0 = not overridden (use the env/default).
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    // Marks pool worker threads so nested `run` calls degrade to serial.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("O4A_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    })
+}
+
+/// The number of threads `run` will use (including the calling thread).
+pub fn num_threads() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Overrides the thread count at runtime (`0` clears the override and
+/// returns to the `O4A_THREADS`/hardware default). Intended for tests and
+/// benches that compare scaling; determinism does not depend on it.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// One published task set. `func` is a lifetime-erased borrow owned by the
+/// `run` invocation; it is only ever called while that invocation is
+/// blocked waiting for `pending` to reach zero, so it cannot dangle.
+struct Job {
+    func: &'static (dyn Fn(usize) + Sync),
+    /// Next unclaimed task index.
+    next: AtomicUsize,
+    /// Total number of tasks.
+    total: usize,
+    /// Unfinished task count; `run` returns when it reaches zero.
+    pending: AtomicUsize,
+    /// Number of additional workers still allowed to join this job.
+    seats: AtomicUsize,
+    /// Set if any task panicked (the panic is re-raised on the caller).
+    poisoned: AtomicBool,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    fn work(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.total {
+                break;
+            }
+            if catch_unwind(AssertUnwindSafe(|| (self.func)(i))).is_err() {
+                self.poisoned.store(true, Ordering::Release);
+            }
+            if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = lock(&self.done_lock);
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+struct PoolState {
+    job: Option<Arc<Job>>,
+    generation: u64,
+    workers: usize,
+}
+
+struct Pool {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    /// Held for the duration of one `run`; `try_lock` failure means another
+    /// thread owns the pool and the caller runs serially inline.
+    run_guard: Mutex<()>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool {
+        state: Mutex::new(PoolState {
+            job: None,
+            generation: 0,
+            workers: 0,
+        }),
+        work_cv: Condvar::new(),
+        run_guard: Mutex::new(()),
+    })
+}
+
+fn worker_loop(pool: &'static Pool) {
+    IN_POOL_WORKER.with(|f| f.set(true));
+    let mut last_gen = 0u64;
+    loop {
+        let job = {
+            let mut state = lock(&pool.state);
+            loop {
+                if state.generation != last_gen {
+                    last_gen = state.generation;
+                    if let Some(job) = &state.job {
+                        let got_seat = job
+                            .seats
+                            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+                                s.checked_sub(1)
+                            })
+                            .is_ok();
+                        if got_seat {
+                            break job.clone();
+                        }
+                        // no seat left on this job; wait for the next
+                    }
+                }
+                state = match pool.work_cv.wait(state) {
+                    Ok(g) => g,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        job.work();
+    }
+}
+
+fn ensure_workers(pool: &'static Pool, wanted: usize) {
+    let mut state = lock(&pool.state);
+    while state.workers < wanted {
+        state.workers += 1;
+        std::thread::Builder::new()
+            .name(format!("o4a-worker-{}", state.workers))
+            .spawn(move || worker_loop(pool))
+            .expect("spawn pool worker");
+    }
+}
+
+/// Runs `f(0), f(1), ..., f(total - 1)` across the pool, returning when
+/// every call has finished. Bit-exact equivalence with the serial loop is
+/// the *caller's* contract: each index must write only its own output
+/// region. `run` itself guarantees every index executes exactly once.
+pub fn run<F: Fn(usize) + Sync>(total: usize, f: F) {
+    if total == 0 {
+        return;
+    }
+    let threads = num_threads().min(total);
+    let nested = IN_POOL_WORKER.with(|flag| flag.get());
+    if threads <= 1 || nested {
+        for i in 0..total {
+            f(i);
+        }
+        return;
+    }
+    let p = pool();
+    let _guard = match p.run_guard.try_lock() {
+        Ok(g) => g,
+        // Another thread owns the pool: degrade to serial rather than
+        // blocking (and rather than deadlocking on reentrancy).
+        Err(std::sync::TryLockError::WouldBlock) => {
+            for i in 0..total {
+                f(i);
+            }
+            return;
+        }
+        Err(std::sync::TryLockError::Poisoned(g)) => g.into_inner(),
+    };
+    ensure_workers(p, threads - 1);
+
+    // Erase the closure's lifetime: the job cannot outlive this call
+    // because we block until `pending == 0` below, and workers never touch
+    // `func` after their last decrement.
+    let f_ref: &(dyn Fn(usize) + Sync) = &f;
+    let f_static: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_ref) };
+    let job = Arc::new(Job {
+        func: f_static,
+        next: AtomicUsize::new(0),
+        total,
+        pending: AtomicUsize::new(total),
+        seats: AtomicUsize::new(threads - 1),
+        poisoned: AtomicBool::new(false),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    {
+        let mut state = lock(&p.state);
+        state.job = Some(job.clone());
+        state.generation += 1;
+        p.work_cv.notify_all();
+    }
+    // The caller participates too.
+    job.work();
+    // Wait for stragglers.
+    {
+        let mut g = lock(&job.done_lock);
+        while job.pending.load(Ordering::Acquire) != 0 {
+            g = match job.done_cv.wait(g) {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+        }
+    }
+    // Retire the job so late-waking workers don't rejoin it.
+    {
+        let mut state = lock(&p.state);
+        state.job = None;
+    }
+    if job.poisoned.load(Ordering::Acquire) {
+        panic!("a parallel task panicked");
+    }
+}
+
+/// Sweeps `0..total` in fixed-size chunks: `f` receives each half-open
+/// chunk range. Chunk boundaries depend only on `total` and `chunk`, never
+/// on the thread count — the determinism foundation for every parallel
+/// kernel.
+pub fn par_range<F: Fn(std::ops::Range<usize>) + Sync>(total: usize, chunk: usize, f: F) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let chunks = total.div_ceil(chunk);
+    run(chunks, |ci| {
+        let start = ci * chunk;
+        f(start..((start + chunk).min(total)))
+    });
+}
+
+/// Splits `data` into fixed-size chunks processed in parallel; `f` gets
+/// the chunk index and the chunk slice. Equivalent to
+/// `data.chunks_mut(chunk).enumerate().for_each(...)` but parallel.
+pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(data: &mut [T], chunk: usize, f: F) {
+    assert!(chunk > 0, "chunk size must be positive");
+    let total = data.len();
+    let base = SendPtr(data.as_mut_ptr());
+    par_range(total, chunk, move |range| {
+        let ptr = base; // capture the Sync wrapper, not the raw field
+        let ci = range.start / chunk;
+        let len = range.end - range.start;
+        // SAFETY: ranges produced by `par_range` are disjoint sub-ranges of
+        // `0..total`, so every chunk slice is a disjoint view into `data`,
+        // and `data` outlives the call (par_range blocks until done).
+        let slice = unsafe { ptr.slice_mut(range.start, len) };
+        f(ci, slice);
+    });
+}
+
+/// A raw pointer that may cross thread boundaries. Used to hand disjoint
+/// sub-slices of one buffer to pool tasks; every use site must guarantee
+/// disjointness, which is what keeps the parallel kernels deterministic
+/// *and* sound.
+#[derive(Debug)]
+pub struct SendPtr<T>(pub *mut T);
+
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// A mutable slice at `offset` of length `len`.
+    ///
+    /// # Safety
+    /// The caller must guarantee `[offset, offset + len)` is in bounds of
+    /// the original allocation and not aliased by any concurrent access.
+    // The returned borrow derives from the wrapped raw pointer, not from
+    // `&self`; aliasing discipline is the caller's contract above.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_executes_every_index_once() {
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        set_threads(4);
+        run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        set_threads(0);
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_range_covers_exactly() {
+        let total = 1003;
+        let seen: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+        set_threads(3);
+        par_range(total, 64, |r| {
+            for i in r {
+                seen[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        set_threads(0);
+        assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjointly() {
+        let mut data = vec![0u32; 500];
+        set_threads(4);
+        par_chunks_mut(&mut data, 33, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci as u32 + 1;
+            }
+        });
+        set_threads(0);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i / 33) as u32 + 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn nested_run_degrades_serially() {
+        set_threads(4);
+        let acc: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        run(8, |outer| {
+            run(8, |inner| {
+                acc[outer * 8 + inner].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        set_threads(0);
+        assert!(acc.iter().all(|a| a.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_tasks_is_noop() {
+        run(0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn serial_override_uses_caller_thread() {
+        set_threads(1);
+        let caller = std::thread::current().id();
+        run(16, |_| assert_eq!(std::thread::current().id(), caller));
+        set_threads(0);
+    }
+}

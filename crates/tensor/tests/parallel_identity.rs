@@ -1,0 +1,122 @@
+//! Determinism contract of the parallel runtime: every parallel kernel is
+//! **bit-identical** to its serial execution at any thread count. The
+//! kernels guarantee this by fixed (thread-count-independent) chunking,
+//! disjoint output regions per chunk, and serial index-order folds for any
+//! cross-chunk reduction — these tests enforce the contract across random
+//! shapes and `O4A_THREADS ∈ {1, 2, 4}`.
+
+use o4a_tensor::{conv2d, conv2d_backward, parallel, SeededRng, Tensor};
+use proptest::prelude::*;
+
+/// Runs `f` once per thread count and asserts all results are bit-equal to
+/// the serial (1-thread) result.
+fn assert_bit_identical<T: PartialEq + std::fmt::Debug>(
+    label: &str,
+    f: impl Fn() -> T,
+) -> Result<(), TestCaseError> {
+    parallel::set_threads(1);
+    let serial = f();
+    for threads in [2usize, 4] {
+        parallel::set_threads(threads);
+        let par = f();
+        parallel::set_threads(0);
+        prop_assert_eq!(
+            &serial,
+            &par,
+            "{} diverged from serial at {} threads",
+            label,
+            threads
+        );
+    }
+    parallel::set_threads(0);
+    Ok(())
+}
+
+/// Bits of every element — `f32: Eq` does not hold, and `==` would hide
+/// NaN or signed-zero divergence.
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Classic serial `ikj` matmul, the reference accumulation order.
+fn matmul_reference(a: &Tensor, b: &Tensor) -> Vec<u32> {
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let n = b.shape()[1];
+    let mut out = vec![0.0f32; m * n];
+    for i in 0..m {
+        for p in 0..k {
+            let av = a.data()[i * k + p];
+            for j in 0..n {
+                out[i * n + j] += av * b.data()[p * n + j];
+            }
+        }
+    }
+    out.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Parallel matmul == serial matmul, bit for bit, and both equal the
+    /// plain `ikj` loop (the cache blocking preserves the accumulation
+    /// order of every output element).
+    #[test]
+    fn matmul_parallel_is_bit_identical(
+        seed in 0u64..10_000,
+        m in 1usize..40,
+        k in 1usize..40,
+        n in 1usize..40,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = rng.uniform_tensor(&[m, k], -1.0, 1.0);
+        let b = rng.uniform_tensor(&[k, n], -1.0, 1.0);
+        assert_bit_identical("matmul", || bits(&a.matmul(&b).unwrap()))?;
+        parallel::set_threads(4);
+        let blocked = bits(&a.matmul(&b).unwrap());
+        parallel::set_threads(0);
+        prop_assert_eq!(blocked, matmul_reference(&a, &b));
+    }
+
+    /// Parallel conv2d forward == serial, bit for bit.
+    #[test]
+    fn conv2d_forward_parallel_is_bit_identical(
+        seed in 0u64..10_000,
+        n in 1usize..6,
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.uniform_tensor(&[n, c_in, 6, 6], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[c_out, c_in, 3, 3], -0.5, 0.5);
+        let b = rng.uniform_tensor(&[c_out], -0.5, 0.5);
+        assert_bit_identical("conv2d", || {
+            bits(&conv2d(&x, &w, &b, stride, pad).unwrap())
+        })?;
+    }
+
+    /// Parallel conv2d backward == serial for all three gradients, bit for
+    /// bit — the per-sample weight/bias partials are folded in the exact
+    /// serial batch order.
+    #[test]
+    fn conv2d_backward_parallel_is_bit_identical(
+        seed in 0u64..10_000,
+        n in 1usize..6,
+        c_in in 1usize..4,
+        c_out in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let x = rng.uniform_tensor(&[n, c_in, 6, 6], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[c_out, c_in, 3, 3], -0.5, 0.5);
+        let b = rng.uniform_tensor(&[c_out], -0.5, 0.5);
+        let y = conv2d(&x, &w, &b, stride, pad).unwrap();
+        let go = rng.uniform_tensor(y.shape(), -1.0, 1.0);
+        assert_bit_identical("conv2d_backward", || {
+            let g = conv2d_backward(&x, &w, &b, stride, pad, &go).unwrap();
+            (bits(&g.grad_input), bits(&g.grad_weight), bits(&g.grad_bias))
+        })?;
+    }
+}

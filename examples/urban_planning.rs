@@ -9,9 +9,9 @@ use one4all_st::core::combination::SearchStrategy;
 use one4all_st::core::one4all::{truth_pyramid, One4AllSt};
 use one4all_st::core::server::query_combination;
 use one4all_st::data::acf::{acf_map, acf_stats};
-use one4all_st::data::viz::heatmap;
 use one4all_st::data::features::{chronological_split, TemporalConfig};
 use one4all_st::data::synthetic::DatasetKind;
+use one4all_st::data::viz::heatmap;
 use one4all_st::grid::decompose::decompose;
 use one4all_st::grid::queries::tract_queries;
 use one4all_st::grid::Hierarchy;

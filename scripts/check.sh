@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository gate: release build, full test suite, formatting, and lints
+# on the crates the parallel runtime touches. Run from anywhere; the
+# script cd's to the repo root.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+# Lint the crates touched by the parallel compute runtime.
+echo "==> cargo clippy -D warnings (tensor, nn, core, bench)"
+cargo clippy --release -p o4a-tensor -p o4a-nn -p o4a-core -p o4a-bench \
+    --all-targets -- -D warnings
+
+echo "==> all checks passed"

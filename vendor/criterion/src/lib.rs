@@ -1,0 +1,254 @@
+//! Workspace-local, dependency-free stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — over
+//! a simple wall-clock harness: a warm-up phase sizes the batch, then the
+//! routine is timed for a fixed measurement budget and the mean, minimum
+//! and iteration count are printed.
+//!
+//! Environment knobs:
+//! * `O4A_BENCH_MS` — measurement budget per benchmark in milliseconds
+//!   (default 300).
+//! * `O4A_BENCH_WARMUP_MS` — warm-up budget (default 100).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup (accepted and ignored: every batch
+/// re-runs the setup closure outside the timed section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+fn env_ms(key: &str, default_ms: u64) -> Duration {
+    Duration::from_millis(
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default_ms),
+    )
+}
+
+/// Per-benchmark timing driver handed to the bench closure.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Filled by `iter*`: (total elapsed, iterations, best single batch mean).
+    result: Option<(Duration, u64, f64)>,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Bencher {
+            warmup,
+            measure,
+            result: None,
+        }
+    }
+
+    /// Times `routine` repeatedly for the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: estimate cost so batches are ~1ms.
+        let t0 = Instant::now();
+        let mut warm_iters = 0u64;
+        while t0.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((1.0e-3 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut best = f64::INFINITY;
+        while total < self.measure {
+            let b0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let el = b0.elapsed();
+            best = best.min(el.as_secs_f64() / batch as f64);
+            total += el;
+            iters += batch;
+        }
+        self.result = Some((total, iters, best));
+    }
+
+    /// Times `routine` on inputs produced by `setup` (setup excluded from
+    /// the timed section).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_in = setup();
+        let t0 = Instant::now();
+        black_box(routine(warm_in));
+        let per_iter = t0.elapsed().as_secs_f64().max(1e-9);
+        let _ = per_iter;
+
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        let mut best = f64::INFINITY;
+        while total < self.measure {
+            let input = setup();
+            let b0 = Instant::now();
+            black_box(routine(input));
+            let el = b0.elapsed();
+            best = best.min(el.as_secs_f64());
+            total += el;
+            iters += 1;
+        }
+        self.result = Some((total, iters, best));
+    }
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+fn run_one(name: &str, warmup: Duration, measure: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new(warmup, measure);
+    f(&mut b);
+    match b.result {
+        Some((total, iters, best)) => {
+            let mean = total.as_secs_f64() / iters.max(1) as f64;
+            println!(
+                "bench {name:<40} mean {:>12}  best {:>12}  ({iters} iters)",
+                fmt_secs(mean),
+                fmt_secs(best),
+            );
+        }
+        None => println!("bench {name:<40} (no measurement recorded)"),
+    }
+}
+
+/// Top-level benchmark registry (mirror of `criterion::Criterion`).
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a CLI arg; honor
+        // it so single benches can be run in isolation.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            warmup: env_ms("O4A_BENCH_WARMUP_MS", 100),
+            measure: env_ms("O4A_BENCH_MS", 300),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter
+            .as_ref()
+            .is_none_or(|f| name.contains(f.as_str()))
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = name.to_string();
+        if self.enabled(&name) {
+            run_one(&name, self.warmup, self.measure, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks (mirror of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        if self.parent.enabled(&full) {
+            run_one(&full, self.parent.warmup, self.parent.measure, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench entry point running each function in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        std::env::set_var("O4A_BENCH_MS", "5");
+        std::env::set_var("O4A_BENCH_WARMUP_MS", "2");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,78 @@
+//! Workspace-local, dependency-free stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used by this workspace (scoped fork /
+//! join over borrowed data). Since Rust 1.63 the standard library provides
+//! `std::thread::scope` with equivalent semantics, so this shim maps the
+//! crossbeam 0.8 API (closures receiving a `&Scope`, `Result`-returning
+//! `scope` and `join`) onto std scoped threads.
+
+/// Scoped-thread API (mirror of `crossbeam::thread`).
+pub mod thread {
+    use std::marker::PhantomData;
+
+    /// A fork-join scope handed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        _marker: PhantomData<&'scope ()>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, yielding its result or the
+        /// panic payload (crossbeam signature).
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// (crossbeam convention) so nested spawns are possible.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let scope = Scope { inner: inner_scope };
+                    f(&scope)
+                }),
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    /// Creates a fork-join scope; all threads spawned inside are joined
+    /// before `scope` returns. Returns `Ok` unless a *detached* child
+    /// panicked (std scope propagates child panics, so this is always `Ok`
+    /// when it returns — matching how the workspace uses the result).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1, 2, 3, 4];
+        let sum: i32 = super::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|v| s.spawn(move |_| *v * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(sum, 20);
+    }
+}

@@ -1,0 +1,10 @@
+//! Workspace-local, dependency-free stand-in for `serde`.
+//!
+//! This workspace only ever *derives* `Serialize`/`Deserialize` (the actual
+//! persistence layer is the hand-rolled byte codec in `o4a-core::codec`),
+//! so the derives are re-exported as no-op proc-macros and no trait
+//! machinery is needed. If a future PR wants real serde serialization it
+//! should vendor the genuine crate instead of extending this shim.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Workspace-local, dependency-free stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on several plain data
+//! types but never invokes a serde serializer (persistence uses a
+//! hand-rolled codec). These derives therefore expand to nothing: the
+//! attribute is accepted and type definitions stay byte-for-byte identical
+//! to what they'd be with the real serde, without pulling in the real
+//! dependency graph (unavailable offline).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
