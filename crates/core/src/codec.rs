@@ -13,7 +13,12 @@
 //! per entry: root_row u16 | root_col u16 | path_len u8 | path bytes
 //!            term_count u16
 //!            per term: layer u8 | row u16 | col u16 | sign i8
+//! checksum u32 (FNV-1a over everything before it)
 //! ```
+//!
+//! The trailing checksum makes any single-bit corruption of a persisted
+//! index detectable: [`decode_index`] rejects a stream whose recomputed
+//! hash disagrees before trusting any decoded field.
 
 use crate::combination::{Combination, CombinationIndex, SearchReport, SearchStrategy, SignedCell};
 use o4a_grid::coding::{ChildCode, GridCode};
@@ -21,6 +26,17 @@ use o4a_grid::hierarchy::{Hierarchy, LayerCell};
 use o4a_grid::quadtree::ExtendedQuadTree;
 
 const MAGIC: &[u8; 8] = b"O4AIDX01";
+
+/// FNV-1a (32-bit) over a byte stream — the integrity hash every on-disk
+/// and on-wire format in this workspace trails its payload with.
+pub fn fnv1a32(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
 
 /// Errors decoding an index byte stream.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,13 +159,27 @@ pub fn encode_index(index: &CombinationIndex) -> Vec<u8> {
             w.i8(t.sign);
         }
     });
+    let sum = fnv1a32(&w.buf);
+    w.u32(sum);
     w.buf
 }
 
 /// Deserializes an index from bytes. The search report is not persisted
 /// (it is a build-time statistic) and comes back zeroed.
 pub fn decode_index(bytes: &[u8]) -> Result<CombinationIndex, CodecError> {
-    let mut r = Reader { buf: bytes, pos: 0 };
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    // verify the integrity trailer before trusting any decoded field
+    if bytes.len() < 12 {
+        return Err(CodecError::Corrupt("unexpected end of stream"));
+    }
+    let body = &bytes[..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if fnv1a32(body) != stored {
+        return Err(CodecError::Corrupt("checksum mismatch"));
+    }
+    let mut r = Reader { buf: body, pos: 0 };
     if r.take(8)? != MAGIC {
         return Err(CodecError::BadMagic);
     }
@@ -199,6 +229,9 @@ pub fn decode_index(bytes: &[u8]) -> Result<CombinationIndex, CodecError> {
         }
         tree.insert(&GridCode { root, path }, Combination { terms });
     }
+    if r.pos != body.len() {
+        return Err(CodecError::Corrupt("trailing bytes after last entry"));
+    }
     Ok(CombinationIndex {
         hier,
         tree,
@@ -206,6 +239,53 @@ pub fn decode_index(bytes: &[u8]) -> Result<CombinationIndex, CodecError> {
         strategy,
         report: SearchReport::default(),
     })
+}
+
+/// Errors cold-starting an index from disk.
+#[derive(Debug)]
+pub enum IndexLoadError {
+    /// The artifact could not be read.
+    Io(std::io::Error),
+    /// The artifact bytes failed to decode.
+    Codec(CodecError),
+}
+
+impl std::fmt::Display for IndexLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexLoadError::Io(e) => write!(f, "reading index artifact: {e}"),
+            IndexLoadError::Codec(e) => write!(f, "decoding index artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexLoadError {}
+
+impl From<std::io::Error> for IndexLoadError {
+    fn from(e: std::io::Error) -> Self {
+        IndexLoadError::Io(e)
+    }
+}
+
+impl From<CodecError> for IndexLoadError {
+    fn from(e: CodecError) -> Self {
+        IndexLoadError::Codec(e)
+    }
+}
+
+/// Persists an index artifact to disk (the serving layer's cold-start
+/// input; see [`load_index`]).
+pub fn save_index(
+    index: &CombinationIndex,
+    path: impl AsRef<std::path::Path>,
+) -> std::io::Result<()> {
+    std::fs::write(path, encode_index(index))
+}
+
+/// Cold-starts an index from a disk artifact written by [`save_index`].
+pub fn load_index(path: impl AsRef<std::path::Path>) -> Result<CombinationIndex, IndexLoadError> {
+    let bytes = std::fs::read(path)?;
+    Ok(decode_index(&bytes)?)
 }
 
 #[cfg(test)]
@@ -275,6 +355,37 @@ mod tests {
                 "truncation at {cut} not detected"
             );
         }
+    }
+
+    #[test]
+    fn rejects_bit_flips_anywhere() {
+        let index = sample_index(SearchStrategy::UnionSubtraction);
+        let bytes = encode_index(&index);
+        for pos in [8usize, 13, 20, bytes.len() / 2, bytes.len() - 2] {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x10;
+            assert!(
+                decode_index(&flipped).is_err(),
+                "bit flip at {pos} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_cold_start() {
+        let index = sample_index(SearchStrategy::Union);
+        let dir = std::env::temp_dir().join(format!("o4a-codec-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("index.o4aidx");
+        save_index(&index, &path).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(back.hier, index.hier);
+        assert_eq!(back.tree.len(), index.tree.len());
+        assert!(matches!(
+            load_index(dir.join("missing.o4aidx")),
+            Err(IndexLoadError::Io(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

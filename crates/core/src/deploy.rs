@@ -9,7 +9,12 @@
 //!
 //! ```text
 //! magic "O4AMDL01" | layer_count u32 | (mean f32, std f32)* | nn weight stream
+//! checksum u32 (FNV-1a over everything before it)
 //! ```
+//!
+//! As with the index codec, the trailing checksum makes bit-level
+//! corruption of a persisted model detectable before any weight is
+//! deserialized.
 
 use crate::one4all::One4AllSt;
 use o4a_data::norm::Normalizer;
@@ -28,14 +33,25 @@ pub fn save_model(model: &mut One4AllSt) -> Vec<u8> {
         buf.extend_from_slice(&n.std.to_le_bytes());
     }
     buf.extend_from_slice(&save_param_values(&model.net_mut().params_mut()));
+    let sum = crate::codec::fnv1a32(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
     buf
 }
 
 /// Restores a trained model into a freshly constructed one with the same
 /// architecture and hierarchy.
 pub fn load_model(model: &mut One4AllSt, bytes: &[u8]) -> Result<(), PersistError> {
-    if bytes.len() < 12 || &bytes[..8] != MAGIC {
+    if bytes.len() < 8 || &bytes[..8] != MAGIC {
         return Err(PersistError::BadMagic);
+    }
+    // verify the integrity trailer before deserializing any weight
+    if bytes.len() < 16 {
+        return Err(PersistError::Corrupt("truncated model stream"));
+    }
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    let bytes = &bytes[..bytes.len() - 4];
+    if crate::codec::fnv1a32(bytes) != stored {
+        return Err(PersistError::Corrupt("checksum mismatch"));
     }
     let count = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
     if count != model.hierarchy_layers() {

@@ -119,25 +119,110 @@ impl QueryTiming {
     }
 }
 
+/// A snapshot rejected by [`PredictionStore::publish_checked`]: its shape
+/// does not match the hierarchy the store was created for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// Wrong number of per-layer frames.
+    LayerCount {
+        /// Layers in the rejected snapshot.
+        got: usize,
+        /// Layers the hierarchy has.
+        want: usize,
+    },
+    /// One layer's flat vector has the wrong length.
+    LayerLen {
+        /// The offending layer.
+        layer: usize,
+        /// Cells in the rejected frame.
+        got: usize,
+        /// Cells the hierarchy's layer has.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for PublishError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PublishError::LayerCount { got, want } => {
+                write!(f, "snapshot has {got} layers, hierarchy has {want}")
+            }
+            PublishError::LayerLen { layer, got, want } => {
+                write!(f, "layer {layer} frame has {got} cells, expected {want}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
 /// A shared snapshot of the latest multi-scale predictions. The model
 /// server refreshes it at preset intervals; region servers read it
 /// lock-free-ish via an `Arc` swap.
 #[derive(Debug, Default)]
 pub struct PredictionStore {
     frames: RwLock<Arc<Vec<Vec<f32>>>>,
+    /// Expected flat length per layer; `None` for an unchecked store.
+    expected: Option<Vec<usize>>,
 }
 
 impl PredictionStore {
-    /// Creates an empty store.
+    /// Creates an empty store that accepts snapshots of any shape.
     pub fn new() -> Self {
         PredictionStore {
             frames: RwLock::new(Arc::new(Vec::new())),
+            expected: None,
         }
     }
 
-    /// Publishes a new multi-scale snapshot (`frames[layer]` flat).
-    pub fn publish(&self, frames: Vec<Vec<f32>>) {
+    /// Creates a store that only accepts snapshots shaped like `hier`
+    /// (one frame per layer, each with that layer's cell count).
+    pub fn for_hierarchy(hier: &Hierarchy) -> Self {
+        PredictionStore {
+            frames: RwLock::new(Arc::new(Vec::new())),
+            expected: Some((0..hier.num_layers()).map(|l| hier.layer_len(l)).collect()),
+        }
+    }
+
+    /// Checks a snapshot against the expected shape without publishing.
+    pub fn validate(&self, frames: &[Vec<f32>]) -> Result<(), PublishError> {
+        let Some(expected) = &self.expected else {
+            return Ok(());
+        };
+        if frames.len() != expected.len() {
+            return Err(PublishError::LayerCount {
+                got: frames.len(),
+                want: expected.len(),
+            });
+        }
+        for (layer, (frame, &want)) in frames.iter().zip(expected).enumerate() {
+            if frame.len() != want {
+                return Err(PublishError::LayerLen {
+                    layer,
+                    got: frame.len(),
+                    want,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Publishes a new multi-scale snapshot (`frames[layer]` flat),
+    /// rejecting one whose shape does not match the store's hierarchy.
+    pub fn publish_checked(&self, frames: Vec<Vec<f32>>) -> Result<(), PublishError> {
+        self.validate(&frames)?;
         *self.frames.write() = Arc::new(frames);
+        Ok(())
+    }
+
+    /// Publishes a new multi-scale snapshot (`frames[layer]` flat). On a
+    /// checked store ([`PredictionStore::for_hierarchy`]) a malformed
+    /// snapshot is error-logged and dropped — readers keep the previous
+    /// snapshot instead of serving garbage.
+    pub fn publish(&self, frames: Vec<Vec<f32>>) {
+        if let Err(e) = self.publish_checked(frames) {
+            eprintln!("PredictionStore: dropping malformed snapshot: {e}");
+        }
     }
 
     /// Grabs the current snapshot.
@@ -222,6 +307,12 @@ impl RegionServer {
         &self.index
     }
 
+    /// The prediction store queries are answered from (the serving layer
+    /// polls its readiness before admitting traffic).
+    pub fn store(&self) -> &Arc<PredictionStore> {
+        &self.store
+    }
+
     /// Answers a region query against the latest published snapshot.
     ///
     /// # Panics
@@ -278,6 +369,48 @@ impl RegionServer {
             unsafe { out_ptr.slice_mut(i, 1)[0] = v };
         });
         out
+    }
+
+    /// Like [`RegionServer::query_many`] but also reports the aggregate
+    /// timing breakdown over the batch: the per-mask decomposition and
+    /// lookup/aggregation times are measured inside each parallel task and
+    /// summed, so the result is total CPU time spent in each stage (wall
+    /// time is lower when the fan-out runs on several workers).
+    ///
+    /// # Panics
+    /// Panics if no snapshot has been published yet.
+    pub fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
+        let frames = self.store.snapshot();
+        assert!(!frames.is_empty(), "no prediction snapshot published");
+        let mut out = vec![0.0f32; masks.len()];
+        let mut dec_ns = vec![0u64; masks.len()];
+        let mut idx_ns = vec![0u64; masks.len()];
+        let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
+        let dec_ptr = o4a_tensor::parallel::SendPtr(dec_ns.as_mut_ptr());
+        let idx_ptr = o4a_tensor::parallel::SendPtr(idx_ns.as_mut_ptr());
+        o4a_tensor::parallel::run(masks.len(), |i| {
+            let t0 = Instant::now();
+            let groups = decompose(&self.hier, &masks[i]);
+            let decompose_t = t0.elapsed();
+            let t1 = Instant::now();
+            let v: f32 = groups
+                .iter()
+                .map(|g| evaluate_group(&self.hier, &self.index, &frames, g))
+                .sum();
+            let index_t = t1.elapsed();
+            // SAFETY: task `i` writes only slot `i` of each vector; all
+            // three outlive the blocking `run` call.
+            unsafe {
+                out_ptr.slice_mut(i, 1)[0] = v;
+                dec_ptr.slice_mut(i, 1)[0] = decompose_t.as_nanos() as u64;
+                idx_ptr.slice_mut(i, 1)[0] = index_t.as_nanos() as u64;
+            }
+        });
+        let timing = QueryTiming {
+            decompose: Duration::from_nanos(dec_ns.iter().sum()),
+            index: Duration::from_nanos(idx_ns.iter().sum()),
+        };
+        (out, timing)
     }
 }
 
@@ -400,6 +533,56 @@ mod tests {
         assert!((snap[2][0] - total).abs() < 1e-4);
         let _ = server.model_mut();
         let _ = server.store();
+    }
+
+    #[test]
+    fn checked_store_rejects_malformed_snapshots() {
+        let hier = hier4();
+        let store = PredictionStore::for_hierarchy(&hier);
+        // wrong layer count
+        assert_eq!(
+            store.publish_checked(vec![vec![0.0; 16]]),
+            Err(PublishError::LayerCount { got: 1, want: 3 })
+        );
+        // wrong per-layer length
+        assert_eq!(
+            store.publish_checked(vec![vec![0.0; 16], vec![0.0; 3], vec![0.0; 1]]),
+            Err(PublishError::LayerLen {
+                layer: 1,
+                got: 3,
+                want: 4
+            })
+        );
+        // publish() drops the bad snapshot instead of serving it
+        store.publish(vec![vec![1.0; 16]]);
+        assert!(!store.is_ready());
+        // a correctly shaped snapshot goes through
+        store
+            .publish_checked(vec![vec![2.0; 16], vec![2.0; 4], vec![2.0; 1]])
+            .unwrap();
+        assert!(store.is_ready());
+        // an unchecked store still accepts anything (back-compat)
+        let loose = PredictionStore::new();
+        loose.publish_checked(vec![vec![0.0; 5]]).unwrap();
+        assert!(loose.is_ready());
+    }
+
+    #[test]
+    fn query_many_timed_matches_query_many() {
+        let (_, index, frames) = exact_setup();
+        let store = Arc::new(PredictionStore::new());
+        store.publish(frames);
+        let server = RegionServer::new(index, store);
+        let masks = vec![
+            Mask::rect(4, 4, 0, 0, 2, 2),
+            Mask::rect(4, 4, 1, 1, 3, 4),
+            Mask::rect(4, 4, 0, 0, 4, 4),
+        ];
+        let plain = server.query_many(&masks);
+        let (timed, timing) = server.query_many_timed(&masks);
+        assert_eq!(plain, timed);
+        assert!(timing.total() >= timing.decompose);
+        assert!(server.store().is_ready());
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! `loadgen` — drive a running `serve` instance with N blocking client
+//! threads and write throughput + latency percentiles to `BENCH_serve.json`.
+//!
+//! Each thread owns one connection and issues paper-style region queries
+//! (the four MAUP task mixes from `TaskSpec::standard_tasks`) back to back
+//! for `--secs` seconds, either one mask per request (`--batch 0`) or
+//! `--batch K` masks per BATCH frame. Exits non-zero if no request
+//! succeeds, so CI can gate on "the server actually served".
+//!
+//! Usage:
+//!   cargo run -p o4a-serve --release --bin loadgen -- \
+//!     [--addr 127.0.0.1:7474 | --addr-file PATH] [--threads 4] [--secs 2] \
+//!     [--batch 0] [--out BENCH_serve.json]
+
+use o4a_grid::queries::{task_queries, TaskSpec};
+use o4a_grid::Mask;
+use o4a_serve::{Client, ClientConfig, ClientError};
+use o4a_tensor::SeededRng;
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    addr: Option<String>,
+    addr_file: Option<PathBuf>,
+    threads: usize,
+    secs: f64,
+    batch: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        addr_file: None,
+        threads: 4,
+        secs: 2.0,
+        batch: 0,
+        out: PathBuf::from("BENCH_serve.json"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = Some(value("--addr")),
+            "--addr-file" => args.addr_file = Some(PathBuf::from(value("--addr-file"))),
+            "--threads" => args.threads = value("--threads").parse().expect("--threads"),
+            "--secs" => args.secs = value("--secs").parse().expect("--secs"),
+            "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Resolve the target address, polling `--addr-file` until the server has
+/// written it (the smoke gate starts server and loadgen concurrently).
+fn resolve_addr(args: &Args) -> SocketAddr {
+    if let Some(addr) = &args.addr {
+        return addr.parse().expect("--addr must be host:port");
+    }
+    let path = args.addr_file.as_ref().expect("pass --addr or --addr-file");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(s) if !s.trim().is_empty() => return s.trim().parse().expect("addr-file contents"),
+            _ if Instant::now() > deadline => panic!("timed out waiting for {}", path.display()),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+struct ThreadOutcome {
+    latencies_us: Vec<u64>,
+    masks: u64,
+    busy: u64,
+    errors: u64,
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)]
+}
+
+fn main() {
+    let args = parse_args();
+    let addr = resolve_addr(&args);
+
+    // Wait for the listener to come up, then learn the raster dims.
+    let cfg = ClientConfig::default();
+    let health = {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            match Client::connect(addr, cfg.clone()).and_then(|mut c| c.health()) {
+                Ok(h) => break h,
+                Err(e) if Instant::now() > deadline => panic!("server never became healthy: {e}"),
+                Err(_) => std::thread::sleep(Duration::from_millis(50)),
+            }
+        }
+    };
+    assert!(health.ready, "server reports not ready");
+    eprintln!(
+        "[loadgen] target {addr}: raster {}x{}, {} layers; {} threads, {:.1}s, batch={}",
+        health.h, health.w, health.layers, args.threads, args.secs, args.batch
+    );
+
+    // Shared query pool: the paper's four task mixes over the served raster.
+    let mut rng = SeededRng::new(23);
+    let mut pool: Vec<Mask> = Vec::new();
+    for spec in TaskSpec::standard_tasks(150.0) {
+        pool.extend(task_queries(
+            health.h as usize,
+            health.w as usize,
+            spec,
+            false,
+            &mut rng,
+        ));
+    }
+    assert!(!pool.is_empty(), "query pool is empty");
+    let pool = Arc::new(pool);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs_f64(args.secs);
+    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..args.threads)
+            .map(|tid| {
+                let pool = Arc::clone(&pool);
+                let stop = Arc::clone(&stop);
+                let cfg = cfg.clone();
+                s.spawn(move || {
+                    let mut out = ThreadOutcome {
+                        latencies_us: Vec::new(),
+                        masks: 0,
+                        busy: 0,
+                        errors: 0,
+                    };
+                    let mut client = match Client::connect(addr, cfg) {
+                        Ok(c) => c,
+                        Err(_) => {
+                            out.errors += 1;
+                            return out;
+                        }
+                    };
+                    // Stagger thread start positions through the pool.
+                    let mut i = tid * pool.len() / args.threads.max(1);
+                    while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                        let t0 = Instant::now();
+                        let result = if args.batch == 0 {
+                            let mask = &pool[i % pool.len()];
+                            i += 1;
+                            client.query(mask).map(|_| 1u64)
+                        } else {
+                            let masks: Vec<Mask> = (0..args.batch)
+                                .map(|k| pool[(i + k) % pool.len()].clone())
+                                .collect();
+                            i += args.batch;
+                            client
+                                .query_batch(&masks)
+                                .map(|(values, _)| values.len() as u64)
+                        };
+                        match result {
+                            Ok(n) => {
+                                out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                                out.masks += n;
+                            }
+                            Err(ClientError::Busy) => {
+                                out.busy += 1;
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(_) => {
+                                out.errors += 1;
+                                if out.errors > 100 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    // Aggregate.
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let requests = latencies.len() as u64;
+    let masks: u64 = outcomes.iter().map(|o| o.masks).sum();
+    let busy: u64 = outcomes.iter().map(|o| o.busy).sum();
+    let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    let secs = elapsed.as_secs_f64();
+    let rps = requests as f64 / secs;
+    let mps = masks as f64 / secs;
+    let (p50, p95, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 95.0),
+        percentile(&latencies, 99.0),
+    );
+    let max_us = latencies.last().copied().unwrap_or(0);
+
+    // Final server-side counters (best effort).
+    let server_stats = Client::connect(addr, ClientConfig::default())
+        .and_then(|mut c| c.stats())
+        .ok();
+
+    println!("== loadgen: {requests} requests / {masks} masks in {secs:.2}s ==");
+    println!("  throughput   {rps:>10.1} req/s   {mps:>10.1} masks/s");
+    println!("  latency p50  {p50:>10} us",);
+    println!("  latency p95  {p95:>10} us");
+    println!("  latency p99  {p99:>10} us");
+    println!("  latency max  {max_us:>10} us");
+    println!("  busy {busy}, client errors {errors}");
+    if let Some(s) = &server_stats {
+        println!(
+            "  server: {} exec batches, {} coalesced masks, {} busy, {} protocol errors",
+            s.exec_batches, s.coalesced_masks, s.busy_rejections, s.protocol_errors
+        );
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"serve_loopback\",\n");
+    json.push_str(&format!("  \"threads\": {},\n", args.threads));
+    json.push_str(&format!("  \"batch\": {},\n", args.batch));
+    json.push_str(&format!("  \"duration_secs\": {secs:.3},\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"masks\": {masks},\n"));
+    json.push_str(&format!("  \"busy\": {busy},\n"));
+    json.push_str(&format!("  \"client_errors\": {errors},\n"));
+    json.push_str(&format!("  \"throughput_rps\": {rps:.1},\n"));
+    json.push_str(&format!("  \"throughput_masks_per_sec\": {mps:.1},\n"));
+    json.push_str(&format!(
+        "  \"latency_us\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max_us} }}"
+    ));
+    if let Some(s) = &server_stats {
+        json.push_str(",\n");
+        json.push_str(&format!(
+            "  \"server\": {{ \"connections\": {}, \"requests\": {}, \"masks_served\": {}, \
+             \"exec_batches\": {}, \"coalesced_masks\": {}, \"busy_rejections\": {}, \
+             \"protocol_errors\": {} }}\n",
+            s.connections,
+            s.requests,
+            s.masks_served,
+            s.exec_batches,
+            s.coalesced_masks,
+            s.busy_rejections,
+            s.protocol_errors
+        ));
+    } else {
+        json.push('\n');
+    }
+    json.push_str("}\n");
+    let mut f = std::fs::File::create(&args.out).expect("create --out");
+    f.write_all(json.as_bytes()).expect("write --out");
+    println!("wrote {}", args.out.display());
+
+    if requests == 0 {
+        eprintln!("[loadgen] FAIL: zero successful requests");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,240 @@
+//! `serve` — cold-start a One4All-ST query server from on-disk artifacts
+//! and answer region queries over the `O4ARPC01` wire protocol.
+//!
+//! Two start modes:
+//!
+//! * **artifact mode** (`--index PATH [--model PATH]`): load a persisted
+//!   combination index via `codec::load_index` and, when given, a
+//!   deployed model via `deploy::load_model`; the model's multi-scale
+//!   prediction for the latest slot of a synthetic flow becomes the
+//!   served snapshot (without `--model` the ground-truth pyramid is
+//!   served instead).
+//! * **synthetic mode** (default): build a synthetic index + model,
+//!   persist both under `--artifacts DIR`, then cold-start from those
+//!   files exactly as artifact mode would — every run exercises the
+//!   restart path end to end.
+//!
+//! Usage:
+//!   cargo run -p o4a-serve --release --bin serve -- \
+//!     [--addr 127.0.0.1:7474] [--addr-file PATH] [--side 32] [--layers N] \
+//!     [--index PATH] [--model PATH] [--artifacts target/serve-artifacts] \
+//!     [--workers 2] [--window-us 500] [--queue-cap 1024] [--max-batch 256] \
+//!     [--run-secs S]
+
+use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
+use o4a_core::one4all::{truth_pyramid, One4AllSt};
+use o4a_core::server::{PredictionStore, RegionServer};
+use o4a_core::{codec, deploy};
+use o4a_data::features::TemporalConfig;
+use o4a_data::flow::FlowSeries;
+use o4a_data::synthetic::DatasetKind;
+use o4a_grid::Hierarchy;
+use o4a_models::multiscale::PyramidPredictor;
+use o4a_models::predictor::TrainConfig;
+use o4a_serve::{serve, ServeConfig};
+use o4a_tensor::SeededRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    addr: String,
+    addr_file: Option<PathBuf>,
+    side: usize,
+    layers: Option<usize>,
+    index: Option<PathBuf>,
+    model: Option<PathBuf>,
+    artifacts: PathBuf,
+    workers: usize,
+    window_us: u64,
+    queue_cap: usize,
+    max_batch: usize,
+    run_secs: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:7474".into(),
+        addr_file: None,
+        side: 32,
+        layers: None,
+        index: None,
+        model: None,
+        artifacts: PathBuf::from("target/serve-artifacts"),
+        workers: 2,
+        window_us: 500,
+        queue_cap: 1024,
+        max_batch: 256,
+        run_secs: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr"),
+            "--addr-file" => args.addr_file = Some(PathBuf::from(value("--addr-file"))),
+            "--side" => args.side = value("--side").parse().expect("--side"),
+            "--layers" => args.layers = Some(value("--layers").parse().expect("--layers")),
+            "--index" => args.index = Some(PathBuf::from(value("--index"))),
+            "--model" => args.model = Some(PathBuf::from(value("--model"))),
+            "--artifacts" => args.artifacts = PathBuf::from(value("--artifacts")),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers"),
+            "--window-us" => args.window_us = value("--window-us").parse().expect("--window-us"),
+            "--queue-cap" => args.queue_cap = value("--queue-cap").parse().expect("--queue-cap"),
+            "--max-batch" => args.max_batch = value("--max-batch").parse().expect("--max-batch"),
+            "--run-secs" => args.run_secs = Some(value("--run-secs").parse().expect("--run-secs")),
+            "--synthetic" => {} // accepted for clarity; synthetic is the default without --index
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// Flow series long enough for `TemporalConfig::compact` prediction.
+fn synthetic_flow(side: usize) -> (FlowSeries, usize) {
+    let steps = 24 * 9;
+    let flow = DatasetKind::TaxiNycLike
+        .config(side, side, steps, 5)
+        .generate();
+    (flow, steps - 1)
+}
+
+fn main() {
+    let args = parse_args();
+    let cfg = TemporalConfig::compact();
+
+    // --- obtain artifacts (building + persisting them first if absent) ---
+    let (index_path, model_path) = match &args.index {
+        Some(path) => (path.clone(), args.model.clone()),
+        None => {
+            let layers = args.layers.unwrap_or_else(|| {
+                Hierarchy::with_max_scale(args.side, args.side, 2, 32)
+                    .expect("raster divisible by 2")
+                    .num_layers()
+            });
+            let hier = Hierarchy::new(args.side, args.side, 2, layers)
+                .expect("raster must divide by the coarsest scale");
+            eprintln!(
+                "[serve] synthetic offline phase: raster {0}x{0}, P = {1:?}",
+                args.side,
+                hier.scales()
+            );
+            let (flow, _) = synthetic_flow(args.side);
+            let slots: Vec<usize> = (flow.len_t() - 8..flow.len_t()).collect();
+            let truths = truth_pyramid(&hier, &flow, &slots);
+            let index = search_optimal_combinations(&hier, &truths, &truths, SearchStrategy::Union);
+            let mut model = One4AllSt::standard(
+                &mut SeededRng::new(17),
+                hier.clone(),
+                &cfg,
+                TrainConfig::default(),
+            );
+            std::fs::create_dir_all(&args.artifacts).expect("create artifact dir");
+            let index_path = args.artifacts.join("index.o4aidx");
+            let model_path = args.artifacts.join("model.o4amdl");
+            codec::save_index(&index, &index_path).expect("persist index");
+            std::fs::write(&model_path, deploy::save_model(&mut model)).expect("persist model");
+            eprintln!(
+                "[serve] persisted artifacts: {} ({} entries), {}",
+                index_path.display(),
+                index.tree.len(),
+                model_path.display()
+            );
+            (index_path, Some(model_path))
+        }
+    };
+
+    // --- cold start from disk ---
+    let index = codec::load_index(&index_path).expect("cold-start index artifact");
+    let hier = index.hier.clone();
+    eprintln!(
+        "[serve] cold-started index from {} ({} combinations, raster {}x{})",
+        index_path.display(),
+        index.tree.len(),
+        hier.h(),
+        hier.w()
+    );
+    let (flow, slot) = synthetic_flow(hier.h());
+    let frames: Vec<Vec<f32>> = match &model_path {
+        Some(path) => {
+            let bytes = std::fs::read(path).expect("read model artifact");
+            let mut model = One4AllSt::standard(
+                &mut SeededRng::new(1),
+                hier.clone(),
+                &cfg,
+                TrainConfig::default(),
+            );
+            deploy::load_model(&mut model, &bytes).expect("cold-start model artifact");
+            eprintln!("[serve] cold-started model from {}", path.display());
+            model
+                .predict_pyramid(&flow, &cfg, &[slot])
+                .into_iter()
+                .map(|mut per_t| per_t.remove(0))
+                .collect()
+        }
+        None => {
+            eprintln!("[serve] no model artifact: serving the ground-truth pyramid");
+            truth_pyramid(&hier, &flow, &[slot])
+                .into_iter()
+                .map(|mut per_t| per_t.remove(0))
+                .collect()
+        }
+    };
+
+    let store = Arc::new(PredictionStore::for_hierarchy(&hier));
+    store
+        .publish_checked(frames)
+        .expect("snapshot must match the hierarchy");
+    let region = Arc::new(RegionServer::new(index, store));
+
+    // --- serve ---
+    let handle = serve(
+        region,
+        ServeConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            coalesce_window: Duration::from_micros(args.window_us),
+            max_batch_masks: args.max_batch,
+            queue_cap: args.queue_cap,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind server");
+    println!("listening on {}", handle.addr());
+    if let Some(path) = &args.addr_file {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).ok();
+        }
+        std::fs::write(path, handle.addr().to_string()).expect("write --addr-file");
+    }
+
+    match args.run_secs {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs_f64(secs));
+            let stats = handle.stats();
+            handle.shutdown();
+            println!(
+                "shutdown after {secs}s: {} connections, {} requests, {} masks \
+                 ({} exec batches, {} coalesced masks, {} busy, {} protocol errors)",
+                stats.connections,
+                stats.requests,
+                stats.masks_served,
+                stats.exec_batches,
+                stats.coalesced_masks,
+                stats.busy_rejections,
+                stats.protocol_errors
+            );
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(60));
+            let s = handle.stats();
+            eprintln!(
+                "[serve] {} requests, {} masks served, {} busy",
+                s.requests, s.masks_served, s.busy_rejections
+            );
+        },
+    }
+}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # o4a-serve
+//!
+//! The networked serving layer for One4All-ST: the repo's answer to the
+//! paper's *online* phase being an actual service rather than an
+//! in-process call. The crate gives the reproduction a service boundary:
+//!
+//! * [`wire`] — the `O4ARPC01` little-endian binary protocol (QUERY /
+//!   BATCH / HEALTH / STATS verbs, checksummed frames, a total decoder
+//!   that can never panic on hostile bytes);
+//! * [`server`] — a `std::net` TCP server on a fixed acceptor +
+//!   worker-thread model that **coalesces** requests arriving within a
+//!   short window into a single [`o4a_core::server::RegionServer::query_many_timed`]
+//!   call (exercising the PR-1 parallel fan-out under real traffic) and
+//!   sheds load from a **bounded admission queue** with an explicit
+//!   `BUSY` response instead of unbounded latency;
+//! * [`client`] — a blocking client with request framing, timeouts and
+//!   reconnect;
+//! * `serve` / `loadgen` binaries — cold-start a server from on-disk
+//!   artifacts (`codec::load_index` + `deploy::load_model`) and drive it
+//!   with N client threads, writing throughput and latency percentiles
+//!   to `BENCH_serve.json`.
+//!
+//! See `DESIGN.md` ("Serving layer") for the wire-protocol layout table
+//! and the coalescing/backpressure semantics.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, ClientError};
+pub use server::{serve, ServeConfig, ServerHandle, ServerStats};
+pub use wire::{HealthInfo, Request, Response, StatsSnapshot, TimingNs, WireError};

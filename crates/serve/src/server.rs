@@ -1,0 +1,520 @@
+//! The coalescing TCP query server.
+//!
+//! Thread model (fixed, no async runtime):
+//!
+//! * one **acceptor** thread polls the listener and spawns a reader
+//!   thread per connection;
+//! * each **connection** thread parses frames, answers `HEALTH`/`STATS`
+//!   inline, and submits `QUERY`/`BATCH` jobs to a **bounded admission
+//!   queue** — when the queue is full the request is shed immediately
+//!   with `BUSY` instead of queuing into unbounded latency;
+//! * a fixed pool of **executor** threads pops jobs, coalesces everything
+//!   that arrived within the coalescing window into a single
+//!   [`RegionServer::query_many_timed`] call (one snapshot, parallel
+//!   fan-out across the PR-1 compute pool), and routes each slice of the
+//!   result back to its connection.
+//!
+//! Shutdown is cooperative: a flag plus condvar wakeups; every thread is
+//! joined before [`ServerHandle::shutdown`] returns.
+
+use crate::wire::{self, HealthInfo, Request, Response, StatsSnapshot, TimingNs, TransportError};
+use o4a_core::server::RegionServer;
+use o4a_grid::mask::Mask;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Executor threads popping the admission queue.
+    pub workers: usize,
+    /// How long an executor waits for more requests to coalesce after the
+    /// first one arrives.
+    pub coalesce_window: Duration,
+    /// Cap on masks folded into one `query_many` execution.
+    pub max_batch_masks: usize,
+    /// Admission queue capacity in jobs; beyond it requests get `BUSY`
+    /// (`0` sheds every request — a drain mode).
+    pub queue_cap: usize,
+    /// Cap on a request frame's payload bytes.
+    pub max_payload: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            coalesce_window: Duration::from_micros(500),
+            max_batch_masks: 256,
+            queue_cap: 1024,
+            max_payload: wire::DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// Lock-free serving counters (see [`StatsSnapshot`] for field meaning).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    requests: AtomicU64,
+    masks_served: AtomicU64,
+    exec_batches: AtomicU64,
+    coalesced_masks: AtomicU64,
+    busy_rejections: AtomicU64,
+    protocol_errors: AtomicU64,
+    decompose_ns: AtomicU64,
+    index_ns: AtomicU64,
+}
+
+impl ServerStats {
+    /// A consistent-enough copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            masks_served: self.masks_served.load(Ordering::Relaxed),
+            exec_batches: self.exec_batches.load(Ordering::Relaxed),
+            coalesced_masks: self.coalesced_masks.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            decompose_ns: self.decompose_ns.load(Ordering::Relaxed),
+            index_ns: self.index_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+type JobReply = Result<(Vec<f32>, TimingNs), String>;
+
+struct Job {
+    masks: Vec<Mask>,
+    reply: mpsc::SyncSender<JobReply>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// Bounded MPMC job queue with condvar-driven batch pops.
+struct JobQueue {
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl JobQueue {
+    fn new(cap: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Admits a job, or returns it to the caller when the queue is full
+    /// (the caller sheds it with `BUSY`).
+    fn push(&self, job: Job) -> Result<(), Job> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.shutdown || st.jobs.len() >= self.cap {
+            return Err(job);
+        }
+        st.jobs.push_back(job);
+        drop(st);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job, then keeps draining jobs that arrive
+    /// within `window` (up to `max_masks` total). Returns `None` on
+    /// shutdown with an empty queue.
+    fn pop_batch(&self, window: Duration, max_masks: usize) -> Option<Vec<Job>> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        let first = loop {
+            if let Some(job) = st.jobs.pop_front() {
+                break job;
+            }
+            if st.shutdown {
+                return None;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(st, Duration::from_millis(50))
+                .expect("queue poisoned");
+            st = guard;
+        };
+        let mut total = first.masks.len();
+        let mut batch = vec![first];
+        let deadline = Instant::now() + window;
+        while total < max_masks && !st.shutdown {
+            if let Some(job) = st.jobs.pop_front() {
+                total += job.masks.len();
+                batch.push(job);
+                continue;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .expect("queue poisoned");
+            st = guard;
+            if timeout.timed_out() && st.jobs.is_empty() {
+                break;
+            }
+        }
+        Some(batch)
+    }
+
+    fn shutdown(&self) {
+        self.state.lock().expect("queue poisoned").shutdown = true;
+        self.cv.notify_all();
+    }
+}
+
+struct Shared {
+    region: Arc<RegionServer>,
+    queue: JobQueue,
+    stats: ServerStats,
+    shutdown: AtomicBool,
+    cfg: ServeConfig,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running server; dropping it without [`ServerHandle::shutdown`]
+/// leaves the threads serving until process exit.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current serving counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Stops accepting, drains the threads and joins them all.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.shutdown();
+        // wake the acceptor out of its poll by dialing it once
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(100));
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = self
+            .shared
+            .conn_handles
+            .lock()
+            .expect("handles poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Starts serving `region` over TCP and returns the handle.
+pub fn serve(region: Arc<RegionServer>, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener =
+        TcpListener::bind(cfg.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad bind addr")
+        })?)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let workers = cfg.workers.max(1);
+    let shared = Arc::new(Shared {
+        region,
+        queue: JobQueue::new(cfg.queue_cap),
+        stats: ServerStats::default(),
+        shutdown: AtomicBool::new(false),
+        cfg,
+        conn_handles: Mutex::new(Vec::new()),
+    });
+
+    let executors: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name(format!("o4a-exec-{i}"))
+                .spawn(move || executor_loop(&shared))
+                .expect("spawn executor")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = shared.clone();
+        std::thread::Builder::new()
+            .name("o4a-acceptor".into())
+            .spawn(move || acceptor_loop(listener, &shared))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        acceptor: Some(acceptor),
+        executors,
+    })
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name("o4a-conn".into())
+                    .spawn(move || connection_loop(stream, &conn_shared))
+                    .expect("spawn connection");
+                shared
+                    .conn_handles
+                    .lock()
+                    .expect("handles poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn executor_loop(shared: &Arc<Shared>) {
+    let cfg = &shared.cfg;
+    while let Some(batch) = shared
+        .queue
+        .pop_batch(cfg.coalesce_window, cfg.max_batch_masks)
+    {
+        let all: Vec<Mask> = batch.iter().flat_map(|j| j.masks.iter().cloned()).collect();
+        if !shared.region.store().is_ready() {
+            for job in &batch {
+                let _ = job
+                    .reply
+                    .try_send(Err("no prediction snapshot published".into()));
+            }
+            continue;
+        }
+        let (values, timing) = shared.region.query_many_timed(&all);
+        let timing = TimingNs {
+            decompose_ns: timing.decompose.as_nanos() as u64,
+            index_ns: timing.index.as_nanos() as u64,
+        };
+        shared.stats.exec_batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .stats
+            .masks_served
+            .fetch_add(all.len() as u64, Ordering::Relaxed);
+        if batch.len() > 1 {
+            shared
+                .stats
+                .coalesced_masks
+                .fetch_add(all.len() as u64, Ordering::Relaxed);
+        }
+        shared
+            .stats
+            .decompose_ns
+            .fetch_add(timing.decompose_ns, Ordering::Relaxed);
+        shared
+            .stats
+            .index_ns
+            .fetch_add(timing.index_ns, Ordering::Relaxed);
+        let mut off = 0usize;
+        for job in &batch {
+            let slice = values[off..off + job.masks.len()].to_vec();
+            off += job.masks.len();
+            // the connection thread may have died; nothing to do then
+            let _ = job.reply.try_send(Ok((slice, timing)));
+        }
+    }
+}
+
+/// Read adapter that retries timeout kinds (so a frame split across slow
+/// TCP segments never desynchronizes the stream) while staying responsive
+/// to server shutdown between reads.
+struct PatientStream<'a> {
+    stream: &'a mut TcpStream,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for PatientStream<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "server shutting down",
+                ));
+            }
+            match self.stream.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let hier = shared.region.hierarchy().clone();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let mut patient = PatientStream {
+            stream: &mut stream,
+            shutdown: &shared.shutdown,
+        };
+        let (verb, payload) = match wire::read_frame(&mut patient, shared.cfg.max_payload) {
+            Ok(frame) => frame,
+            Err(TransportError::Closed) => return,
+            Err(TransportError::Io(_)) => return,
+            Err(TransportError::Wire(e)) => {
+                // a malformed frame desynchronizes the stream: report and
+                // close rather than guessing where the next frame starts
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut stream,
+                    &Response::Error(format!("protocol error: {e}")),
+                );
+                return;
+            }
+        };
+        let request = match wire::decode_request(verb, &payload) {
+            Ok(req) => req,
+            Err(e) => {
+                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                send(
+                    &mut stream,
+                    &Response::Error(format!("protocol error: {e}")),
+                );
+                return;
+            }
+        };
+        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Health => {
+                let info = HealthInfo {
+                    ready: shared.region.store().is_ready(),
+                    h: hier.h() as u32,
+                    w: hier.w() as u32,
+                    layers: hier.num_layers() as u8,
+                };
+                if !send(&mut stream, &Response::Health(info)) {
+                    return;
+                }
+            }
+            Request::Stats => {
+                if !send(&mut stream, &Response::Stats(shared.stats.snapshot())) {
+                    return;
+                }
+            }
+            Request::Query(mask) => {
+                if !handle_query(&mut stream, shared, &hier, vec![mask], true) {
+                    return;
+                }
+            }
+            Request::Batch(masks) => {
+                if !handle_query(&mut stream, shared, &hier, masks, false) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Submits masks through the admission queue and writes the response.
+/// Returns `false` when the connection should close.
+fn handle_query(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    hier: &o4a_grid::hierarchy::Hierarchy,
+    masks: Vec<Mask>,
+    single: bool,
+) -> bool {
+    for mask in &masks {
+        if mask.h() != hier.h() || mask.w() != hier.w() {
+            // well-formed but wrong raster: answer and keep the
+            // connection usable
+            return send(
+                stream,
+                &Response::Error(format!(
+                    "mask is {}x{}, server raster is {}x{}",
+                    mask.h(),
+                    mask.w(),
+                    hier.h(),
+                    hier.w()
+                )),
+            );
+        }
+    }
+    let (tx, rx) = mpsc::sync_channel::<JobReply>(1);
+    let job = Job { masks, reply: tx };
+    if shared.queue.push(job).is_err() {
+        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        return send(stream, &Response::Busy);
+    }
+    match rx.recv() {
+        Ok(Ok((values, timing))) => {
+            let resp = if single {
+                Response::Prediction {
+                    value: values[0],
+                    timing,
+                }
+            } else {
+                Response::BatchResult { values, timing }
+            };
+            send(stream, &resp)
+        }
+        Ok(Err(msg)) => send(stream, &Response::Error(msg)),
+        // executor pool went away (shutdown mid-request)
+        Err(_) => {
+            send(stream, &Response::Error("server shutting down".into()));
+            false
+        }
+    }
+}
+
+/// Writes a response frame; `false` on transport failure.
+fn send(stream: &mut TcpStream, resp: &Response) -> bool {
+    let frame = wire::encode_response(resp);
+    stream
+        .write_all(&frame)
+        .and_then(|_| stream.flush())
+        .is_ok()
+}

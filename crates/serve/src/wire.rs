@@ -1,0 +1,743 @@
+//! The `O4ARPC01` wire protocol: a versioned little-endian binary framing
+//! for region-query traffic.
+//!
+//! Every frame — request or response — shares one header:
+//!
+//! ```text
+//! magic "O4ARPC01" | verb u8 | flags u8 (reserved, 0) | payload_len u32
+//! payload_crc u32 (FNV-1a over the payload) | payload bytes
+//! ```
+//!
+//! Request verbs: `QUERY` (one mask), `BATCH` (many masks), `HEALTH`,
+//! `STATS`. Response verbs: `PREDICTION`, `BATCH_RESULT` (values plus the
+//! decomposition/lookup timing breakdown of the executed batch),
+//! `HEALTH_OK`, `STATS_RESULT`, `BUSY` (admission queue full — the
+//! explicit load-shedding signal), `ERROR` (message).
+//!
+//! A mask travels as `h u16 | w u16 | packed bits` (row-major, LSB-first
+//! within each byte; padding bits in the last byte must be zero). The
+//! decoder is total: any truncated, oversized, or bit-flipped frame
+//! yields a [`WireError`] — never a panic — with single-bit corruption
+//! guaranteed detectable by the payload checksum plus strict header
+//! validation.
+
+use o4a_core::codec::fnv1a32;
+use o4a_grid::mask::Mask;
+use std::io::{Read, Write};
+
+/// Protocol magic; the trailing `01` is the protocol version.
+pub const MAGIC: &[u8; 8] = b"O4ARPC01";
+/// Bytes in a frame header (magic, verb, flags, payload length, checksum).
+pub const HEADER_LEN: usize = 8 + 1 + 1 + 4 + 4;
+/// Default cap on a frame's payload; larger frames are rejected with an
+/// explicit error instead of an unbounded allocation.
+pub const DEFAULT_MAX_PAYLOAD: usize = 1 << 20;
+/// Cap on `h * w` for a single mask (a 1024x1024 raster).
+pub const MAX_MASK_CELLS: usize = 1 << 20;
+/// Cap on masks per `BATCH` frame.
+pub const MAX_BATCH_MASKS: usize = 4096;
+
+/// Frame verbs (requests `0x0_`, responses `0x8_`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Verb {
+    /// Request: predict one region mask.
+    Query = 0x01,
+    /// Request: predict a batch of region masks.
+    Batch = 0x02,
+    /// Request: liveness / readiness / raster dimensions.
+    Health = 0x03,
+    /// Request: serving counters.
+    Stats = 0x04,
+    /// Response to [`Verb::Query`].
+    Prediction = 0x81,
+    /// Response to [`Verb::Batch`].
+    BatchResult = 0x82,
+    /// Response to [`Verb::Health`].
+    HealthOk = 0x83,
+    /// Response to [`Verb::Stats`].
+    StatsResult = 0x84,
+    /// Response: admission queue full, request shed.
+    Busy = 0x8E,
+    /// Response: request failed with a message.
+    Error = 0x8F,
+}
+
+impl Verb {
+    fn from_u8(v: u8) -> Result<Verb, WireError> {
+        Ok(match v {
+            0x01 => Verb::Query,
+            0x02 => Verb::Batch,
+            0x03 => Verb::Health,
+            0x04 => Verb::Stats,
+            0x81 => Verb::Prediction,
+            0x82 => Verb::BatchResult,
+            0x83 => Verb::HealthOk,
+            0x84 => Verb::StatsResult,
+            0x8E => Verb::Busy,
+            0x8F => Verb::Error,
+            other => return Err(WireError::UnknownVerb(other)),
+        })
+    }
+}
+
+/// Errors decoding a wire frame or payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic,
+    /// Reserved flags byte is non-zero.
+    BadFlags(u8),
+    /// Unassigned verb byte.
+    UnknownVerb(u8),
+    /// Declared payload length exceeds the receiver's cap.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The receiver's cap.
+        max: usize,
+    },
+    /// The stream or buffer ended mid-frame.
+    Truncated(&'static str),
+    /// Payload bytes disagree with the header checksum.
+    ChecksumMismatch,
+    /// A well-framed payload failed structural validation.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad frame magic"),
+            WireError::BadFlags(b) => write!(f, "reserved flags byte is {b:#04x}"),
+            WireError::UnknownVerb(v) => write!(f, "unknown verb {v:#04x}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "payload of {len} bytes exceeds cap of {max}")
+            }
+            WireError::Truncated(what) => write!(f, "truncated frame: {what}"),
+            WireError::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            WireError::Corrupt(what) => write!(f, "corrupt payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A decoded request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Predict one region mask.
+    Query(Mask),
+    /// Predict a batch of region masks.
+    Batch(Vec<Mask>),
+    /// Liveness / readiness probe.
+    Health,
+    /// Serving counters.
+    Stats,
+}
+
+/// Aggregate timing of the executed batch a response rode in, in
+/// nanoseconds of CPU time per stage (decomposition vs. index
+/// lookups + aggregation — the Fig. 15 breakdown).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingNs {
+    /// Hierarchical decomposition time.
+    pub decompose_ns: u64,
+    /// Combination lookup + aggregation time.
+    pub index_ns: u64,
+}
+
+/// Readiness and raster geometry reported by `HEALTH`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Whether a prediction snapshot has been published.
+    pub ready: bool,
+    /// Atomic raster height served.
+    pub h: u32,
+    /// Atomic raster width served.
+    pub w: u32,
+    /// Hierarchy layer count.
+    pub layers: u8,
+}
+
+/// Serving counters reported by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Well-formed request frames handled.
+    pub requests: u64,
+    /// Masks answered (a batch of n counts n).
+    pub masks_served: u64,
+    /// `query_many` executions (each may serve several coalesced
+    /// requests).
+    pub exec_batches: u64,
+    /// Masks that shared an execution batch with another request.
+    pub coalesced_masks: u64,
+    /// Requests shed with `BUSY` (admission queue full).
+    pub busy_rejections: u64,
+    /// Malformed frames received.
+    pub protocol_errors: u64,
+    /// Total decomposition CPU time (ns).
+    pub decompose_ns: u64,
+    /// Total lookup + aggregation CPU time (ns).
+    pub index_ns: u64,
+}
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// One predicted value plus its batch's timing breakdown.
+    Prediction {
+        /// The region prediction.
+        value: f32,
+        /// Timing of the executed batch.
+        timing: TimingNs,
+    },
+    /// Batched predictions plus the batch's timing breakdown.
+    BatchResult {
+        /// Per-mask predictions, request order.
+        values: Vec<f32>,
+        /// Timing of the executed batch.
+        timing: TimingNs,
+    },
+    /// Health probe reply.
+    Health(HealthInfo),
+    /// Counter snapshot reply.
+    Stats(StatsSnapshot),
+    /// Admission queue full; retry later.
+    Busy,
+    /// Request failed.
+    Error(String),
+}
+
+// ---------------------------------------------------------------------------
+// primitive readers/writers
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated("unexpected end of payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+    fn f32(&mut self) -> Result<f32, WireError> {
+        let s = self.take(4)?;
+        Ok(f32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+    fn done(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::Corrupt("trailing bytes in payload"));
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// mask payload form
+
+fn encode_mask(buf: &mut Vec<u8>, mask: &Mask) {
+    put_u16(buf, mask.h() as u16);
+    put_u16(buf, mask.w() as u16);
+    let cells = mask.h() * mask.w();
+    let mut packed = vec![0u8; cells.div_ceil(8)];
+    for (r, c) in mask.iter_set() {
+        let i = r * mask.w() + c;
+        packed[i / 8] |= 1 << (i % 8);
+    }
+    buf.extend_from_slice(&packed);
+}
+
+fn decode_mask(r: &mut Rd<'_>) -> Result<Mask, WireError> {
+    let h = r.u16()? as usize;
+    let w = r.u16()? as usize;
+    if h == 0 || w == 0 {
+        return Err(WireError::Corrupt("empty mask dimensions"));
+    }
+    let cells = h * w;
+    if cells > MAX_MASK_CELLS {
+        return Err(WireError::Corrupt("mask exceeds cell cap"));
+    }
+    let packed = r.take(cells.div_ceil(8))?;
+    // trailing padding bits must be zero so every mask has one canonical
+    // wire form (and a flipped padding bit is caught as corruption)
+    if !cells.is_multiple_of(8) && packed[cells / 8] >> (cells % 8) != 0 {
+        return Err(WireError::Corrupt("non-zero mask padding bits"));
+    }
+    let bits: Vec<bool> = (0..cells)
+        .map(|i| packed[i / 8] >> (i % 8) & 1 == 1)
+        .collect();
+    Ok(Mask::from_bits(h, w, bits))
+}
+
+// ---------------------------------------------------------------------------
+// frame layer
+
+/// Encodes one complete frame (header + checksummed payload).
+pub fn encode_frame(verb: Verb, payload: &[u8]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(HEADER_LEN + payload.len());
+    buf.extend_from_slice(MAGIC);
+    buf.push(verb as u8);
+    buf.push(0); // flags, reserved
+    buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&fnv1a32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Parses a frame header, returning `(verb, payload_len, payload_crc)`.
+pub fn decode_header(
+    header: &[u8; HEADER_LEN],
+    max_payload: usize,
+) -> Result<(Verb, usize, u32), WireError> {
+    if &header[..8] != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let verb = Verb::from_u8(header[8])?;
+    if header[9] != 0 {
+        return Err(WireError::BadFlags(header[9]));
+    }
+    let len = u32::from_le_bytes(header[10..14].try_into().expect("4 bytes")) as usize;
+    if len > max_payload {
+        return Err(WireError::Oversized {
+            len,
+            max: max_payload,
+        });
+    }
+    let crc = u32::from_le_bytes(header[14..18].try_into().expect("4 bytes"));
+    Ok((verb, len, crc))
+}
+
+/// Decodes one frame from a byte buffer, returning the verb, its payload
+/// and the bytes consumed.
+pub fn decode_frame(bytes: &[u8], max_payload: usize) -> Result<(Verb, &[u8], usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated("incomplete header"));
+    }
+    let header: &[u8; HEADER_LEN] = bytes[..HEADER_LEN].try_into().expect("header slice");
+    let (verb, len, crc) = decode_header(header, max_payload)?;
+    if bytes.len() < HEADER_LEN + len {
+        return Err(WireError::Truncated("incomplete payload"));
+    }
+    let payload = &bytes[HEADER_LEN..HEADER_LEN + len];
+    if fnv1a32(payload) != crc {
+        return Err(WireError::ChecksumMismatch);
+    }
+    Ok((verb, payload, HEADER_LEN + len))
+}
+
+// ---------------------------------------------------------------------------
+// request / response payloads
+
+/// Encodes a request as a complete frame.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    match req {
+        Request::Query(mask) => {
+            let mut p = Vec::new();
+            encode_mask(&mut p, mask);
+            encode_frame(Verb::Query, &p)
+        }
+        Request::Batch(masks) => {
+            let mut p = Vec::new();
+            put_u16(&mut p, masks.len() as u16);
+            for m in masks {
+                encode_mask(&mut p, m);
+            }
+            encode_frame(Verb::Batch, &p)
+        }
+        Request::Health => encode_frame(Verb::Health, &[]),
+        Request::Stats => encode_frame(Verb::Stats, &[]),
+    }
+}
+
+/// Decodes a request payload for a given verb.
+pub fn decode_request(verb: Verb, payload: &[u8]) -> Result<Request, WireError> {
+    let mut r = Rd {
+        buf: payload,
+        pos: 0,
+    };
+    let req = match verb {
+        Verb::Query => Request::Query(decode_mask(&mut r)?),
+        Verb::Batch => {
+            let count = r.u16()? as usize;
+            if count == 0 {
+                return Err(WireError::Corrupt("empty batch"));
+            }
+            if count > MAX_BATCH_MASKS {
+                return Err(WireError::Corrupt("batch exceeds mask cap"));
+            }
+            let mut masks = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                masks.push(decode_mask(&mut r)?);
+            }
+            Request::Batch(masks)
+        }
+        Verb::Health => Request::Health,
+        Verb::Stats => Request::Stats,
+        _ => return Err(WireError::Corrupt("response verb in request frame")),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+/// Encodes a response as a complete frame.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    match resp {
+        Response::Prediction { value, timing } => {
+            let mut p = Vec::new();
+            put_f32(&mut p, *value);
+            put_u64(&mut p, timing.decompose_ns);
+            put_u64(&mut p, timing.index_ns);
+            encode_frame(Verb::Prediction, &p)
+        }
+        Response::BatchResult { values, timing } => {
+            let mut p = Vec::new();
+            put_u16(&mut p, values.len() as u16);
+            for v in values {
+                put_f32(&mut p, *v);
+            }
+            put_u64(&mut p, timing.decompose_ns);
+            put_u64(&mut p, timing.index_ns);
+            encode_frame(Verb::BatchResult, &p)
+        }
+        Response::Health(info) => {
+            let mut p = Vec::new();
+            p.push(info.ready as u8);
+            p.push(info.layers);
+            p.extend_from_slice(&info.h.to_le_bytes());
+            p.extend_from_slice(&info.w.to_le_bytes());
+            encode_frame(Verb::HealthOk, &p)
+        }
+        Response::Stats(s) => {
+            let mut p = Vec::new();
+            for v in [
+                s.connections,
+                s.requests,
+                s.masks_served,
+                s.exec_batches,
+                s.coalesced_masks,
+                s.busy_rejections,
+                s.protocol_errors,
+                s.decompose_ns,
+                s.index_ns,
+            ] {
+                put_u64(&mut p, v);
+            }
+            encode_frame(Verb::StatsResult, &p)
+        }
+        Response::Busy => encode_frame(Verb::Busy, &[]),
+        Response::Error(msg) => {
+            let bytes = msg.as_bytes();
+            let take = bytes.len().min(u16::MAX as usize);
+            let mut p = Vec::new();
+            put_u16(&mut p, take as u16);
+            p.extend_from_slice(&bytes[..take]);
+            encode_frame(Verb::Error, &p)
+        }
+    }
+}
+
+/// Decodes a response payload for a given verb.
+pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError> {
+    let mut r = Rd {
+        buf: payload,
+        pos: 0,
+    };
+    let resp = match verb {
+        Verb::Prediction => Response::Prediction {
+            value: r.f32()?,
+            timing: TimingNs {
+                decompose_ns: r.u64()?,
+                index_ns: r.u64()?,
+            },
+        },
+        Verb::BatchResult => {
+            let count = r.u16()? as usize;
+            let mut values = Vec::with_capacity(count.min(1024));
+            for _ in 0..count {
+                values.push(r.f32()?);
+            }
+            Response::BatchResult {
+                values,
+                timing: TimingNs {
+                    decompose_ns: r.u64()?,
+                    index_ns: r.u64()?,
+                },
+            }
+        }
+        Verb::HealthOk => {
+            let flags = r.take(2)?;
+            let (ready, layers) = (flags[0], flags[1]);
+            if ready > 1 {
+                return Err(WireError::Corrupt("health ready flag out of range"));
+            }
+            let h = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+            let w = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+            Response::Health(HealthInfo {
+                ready: ready == 1,
+                h,
+                w,
+                layers,
+            })
+        }
+        Verb::StatsResult => Response::Stats(StatsSnapshot {
+            connections: r.u64()?,
+            requests: r.u64()?,
+            masks_served: r.u64()?,
+            exec_batches: r.u64()?,
+            coalesced_masks: r.u64()?,
+            busy_rejections: r.u64()?,
+            protocol_errors: r.u64()?,
+            decompose_ns: r.u64()?,
+            index_ns: r.u64()?,
+        }),
+        Verb::Busy => Response::Busy,
+        Verb::Error => {
+            let len = r.u16()? as usize;
+            let bytes = r.take(len)?;
+            let msg = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Corrupt("error message is not UTF-8"))?
+                .to_string();
+            Response::Error(msg)
+        }
+        _ => return Err(WireError::Corrupt("request verb in response frame")),
+    };
+    r.done()?;
+    Ok(resp)
+}
+
+/// Decodes a request from a complete frame buffer, requiring the buffer
+/// to hold exactly one frame (the fuzz-tested entry point).
+pub fn parse_request_bytes(bytes: &[u8]) -> Result<Request, WireError> {
+    let (verb, payload, consumed) = decode_frame(bytes, DEFAULT_MAX_PAYLOAD)?;
+    if consumed != bytes.len() {
+        return Err(WireError::Corrupt("trailing bytes after frame"));
+    }
+    decode_request(verb, payload)
+}
+
+/// Decodes a response from a complete frame buffer (exactly one frame).
+pub fn parse_response_bytes(bytes: &[u8]) -> Result<Response, WireError> {
+    let (verb, payload, consumed) = decode_frame(bytes, DEFAULT_MAX_PAYLOAD)?;
+    if consumed != bytes.len() {
+        return Err(WireError::Corrupt("trailing bytes after frame"));
+    }
+    decode_response(verb, payload)
+}
+
+// ---------------------------------------------------------------------------
+// stream I/O
+
+/// A wire or transport failure while reading a frame from a stream.
+#[derive(Debug)]
+pub enum TransportError {
+    /// Underlying socket error.
+    Io(std::io::Error),
+    /// The frame itself was malformed.
+    Wire(WireError),
+    /// The peer closed the stream between frames.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "transport I/O error: {e}"),
+            TransportError::Wire(e) => write!(f, "wire error: {e}"),
+            TransportError::Closed => write!(f, "peer closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        TransportError::Wire(e)
+    }
+}
+
+/// Reads exactly one frame from a blocking stream. Returns
+/// [`TransportError::Closed`] on a clean EOF at a frame boundary.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_payload: usize,
+) -> Result<(Verb, Vec<u8>), TransportError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        let n = r.read(&mut header[got..])?;
+        if n == 0 {
+            if got == 0 {
+                return Err(TransportError::Closed);
+            }
+            return Err(TransportError::Wire(WireError::Truncated("EOF mid-header")));
+        }
+        got += n;
+    }
+    let (verb, len, crc) = decode_header(&header, max_payload)?;
+    let mut payload = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        let n = r.read(&mut payload[got..])?;
+        if n == 0 {
+            return Err(TransportError::Wire(WireError::Truncated(
+                "EOF mid-payload",
+            )));
+        }
+        got += n;
+    }
+    if fnv1a32(&payload) != crc {
+        return Err(TransportError::Wire(WireError::ChecksumMismatch));
+    }
+    Ok((verb, payload))
+}
+
+/// Writes one already-encoded frame to a blocking stream.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> std::io::Result<()> {
+    w.write_all(frame)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mask() -> Mask {
+        let mut m = Mask::rect(5, 7, 1, 2, 4, 6);
+        m.set(0, 0, true);
+        m
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in [
+            Request::Query(sample_mask()),
+            Request::Batch(vec![
+                sample_mask(),
+                Mask::full(3, 3),
+                Mask::rect(2, 9, 0, 0, 1, 9),
+            ]),
+            Request::Health,
+            Request::Stats,
+        ] {
+            let bytes = encode_request(&req);
+            assert_eq!(parse_request_bytes(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let timing = TimingNs {
+            decompose_ns: 12_345,
+            index_ns: 678_900,
+        };
+        for resp in [
+            Response::Prediction {
+                value: -3.25,
+                timing,
+            },
+            Response::BatchResult {
+                values: vec![1.0, f32::MIN_POSITIVE, 0.0],
+                timing,
+            },
+            Response::Health(HealthInfo {
+                ready: true,
+                h: 128,
+                w: 128,
+                layers: 6,
+            }),
+            Response::Stats(StatsSnapshot {
+                connections: 3,
+                requests: 1000,
+                masks_served: 4000,
+                exec_batches: 120,
+                coalesced_masks: 3900,
+                busy_rejections: 7,
+                protocol_errors: 2,
+                decompose_ns: 1,
+                index_ns: 2,
+            }),
+            Response::Busy,
+            Response::Error("no snapshot".into()),
+        ] {
+            let bytes = encode_response(&resp);
+            assert_eq!(parse_response_bytes(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut frame = encode_frame(Verb::Query, &[0u8; 64]);
+        // declare a payload far beyond the cap
+        frame[10..14].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(
+            decode_frame(&frame, DEFAULT_MAX_PAYLOAD),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn nonzero_padding_bits_rejected() {
+        let req = Request::Query(Mask::rect(3, 3, 0, 0, 2, 2));
+        let mut bytes = encode_request(&req);
+        // 9 cells -> 2 payload bytes of bitmap; bit 9..15 of the second
+        // byte are padding. Flip one and fix the checksum so only the
+        // structural check can complain.
+        let last = bytes.len() - 1;
+        bytes[last] |= 0x80;
+        let crc = fnv1a32(&bytes[HEADER_LEN..]);
+        bytes[14..18].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            parse_request_bytes(&bytes),
+            Err(WireError::Corrupt("non-zero mask padding bits"))
+        );
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let req = Request::Batch(vec![sample_mask(); 4]);
+        let frame = encode_request(&req);
+        let mut cursor = std::io::Cursor::new(frame);
+        let (verb, payload) = read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD).unwrap();
+        assert_eq!(decode_request(verb, &payload).unwrap(), req);
+        // the stream is now exhausted -> clean close
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_PAYLOAD),
+            Err(TransportError::Closed)
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! Loopback integration tests: a real server on an ephemeral port, driven
+//! through real sockets, with responses compared bit-for-bit against
+//! in-process `RegionServer::query` results.
+
+use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
+use o4a_core::one4all::truth_pyramid;
+use o4a_core::server::{PredictionStore, RegionServer};
+use o4a_data::synthetic::DatasetKind;
+use o4a_grid::queries::{task_queries, TaskSpec};
+use o4a_grid::{Hierarchy, Mask};
+use o4a_serve::wire::{encode_frame, encode_request, read_frame, Verb, DEFAULT_MAX_PAYLOAD};
+use o4a_serve::{serve, Client, ClientConfig, Request, Response, ServeConfig, ServerHandle};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const SIDE: usize = 16;
+
+/// Build the reference region server: a small hierarchy, ground-truth
+/// snapshot, and a union-subtraction index.
+fn region_fixture() -> Arc<RegionServer> {
+    let hier = Hierarchy::new(SIDE, SIDE, 2, 4).unwrap();
+    let flow = DatasetKind::TaxiNycLike
+        .config(SIDE, SIDE, 32, 9)
+        .generate();
+    let slots: Vec<usize> = (24..32).collect();
+    let truths = truth_pyramid(&hier, &flow, &slots);
+    let index =
+        search_optimal_combinations(&hier, &truths, &truths, SearchStrategy::UnionSubtraction);
+    let store = Arc::new(PredictionStore::for_hierarchy(&hier));
+    store
+        .publish_checked(truths.iter().map(|layer| layer[0].clone()).collect())
+        .unwrap();
+    Arc::new(RegionServer::new(index, store))
+}
+
+fn start(cfg_tweak: impl FnOnce(&mut ServeConfig)) -> (Arc<RegionServer>, ServerHandle) {
+    let region = region_fixture();
+    let mut cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        ..ServeConfig::default()
+    };
+    cfg_tweak(&mut cfg);
+    let handle = serve(Arc::clone(&region), cfg).unwrap();
+    (region, handle)
+}
+
+fn query_masks() -> Vec<Mask> {
+    let mut rng = o4a_tensor::SeededRng::new(31);
+    let mut masks = Vec::new();
+    for spec in TaskSpec::standard_tasks(150.0) {
+        masks.extend(task_queries(SIDE, SIDE, spec, false, &mut rng));
+    }
+    masks.truncate(64);
+    masks
+}
+
+#[test]
+fn single_queries_bit_match_in_process() {
+    let (region, handle) = start(|_| {});
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    for mask in query_masks() {
+        let (remote, _) = client.query(&mask).unwrap();
+        let local = region.query(&mask);
+        assert_eq!(
+            remote.to_bits(),
+            local.to_bits(),
+            "wire answer differs from in-process query"
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn batched_queries_bit_match_in_process() {
+    let (region, handle) = start(|_| {});
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    let masks = query_masks();
+    let (remote, timing) = client.query_batch(&masks).unwrap();
+    assert_eq!(remote.len(), masks.len());
+    for (mask, value) in masks.iter().zip(&remote) {
+        assert_eq!(value.to_bits(), region.query(mask).to_bits());
+    }
+    // The aggregate timing must be populated (the server measured work).
+    assert!(timing.decompose_ns + timing.index_ns > 0);
+    handle.shutdown();
+}
+
+#[test]
+fn health_and_stats_roundtrip() {
+    let (_region, handle) = start(|_| {});
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    let health = client.health().unwrap();
+    assert!(health.ready);
+    assert_eq!(health.h, SIDE as u32);
+    assert_eq!(health.w, SIDE as u32);
+    assert_eq!(health.layers, 4);
+
+    let mask = Mask::rect(SIDE, SIDE, 2, 2, 6, 6);
+    client.query(&mask).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.connections >= 1);
+    assert!(stats.requests >= 1);
+    assert_eq!(stats.masks_served, 1);
+    assert_eq!(stats.exec_batches, 1);
+    assert_eq!(stats.busy_rejections, 0);
+    assert_eq!(stats.protocol_errors, 0);
+    handle.shutdown();
+}
+
+#[test]
+fn corrupt_frame_gets_error_and_close() {
+    let (_region, handle) = start(|_| {});
+    let mask = Mask::rect(SIDE, SIDE, 0, 0, 3, 3);
+    let mut frame = encode_request(&Request::Query(mask));
+    // Flip a payload byte without fixing the CRC.
+    let last = frame.len() - 1;
+    frame[last] ^= 0x40;
+
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(&frame).unwrap();
+    let (verb, payload) = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    let resp = o4a_serve::wire::decode_response(verb, &payload).unwrap();
+    assert!(matches!(resp, Response::Error(_)), "got {resp:?}");
+    // The server closes the connection after a protocol error.
+    match read_frame(&mut stream, DEFAULT_MAX_PAYLOAD) {
+        Err(_) => {}
+        Ok(other) => panic!("expected close after protocol error, got {other:?}"),
+    }
+
+    // The server survives: a fresh, well-formed connection still works.
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    client.query(&Mask::rect(SIDE, SIDE, 1, 1, 2, 2)).unwrap();
+    assert!(client.stats().unwrap().protocol_errors >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn oversized_frame_rejected_without_panic() {
+    let (_region, handle) = start(|cfg| cfg.max_payload = 1024);
+    // A header advertising a payload far beyond the server's cap.
+    let frame = encode_frame(Verb::Query, &vec![0u8; 4096]);
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    stream.write_all(&frame).unwrap();
+    let (verb, payload) = read_frame(&mut stream, DEFAULT_MAX_PAYLOAD).unwrap();
+    let resp = o4a_serve::wire::decode_response(verb, &payload).unwrap();
+    assert!(matches!(resp, Response::Error(_)), "got {resp:?}");
+
+    // Server still healthy afterwards.
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    assert!(client.health().unwrap().ready);
+    handle.shutdown();
+}
+
+#[test]
+fn dim_mismatch_is_an_error_but_keeps_the_connection() {
+    let (_region, handle) = start(|_| {});
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    let wrong = Mask::rect(SIDE * 2, SIDE * 2, 0, 0, 3, 3);
+    match client.query(&wrong) {
+        Err(o4a_serve::ClientError::Remote(msg)) => {
+            assert!(msg.contains("mask"), "unexpected message: {msg}")
+        }
+        other => panic!("expected remote error, got {other:?}"),
+    }
+    // Same connection keeps working.
+    client.query(&Mask::rect(SIDE, SIDE, 0, 0, 3, 3)).unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn zero_capacity_queue_sheds_load_with_busy() {
+    let (_region, handle) = start(|cfg| cfg.queue_cap = 0);
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    match client.query(&Mask::rect(SIDE, SIDE, 0, 0, 3, 3)) {
+        Err(o4a_serve::ClientError::Busy) => {}
+        other => panic!("expected BUSY, got {other:?}"),
+    }
+    assert!(client.stats().unwrap().busy_rejections >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn concurrent_clients_coalesce_and_bit_match() {
+    let (region, handle) = start(|cfg| {
+        cfg.workers = 2;
+        cfg.coalesce_window = Duration::from_millis(2);
+    });
+    let masks = query_masks();
+    let addr = handle.addr();
+    let results: Vec<Vec<(Mask, f32)>> = std::thread::scope(|s| {
+        (0..4)
+            .map(|tid| {
+                let masks = masks.clone();
+                s.spawn(move || {
+                    let mut client = Client::connect(addr, ClientConfig::default()).unwrap();
+                    masks
+                        .into_iter()
+                        .skip(tid)
+                        .step_by(4)
+                        .map(|m| {
+                            let (v, _) = client.query(&m).unwrap();
+                            (m, v)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    for (mask, value) in results.into_iter().flatten() {
+        assert_eq!(value.to_bits(), region.query(&mask).to_bits());
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.masks_served as usize, masks.len());
+    // Coalescing must have merged at least some requests: fewer executor
+    // batches than masks (4 threads + a 2ms window make this robust).
+    assert!(
+        stats.exec_batches < stats.masks_served,
+        "no coalescing: {} batches for {} masks",
+        stats.exec_batches,
+        stats.masks_served
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_is_clean_and_refuses_new_connections() {
+    let (_region, handle) = start(|_| {});
+    let addr = handle.addr();
+    let mut client = Client::connect(addr, ClientConfig::default()).unwrap();
+    client.query(&Mask::rect(SIDE, SIDE, 0, 0, 2, 2)).unwrap();
+    handle.shutdown();
+    // After shutdown the port no longer accepts (or immediately drops)
+    // connections; a fresh health call must fail.
+    let cfg = ClientConfig {
+        reconnects: 0,
+        connect_timeout: Duration::from_millis(200),
+        io_timeout: Duration::from_millis(500),
+        ..ClientConfig::default()
+    };
+    match Client::connect(addr, cfg).and_then(|mut c| c.health()) {
+        Err(_) => {}
+        Ok(h) => panic!("server still answering after shutdown: {h:?}"),
+    }
+}

@@ -16,9 +16,25 @@ cargo test -q
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-# Lint the crates touched by the parallel compute runtime.
-echo "==> cargo clippy -D warnings (tensor, nn, core, bench)"
+# Lint the crates touched by the parallel compute runtime and the
+# serving layer.
+echo "==> cargo clippy -D warnings (tensor, nn, core, bench, serve)"
 cargo clippy --release -p o4a-tensor -p o4a-nn -p o4a-core -p o4a-bench \
-    --all-targets -- -D warnings
+    -p o4a-serve --all-targets -- -D warnings
+
+# Serving smoke: cold-start a server on an ephemeral port, drive it with
+# the load generator for ~2s, and require non-zero throughput (loadgen
+# exits non-zero when no request succeeds) plus a clean server exit.
+echo "==> serve smoke (serve + loadgen, ~2s)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr" \
+    --side 16 --artifacts "$SMOKE_DIR/artifacts" --run-secs 6 \
+    > "$SMOKE_DIR/serve.log" 2>&1 &
+SERVE_PID=$!
+./target/release/loadgen --addr-file "$SMOKE_DIR/addr" --threads 2 \
+    --secs 2 --out "$SMOKE_DIR/BENCH_serve.json"
+wait "$SERVE_PID"
+grep -q '"requests"' "$SMOKE_DIR/BENCH_serve.json"
 
 echo "==> all checks passed"

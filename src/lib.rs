@@ -17,6 +17,7 @@
 //!   ([`o4a_data`])
 //! * [`models`] — baseline ST predictors ([`o4a_models`])
 //! * [`core`] — the One4All-ST framework itself ([`o4a_core`])
+//! * [`serve`] — the networked query-serving layer ([`o4a_serve`])
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` for the
 //! system inventory.
@@ -26,4 +27,5 @@ pub use o4a_data as data;
 pub use o4a_grid as grid;
 pub use o4a_models as models;
 pub use o4a_nn as nn;
+pub use o4a_serve as serve;
 pub use o4a_tensor as tensor;
