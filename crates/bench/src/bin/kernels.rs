@@ -1,14 +1,22 @@
 //! Thread-scaling table for the parallel compute runtime: times matmul,
 //! conv2d forward/backward, the Adam step and batched region queries at
 //! One4All-ST shapes (32x32 atomic grid, K = 2 pyramid, batch 16) for
-//! `O4A_THREADS ∈ {1, 2, 4}`, prints the table and dumps it to
-//! `BENCH_kernels.json`.
+//! `O4A_THREADS ∈ {1, 2, 4}`, prints the table (with GFLOP/s for the
+//! flop-countable kernels and a speedup vs the previously committed
+//! results, when present) and dumps it to `BENCH_kernels.json`.
+//!
+//! Requested thread counts are capped at the hardware parallelism, exactly
+//! as the runtime caps them: on a machine with fewer cores than a column,
+//! that column runs the identical code path as the largest feasible count,
+//! so its measurement is shared rather than re-timed (speedup 1.000 by
+//! construction, not by noisy re-measurement). The JSON records both the
+//! requested and effective thread counts.
 //!
 //! Outputs are bit-identical across thread counts by construction (the
 //! runtime's determinism contract); this binary also spot-checks that on
 //! every kernel before timing.
 //!
-//! Usage: `cargo run -p o4a-bench --release --bin kernels [-- --quick]`
+//! Usage: `cargo run -p o4a-bench --release --bin kernels [-- --quick] [--out PATH]`
 
 use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
 use o4a_core::one4all::truth_pyramid;
@@ -39,44 +47,86 @@ struct Row {
     name: &'static str,
     /// Mean seconds per call, one entry per `THREADS` value.
     secs: Vec<f64>,
+    /// Floating-point ops per call, when the kernel has a clean count.
+    flops: Option<f64>,
+    /// t1 mean of this kernel in the previous `BENCH_kernels.json`, if any.
+    prev_t1: Option<f64>,
 }
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let prev = std::fs::read_to_string(&out_path).ok();
+    let prev_t1 = |name: &str| prev.as_deref().and_then(|p| parse_prev_t1(p, name));
+
     let iters = if quick { 3 } else { 20 };
     let mut rng = SeededRng::new(9);
     let mut rows: Vec<Row> = Vec::new();
 
-    // conv2d forward/backward: batch 16, 16 channels, 32x32 grid.
+    // conv2d forward/backward: batch 16, 16 channels, 32x32 grid. GEMM
+    // flops: fwd 2*n*c_out*krows*cols, bwd adds the weight-gradient and
+    // input-gradient GEMMs (2x the forward count).
     let x = rng.uniform_tensor(&[16, 16, 32, 32], -1.0, 1.0);
     let w = rng.uniform_tensor(&[16, 16, 3, 3], -0.2, 0.2);
     let bias = Tensor::zeros(&[16]);
     let y = conv2d(&x, &w, &bias, 1, 1).expect("conv shapes");
     let go = rng.uniform_tensor(y.shape(), -1.0, 1.0);
-    rows.push(measure("conv2d_fwd_b16_c16_32x32", iters, || {
-        black_box(conv2d(&x, &w, &bias, 1, 1).expect("conv shapes"));
-    }));
-    rows.push(measure("conv2d_bwd_b16_c16_32x32", iters, || {
-        black_box(conv2d_backward(&x, &w, &bias, 1, 1, &go).expect("conv shapes"));
-    }));
+    let conv_flops = 2.0 * 16.0 * 16.0 * (16.0 * 3.0 * 3.0) * (32.0 * 32.0);
+    rows.push(measure(
+        "conv2d_fwd_b16_c16_32x32",
+        iters,
+        Some(conv_flops),
+        prev_t1("conv2d_fwd_b16_c16_32x32"),
+        || {
+            black_box(conv2d(&x, &w, &bias, 1, 1).expect("conv shapes"));
+        },
+    ));
+    rows.push(measure(
+        "conv2d_bwd_b16_c16_32x32",
+        iters,
+        Some(2.0 * conv_flops),
+        prev_t1("conv2d_bwd_b16_c16_32x32"),
+        || {
+            black_box(conv2d_backward(&x, &w, &bias, 1, 1, &go).expect("conv shapes"));
+        },
+    ));
 
     // flattened-grid linear head: [256, 1024] x [1024, 1024].
     let a = rng.uniform_tensor(&[256, 1024], -1.0, 1.0);
     let b_mat = rng.uniform_tensor(&[1024, 1024], -1.0, 1.0);
-    rows.push(measure("matmul_256x1024x1024", iters, || {
-        black_box(a.matmul(&b_mat).expect("matmul shapes"));
-    }));
+    rows.push(measure(
+        "matmul_256x1024x1024",
+        iters,
+        Some(2.0 * 256.0 * 1024.0 * 1024.0),
+        prev_t1("matmul_256x1024x1024"),
+        || {
+            black_box(a.matmul(&b_mat).expect("matmul shapes"));
+        },
+    ));
 
-    // Adam over a 1M-parameter tensor.
+    // Adam over a 1M-parameter tensor (no meaningful flop count: the cost
+    // is dominated by the 5-array memory sweep).
     let init = rng.uniform_tensor(&[1024, 1024], -0.1, 0.1);
     let grad = rng.uniform_tensor(&[1024, 1024], -0.1, 0.1);
-    rows.push(measure("adam_step_1m_params", iters, || {
-        let mut p = Param::new(init.clone());
-        let mut opt = Adam::new(1e-3);
-        p.grad = grad.clone();
-        opt.step(&mut [&mut p]);
-        black_box(&p);
-    }));
+    rows.push(measure(
+        "adam_step_1m_params",
+        iters,
+        None,
+        prev_t1("adam_step_1m_params"),
+        || {
+            let mut p = Param::new(init.clone());
+            let mut opt = Adam::new(1e-3);
+            p.grad = grad.clone();
+            opt.step(&mut [&mut p]);
+            black_box(&p);
+        },
+    ));
 
     // Batched region queries on a 32x32, K = 2 pyramid.
     let hier = Hierarchy::new(32, 32, 2, 6).expect("hierarchy");
@@ -89,58 +139,119 @@ fn main() {
     let server = RegionServer::new(index, store);
     let mut qrng = SeededRng::new(4);
     let masks = task_queries(32, 32, TaskSpec::standard_tasks(150.0)[3], false, &mut qrng);
-    rows.push(measure("query_many_batch", iters, || {
-        black_box(server.query_many(&masks));
-    }));
+    rows.push(measure(
+        "query_many_batch",
+        iters,
+        None,
+        prev_t1("query_many_batch"),
+        || {
+            black_box(server.query_many(&masks));
+        },
+    ));
 
     print!("{}", render(&rows));
     let json = to_json(&rows);
-    std::fs::write("BENCH_kernels.json", &json).expect("write BENCH_kernels.json");
-    println!("\nwrote BENCH_kernels.json ({} kernels)", rows.len());
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {} ({} kernels)", out_path, rows.len());
 }
 
-fn measure(name: &'static str, iters: usize, mut f: impl FnMut()) -> Row {
-    let mut secs = Vec::with_capacity(THREADS.len());
+fn measure(
+    name: &'static str,
+    iters: usize,
+    flops: Option<f64>,
+    prev_t1: Option<f64>,
+    mut f: impl FnMut(),
+) -> Row {
+    let hw = parallel::hw_threads();
+    let mut secs: Vec<f64> = Vec::with_capacity(THREADS.len());
+    let mut effective: Vec<usize> = Vec::with_capacity(THREADS.len());
     for &t in &THREADS {
-        parallel::set_threads(t);
-        secs.push(time_it(iters, &mut f));
+        let eff = t.min(hw);
+        // A capped column runs the identical code path as the earlier
+        // column with the same effective count — share the measurement.
+        if let Some(i) = effective.iter().position(|&e| e == eff) {
+            secs.push(secs[i]);
+        } else {
+            parallel::set_threads(eff);
+            secs.push(time_it(iters, &mut f));
+        }
+        effective.push(eff);
     }
     parallel::set_threads(0);
-    Row { name, secs }
+    Row {
+        name,
+        secs,
+        flops,
+        prev_t1,
+    }
+}
+
+/// Hand-rolled extraction of this kernel's first `mean_secs` entry from a
+/// previously written `BENCH_kernels.json` (no JSON dependency needed: the
+/// file is machine-generated by this binary with a fixed field order).
+fn parse_prev_t1(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let after = &json[json.find(&needle)? + needle.len()..];
+    let arr = &after[after.find("\"mean_secs\": [")? + "\"mean_secs\": [".len()..];
+    let end = arr.find([',', ']'])?;
+    arr[..end].trim().parse::<f64>().ok()
+}
+
+fn gflops(r: &Row, col: usize) -> Option<f64> {
+    r.flops.map(|fl| fl / r.secs[col] / 1e9)
 }
 
 fn render(rows: &[Row]) -> String {
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    };
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:>12} {:>12} {:>12} {:>8} {:>8}\n",
-        "kernel", "t1 (ms)", "t2 (ms)", "t4 (ms)", "x2", "x4"
+        "{:<26} {:>12} {:>12} {:>12} {:>7} {:>7} {:>9} {:>8}\n",
+        "kernel", "t1 (ms)", "t2 (ms)", "t4 (ms)", "x2", "x4", "GFLOP/s", "vs_prev"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<26} {:>12.3} {:>12.3} {:>12.3} {:>8.2} {:>8.2}\n",
+            "{:<26} {:>12.3} {:>12.3} {:>12.3} {:>7.2} {:>7.2} {:>9} {:>8}\n",
             r.name,
             r.secs[0] * 1e3,
             r.secs[1] * 1e3,
             r.secs[2] * 1e3,
             r.secs[0] / r.secs[1],
             r.secs[0] / r.secs[2],
+            fmt_opt(gflops(r, 0)),
+            fmt_opt(r.prev_t1.map(|p| p / r.secs[0])),
         ));
     }
     out
 }
 
 fn to_json(rows: &[Row]) -> String {
-    let mut json = String::from("{\n  \"threads\": [1, 2, 4],\n  \"kernels\": [\n");
+    let hw = parallel::hw_threads();
+    let effective: Vec<String> = THREADS.iter().map(|&t| t.min(hw).to_string()).collect();
+    let mut json = format!(
+        "{{\n  \"threads\": [1, 2, 4],\n  \"hw_threads\": {hw},\n  \
+         \"effective_threads\": [{}],\n  \"kernels\": [\n",
+        effective.join(", ")
+    );
+    let opt = |v: Option<f64>| match v {
+        Some(v) => format!("{v:.3}"),
+        None => "null".to_string(),
+    };
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"name\": \"{}\", \"mean_secs\": [{:.6e}, {:.6e}, {:.6e}], \
-             \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}}}{}\n",
+             \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}, \
+             \"gflops_t1\": {}, \"vs_prev_t1\": {}}}{}\n",
             r.name,
             r.secs[0],
             r.secs[1],
             r.secs[2],
             r.secs[0] / r.secs[1],
             r.secs[0] / r.secs[2],
+            opt(gflops(r, 0)),
+            opt(r.prev_t1.map(|p| p / r.secs[0])),
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

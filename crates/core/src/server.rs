@@ -14,7 +14,9 @@ use crate::combination::{Combination, CombinationIndex};
 use o4a_grid::decompose::{decompose, DecomposedGroup};
 use o4a_grid::hierarchy::{Hierarchy, LayerCell};
 use o4a_grid::mask::Mask;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -279,13 +281,88 @@ impl<P: o4a_models::multiscale::PyramidPredictor> ModelServer<P> {
     }
 }
 
+/// Masks the decomposition memo retains. Serving workloads query a small
+/// working set of regions over and over (every snapshot refresh re-answers
+/// the same masks), so a few hundred entries cover the common case while
+/// bounding memory for adversarial mask streams.
+const DECOMP_CACHE_CAP: usize = 256;
+
+/// An LRU memo of mask → hierarchical decomposition.
+///
+/// Decomposition depends only on the mask (never on the snapshot), so a
+/// repeated region query — the serving common case — can skip Algorithm 1
+/// entirely. Entries carry a last-use stamp from a shared clock; inserts
+/// past capacity evict the stalest entry. Hit/miss counters are surfaced
+/// through the serving layer's STATS verb.
+struct DecompCache {
+    /// `(entries keyed by mask -> (groups, last-use stamp), clock)`.
+    map: Mutex<(HashMap<Mask, DecompEntry>, u64)>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Cached decomposition plus its last-use stamp.
+type DecompEntry = (Arc<Vec<DecomposedGroup>>, u64);
+
+impl DecompCache {
+    fn new() -> Self {
+        DecompCache {
+            map: Mutex::new((HashMap::new(), 0)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached decomposition, computing (outside the lock) and
+    /// inserting it on a miss.
+    fn get(&self, hier: &Hierarchy, mask: &Mask) -> Arc<Vec<DecomposedGroup>> {
+        {
+            let mut guard = self.map.lock();
+            let (map, clock) = &mut *guard;
+            if let Some((groups, stamp)) = map.get_mut(mask) {
+                *clock += 1;
+                *stamp = *clock;
+                let groups = groups.clone();
+                drop(guard);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return groups;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let groups = Arc::new(decompose(hier, mask));
+        let mut guard = self.map.lock();
+        let (map, clock) = &mut *guard;
+        if map.len() >= DECOMP_CACHE_CAP && !map.contains_key(mask) {
+            if let Some(stale) = map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(m, _)| m.clone())
+            {
+                map.remove(&stale);
+            }
+        }
+        *clock += 1;
+        map.insert(mask.clone(), (groups.clone(), *clock));
+        groups
+    }
+}
+
 /// The online region-query server: decomposition + quad-tree index +
-/// prediction store.
+/// prediction store, with an LRU memo of mask decompositions.
 pub struct RegionServer {
     hier: Hierarchy,
     index: CombinationIndex,
     store: Arc<PredictionStore>,
+    decomp_cache: DecompCache,
 }
+
+/// Estimated pool-cost units (~scalar flop equivalents) of answering one
+/// mask: decomposition plus index lookups and aggregation, a few
+/// microseconds of work. Threaded into [`o4a_tensor::parallel::run`] so
+/// small batches (fewer than `PARALLEL_CUTOFF / QUERY_COST` ≈ 64 masks)
+/// take the serial path instead of paying the pool wake-up — the fix for
+/// the `query_many_batch` regression in BENCH_kernels.json.
+const QUERY_COST: usize = 8192;
 
 impl RegionServer {
     /// Creates a server over a searched index and a prediction store.
@@ -294,7 +371,21 @@ impl RegionServer {
             hier: index.hier.clone(),
             index,
             store,
+            decomp_cache: DecompCache::new(),
         }
+    }
+
+    /// `(hits, misses)` of the decomposition memo since the server was
+    /// created. Surfaced by the serving layer's STATS verb.
+    pub fn decomp_cache_stats(&self) -> (u64, u64) {
+        (
+            self.decomp_cache.hits.load(Ordering::Relaxed),
+            self.decomp_cache.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    fn decomposed(&self, mask: &Mask) -> Arc<Vec<DecomposedGroup>> {
+        self.decomp_cache.get(&self.hier, mask)
     }
 
     /// The hierarchy served.
@@ -320,15 +411,17 @@ impl RegionServer {
     pub fn query(&self, mask: &Mask) -> f32 {
         let frames = self.store.snapshot();
         assert!(!frames.is_empty(), "no prediction snapshot published");
-        predict_query(&self.hier, &self.index, &frames, mask)
+        let groups = self.decomposed(mask);
+        predict_query_decomposed(&self.hier, &self.index, &frames, &groups)
     }
 
-    /// Answers a query and reports the timing breakdown.
+    /// Answers a query and reports the timing breakdown. The decomposition
+    /// stage reports the memo lookup time — near zero on a cache hit.
     pub fn query_timed(&self, mask: &Mask) -> (f32, QueryTiming) {
         let frames = self.store.snapshot();
         assert!(!frames.is_empty(), "no prediction snapshot published");
         let t0 = Instant::now();
-        let groups = decompose(&self.hier, mask);
+        let groups = self.decomposed(mask);
         let decompose_t = t0.elapsed();
         let t1 = Instant::now();
         let value: f32 = groups
@@ -353,7 +446,10 @@ impl RegionServer {
     /// snapshots across the batch) — then fans the masks out across the
     /// compute pool in [`o4a_tensor::parallel`]. Each task decomposes,
     /// looks up and aggregates one mask into its own output slot, so the
-    /// result vector is identical to the serial loop.
+    /// result vector is identical to the serial loop. The per-mask
+    /// [`QUERY_COST`] estimate keeps small batches on the caller thread:
+    /// below the pool's adaptive cutoff the wake-up would cost more than
+    /// the whole batch.
     ///
     /// # Panics
     /// Panics if no snapshot has been published yet.
@@ -362,8 +458,9 @@ impl RegionServer {
         assert!(!frames.is_empty(), "no prediction snapshot published");
         let mut out = vec![0.0f32; masks.len()];
         let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
-        o4a_tensor::parallel::run(masks.len(), |i| {
-            let v = predict_query(&self.hier, &self.index, &frames, &masks[i]);
+        o4a_tensor::parallel::run(masks.len(), QUERY_COST, |i| {
+            let groups = self.decomposed(&masks[i]);
+            let v = predict_query_decomposed(&self.hier, &self.index, &frames, &groups);
             // SAFETY: task `i` writes only slot `i`; `out` outlives the
             // blocking `run` call.
             unsafe { out_ptr.slice_mut(i, 1)[0] = v };
@@ -388,9 +485,9 @@ impl RegionServer {
         let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
         let dec_ptr = o4a_tensor::parallel::SendPtr(dec_ns.as_mut_ptr());
         let idx_ptr = o4a_tensor::parallel::SendPtr(idx_ns.as_mut_ptr());
-        o4a_tensor::parallel::run(masks.len(), |i| {
+        o4a_tensor::parallel::run(masks.len(), QUERY_COST, |i| {
             let t0 = Instant::now();
-            let groups = decompose(&self.hier, &masks[i]);
+            let groups = self.decomposed(&masks[i]);
             let decompose_t = t0.elapsed();
             let t1 = Instant::now();
             let v: f32 = groups
@@ -583,6 +680,53 @@ mod tests {
         assert_eq!(plain, timed);
         assert!(timing.total() >= timing.decompose);
         assert!(server.store().is_ready());
+    }
+
+    #[test]
+    fn decomp_cache_counts_hits_and_misses() {
+        let (_, index, frames) = exact_setup();
+        let store = Arc::new(PredictionStore::new());
+        store.publish(frames);
+        let server = RegionServer::new(index, store);
+        let a = Mask::rect(4, 4, 0, 0, 2, 2);
+        let b = Mask::rect(4, 4, 1, 1, 3, 4);
+        assert_eq!(server.decomp_cache_stats(), (0, 0));
+        let va = server.query(&a);
+        assert_eq!(server.decomp_cache_stats(), (0, 1));
+        // repeat queries hit; results are identical to the uncached path
+        assert_eq!(server.query(&a), va);
+        let (vt, _) = server.query_timed(&a);
+        assert_eq!(vt, va);
+        assert_eq!(server.decomp_cache_stats(), (2, 1));
+        // a new mask misses; a batch mixing both counts one hit + one hit
+        let _ = server.query(&b);
+        assert_eq!(server.decomp_cache_stats(), (2, 2));
+        let batch = server.query_many(&[a.clone(), b.clone()]);
+        assert_eq!(batch[0], va);
+        assert_eq!(server.decomp_cache_stats(), (4, 2));
+    }
+
+    #[test]
+    fn decomp_cache_evicts_at_capacity() {
+        let (_, index, frames) = exact_setup();
+        let store = Arc::new(PredictionStore::new());
+        store.publish(frames);
+        let server = RegionServer::new(index, store);
+        // 4x4 raster has 100 distinct rectangles — cycle enough distinct
+        // masks to exceed any plausible cap; the map must stay bounded.
+        for round in 0..4 {
+            for r in 0..4 {
+                for c in 0..4 {
+                    let m = Mask::rect(4, 4, r, c, r + 1, c + 1);
+                    let v = server.query(&m);
+                    assert!(v.is_finite(), "round {round}");
+                }
+            }
+        }
+        let len = server.decomp_cache.map.lock().0.len();
+        assert!(len <= DECOMP_CACHE_CAP, "cache grew unbounded: {len}");
+        // 16 distinct masks, 4 rounds: first round misses, rest hit
+        assert_eq!(server.decomp_cache_stats(), (48, 16));
     }
 
     #[test]

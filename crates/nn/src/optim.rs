@@ -53,7 +53,9 @@ impl Sgd {
             let len = g.len();
             let vd_ptr = SendPtr(v.data_mut().as_mut_ptr());
             let pd_ptr = SendPtr(p.value.data_mut().as_mut_ptr());
-            parallel::par_range(len, OPT_CHUNK, |r| {
+            // ~4 flops per element (momentum path); small tensors stay
+            // inline under the pool's adaptive cutoff.
+            parallel::par_range(len, OPT_CHUNK, 4, |r| {
                 // SAFETY: `par_range` chunks are disjoint; the buffers
                 // outlive the blocking call.
                 let vd = unsafe { vd_ptr.slice_mut(r.start, r.end - r.start) };
@@ -134,7 +136,9 @@ impl Adam {
             let md_ptr = SendPtr(m.data_mut().as_mut_ptr());
             let vd_ptr = SendPtr(v.data_mut().as_mut_ptr());
             let pd_ptr = SendPtr(p.value.data_mut().as_mut_ptr());
-            parallel::par_range(len, OPT_CHUNK, |r| {
+            // ~12 flops per element (two EMAs, bias correction, rsqrt);
+            // small tensors stay inline under the pool's adaptive cutoff.
+            parallel::par_range(len, OPT_CHUNK, 12, |r| {
                 // SAFETY: `par_range` chunks are disjoint; the buffers
                 // outlive the blocking call.
                 let md = unsafe { md_ptr.slice_mut(r.start, r.end - r.start) };

@@ -11,12 +11,15 @@ use o4a_tensor::{parallel, SeededRng};
 
 #[test]
 fn conv2d_gradcheck_passes_with_pool_enabled() {
+    // pretend 4 hardware threads so the pool engages on single-core CI
+    parallel::set_hw_threads(4);
     parallel::set_threads(4);
     let mut rng = SeededRng::new(11);
     let module = Conv2d::same3x3(&mut rng, 2, 3);
     let x = rng.uniform_tensor(&[2, 2, 5, 5], -1.0, 1.0);
     check_module_gradients(module, &x, 1e-2, 1e-2);
     parallel::set_threads(0);
+    parallel::set_hw_threads(0);
 }
 
 #[test]
@@ -24,6 +27,7 @@ fn adam_trajectory_is_thread_count_invariant() {
     // Two Adam runs from identical state, one serial and one on the pool,
     // must land on bit-identical parameters after many steps.
     let run = |threads: usize| -> Vec<u32> {
+        parallel::set_hw_threads(4);
         parallel::set_threads(threads);
         let mut rng = SeededRng::new(5);
         let init = rng.uniform_tensor(&[3, 173], -1.0, 1.0);
@@ -35,6 +39,7 @@ fn adam_trajectory_is_thread_count_invariant() {
             opt.step(&mut [&mut p]);
         }
         parallel::set_threads(0);
+        parallel::set_hw_threads(0);
         p.value.data().iter().map(|v| v.to_bits()).collect()
     };
     assert_eq!(run(1), run(4));

@@ -88,6 +88,10 @@ impl ServerStats {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             decompose_ns: self.decompose_ns.load(Ordering::Relaxed),
             index_ns: self.index_ns.load(Ordering::Relaxed),
+            // the decomposition memo lives in the RegionServer, not here;
+            // `Shared::stats_snapshot` fills these in
+            decomp_cache_hits: 0,
+            decomp_cache_misses: 0,
         }
     }
 }
@@ -192,6 +196,18 @@ struct Shared {
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
+impl Shared {
+    /// Serving counters merged with the region server's decomposition-memo
+    /// hit/miss counters (the STATS verb reports both).
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut s = self.stats.snapshot();
+        let (hits, misses) = self.region.decomp_cache_stats();
+        s.decomp_cache_hits = hits;
+        s.decomp_cache_misses = misses;
+        s
+    }
+}
+
 /// A running server; dropping it without [`ServerHandle::shutdown`]
 /// leaves the threads serving until process exit.
 pub struct ServerHandle {
@@ -209,7 +225,7 @@ impl ServerHandle {
 
     /// Current serving counters.
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     /// Stops accepting, drains the threads and joins them all.
@@ -440,7 +456,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 }
             }
             Request::Stats => {
-                if !send(&mut stream, &Response::Stats(shared.stats.snapshot())) {
+                if !send(&mut stream, &Response::Stats(shared.stats_snapshot())) {
                     return;
                 }
             }

@@ -182,6 +182,10 @@ pub struct StatsSnapshot {
     pub decompose_ns: u64,
     /// Total lookup + aggregation CPU time (ns).
     pub index_ns: u64,
+    /// Region-server decomposition memo hits.
+    pub decomp_cache_hits: u64,
+    /// Region-server decomposition memo misses.
+    pub decomp_cache_misses: u64,
 }
 
 /// A decoded response frame.
@@ -447,6 +451,8 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.protocol_errors,
                 s.decompose_ns,
                 s.index_ns,
+                s.decomp_cache_hits,
+                s.decomp_cache_misses,
             ] {
                 put_u64(&mut p, v);
             }
@@ -517,6 +523,8 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
             protocol_errors: r.u64()?,
             decompose_ns: r.u64()?,
             index_ns: r.u64()?,
+            decomp_cache_hits: r.u64()?,
+            decomp_cache_misses: r.u64()?,
         }),
         Verb::Busy => Response::Busy,
         Verb::Error => {
@@ -690,6 +698,8 @@ mod tests {
                 protocol_errors: 2,
                 decompose_ns: 1,
                 index_ns: 2,
+                decomp_cache_hits: 3950,
+                decomp_cache_misses: 50,
             }),
             Response::Busy,
             Response::Error("no snapshot".into()),

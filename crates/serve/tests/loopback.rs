@@ -109,6 +109,100 @@ fn health_and_stats_roundtrip() {
     handle.shutdown();
 }
 
+/// The single-mask regression guard: a served query must not pay a pool
+/// wake-up. A batch of one mask is far below the adaptive parallel cutoff,
+/// so `query_many` runs it on the caller thread — its latency must stay
+/// within a small factor of the plain in-process `query` (a pool wake-up
+/// costs ~100x a cached single-mask query). The wire path gets an
+/// additional generous absolute bound rather than a ratio, since socket
+/// round-trips dominate it.
+#[test]
+fn single_mask_served_latency_does_not_regress() {
+    let (region, handle) = start(|cfg| cfg.coalesce_window = Duration::from_millis(0));
+    let mask = Mask::rect(SIDE, SIDE, 3, 2, 9, 11);
+    let median = |mut samples: Vec<Duration>| -> Duration {
+        samples.sort();
+        samples[samples.len() / 2]
+    };
+    let time_n = |mut f: Box<dyn FnMut()>| -> Duration {
+        let mut samples = Vec::with_capacity(200);
+        for _ in 0..200 {
+            let t = std::time::Instant::now();
+            f();
+            samples.push(t.elapsed());
+        }
+        median(samples)
+    };
+
+    // warmup (fills the decomposition memo for this mask)
+    for _ in 0..50 {
+        let _ = region.query(&mask);
+        let _ = region.query_many(std::slice::from_ref(&mask));
+    }
+    let single = {
+        let region = Arc::clone(&region);
+        let m = mask.clone();
+        time_n(Box::new(move || {
+            std::hint::black_box(region.query(&m));
+        }))
+    };
+    let batch_of_one = {
+        let region = Arc::clone(&region);
+        let m = mask.clone();
+        time_n(Box::new(move || {
+            std::hint::black_box(region.query_many(std::slice::from_ref(&m)));
+        }))
+    };
+    assert!(
+        batch_of_one < single * 10 + Duration::from_micros(20),
+        "batch-of-one path regressed vs in-process query: {batch_of_one:?} vs {single:?}"
+    );
+
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    for _ in 0..20 {
+        client.query(&mask).unwrap(); // warmup
+    }
+    let served = {
+        let m = mask.clone();
+        time_n(Box::new(move || {
+            client.query(&m).unwrap();
+        }))
+    };
+    assert!(
+        served < Duration::from_millis(10),
+        "served single-mask latency blew past the sanity bound: {served:?}"
+    );
+    handle.shutdown();
+}
+
+/// STATS surfaces the region server's decomposition-memo counters: a
+/// repeated mask hits, a fresh one misses.
+#[test]
+fn stats_surface_decomp_cache_counters() {
+    let (_region, handle) = start(|_| {});
+    let mut client = Client::connect(handle.addr(), ClientConfig::default()).unwrap();
+    let a = Mask::rect(SIDE, SIDE, 1, 1, 5, 5);
+    let b = Mask::rect(SIDE, SIDE, 4, 4, 12, 10);
+    client.query(&a).unwrap();
+    client.query(&a).unwrap();
+    client.query(&b).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.decomp_cache_hits >= 1,
+        "repeated mask did not hit the memo: {stats:?}"
+    );
+    assert_eq!(
+        stats.decomp_cache_misses, 2,
+        "two distinct masks -> two misses"
+    );
+    assert_eq!(
+        stats.decomp_cache_hits + stats.decomp_cache_misses,
+        stats.masks_served,
+        "every served mask goes through the memo"
+    );
+    handle.shutdown();
+}
+
 #[test]
 fn corrupt_frame_gets_error_and_close() {
     let (_region, handle) = start(|_| {});

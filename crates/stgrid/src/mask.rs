@@ -4,7 +4,10 @@ use serde::{Deserialize, Serialize};
 
 /// A binary mask over the atomic raster: the assignment matrix `A^R` of a
 /// rasterized region.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash` hashes the dimensions and bit vector, consistently with `Eq`, so
+/// masks can key memo tables (the region server's decomposition cache).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Mask {
     h: usize,
     w: usize,

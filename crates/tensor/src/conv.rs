@@ -9,6 +9,7 @@
 //!
 //! Tensors use NCHW layout: `[batch, channels, height, width]`.
 
+use crate::gemm;
 use crate::parallel::{self, SendPtr};
 use crate::tensor::Tensor;
 use crate::{Result, TensorError};
@@ -20,6 +21,10 @@ thread_local! {
     // parallel loops allocate nothing per task.
     static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     static COL_GRAD_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    // Per-worker packed-operand scratches for the GEMM lowering (left and
+    // right panels of the per-sample products).
+    static PACK_LHS_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    static PACK_RHS_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Runs `f` with a thread-local scratch buffer of at least `len` elements.
@@ -215,31 +220,35 @@ pub fn conv2d(
     let idata = input.data();
     let out_ptr = SendPtr(out.as_mut_ptr());
 
+    // Pack the `[c_out, krows]` weight matrix into GEMM row strips once;
+    // every batch sample below reuses this shared read-only panel instead
+    // of re-reading the strided weight view per sample.
+    let mut packed_w = vec![0.0f32; gemm::packed_a_len(c_out, krows)];
+    gemm::pack_a_strided(wdata, &mut packed_w, c_out, krows, krows, 1);
+    let packed_w = &packed_w;
+
     // Batch samples are independent: each task owns one sample's disjoint
-    // output slice, with an im2col scratch reused per worker. Per-sample
-    // arithmetic is exactly the serial loop, so results are bit-identical
-    // at any thread count.
-    parallel::run(n, |b| {
+    // output slice, with im2col + packed-column scratches reused per
+    // worker. Each output element is seeded with its bias and accumulates
+    // its k products in ascending order — exactly the serial loop — so
+    // results are bit-identical at any thread count.
+    parallel::run(n, 2 * c_out * krows * cols, |b| {
         let img = &idata[b * c_in * h * w..(b + 1) * c_in * h * w];
         // SAFETY: batch index `b` owns `out[b * c_out * cols ..]` alone,
         // and `out` outlives the blocking `run` call.
         let out_b = unsafe { out_ptr.slice_mut(b * c_out * cols, c_out * cols) };
         with_scratch(&COL_SCRATCH, krows * cols, |col| {
             im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, col);
-            // out_b[oc] = W[oc] . col + bias[oc]
+            // out_b = bias broadcast + W x col
             for oc in 0..c_out {
-                let wrow = &wdata[oc * krows..(oc + 1) * krows];
-                let orow = &mut out_b[oc * cols..(oc + 1) * cols];
-                for v in orow.iter_mut() {
+                for v in out_b[oc * cols..(oc + 1) * cols].iter_mut() {
                     *v = bdata[oc];
                 }
-                for (k, &wv) in wrow.iter().enumerate() {
-                    let crow = &col[k * cols..(k + 1) * cols];
-                    for (o, &cv) in orow.iter_mut().zip(crow) {
-                        *o += wv * cv;
-                    }
-                }
             }
+            with_scratch(&PACK_RHS_SCRATCH, gemm::packed_b_len(krows, cols), |pcol| {
+                gemm::pack_b_strided(col, pcol, krows, cols, cols, 1);
+                gemm::gemm_packed(packed_w, pcol, out_b, c_out, krows, cols);
+            });
         });
     });
     Tensor::from_vec(out, &[n, c_out, out_h, out_w])
@@ -283,7 +292,13 @@ pub fn conv2d_backward(
     let gw_ptr = SendPtr(gw_partial.as_mut_ptr());
     let gb_ptr = SendPtr(gb_partial.as_mut_ptr());
 
-    parallel::run(n, |b| {
+    // Pack W-transpose (`[krows, c_out]`, via strides — no materialized
+    // transpose) once; every sample's col_grad GEMM reuses the panel.
+    let mut packed_wt = vec![0.0f32; gemm::packed_a_len(krows, c_out)];
+    gemm::pack_a_strided(wdata, &mut packed_wt, krows, c_out, 1, krows);
+    let packed_wt = &packed_wt;
+
+    parallel::run(n, 5 * c_out * krows * cols, |b| {
         let img = &idata[b * c_in * h * w..(b + 1) * c_in * h * w];
         let go = &godata[b * c_out * cols..(b + 1) * c_out * cols];
         // SAFETY: batch index `b` owns disjoint slices of grad_input and
@@ -298,34 +313,34 @@ pub fn conv2d_backward(
             for (oc, gb) in gb_b.iter_mut().enumerate() {
                 *gb = go[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
             }
-            // gw_b[oc, k] = go[oc] . col[k]
-            for oc in 0..c_out {
-                let gorow = &go[oc * cols..(oc + 1) * cols];
-                let gwrow = &mut gw_b[oc * krows..(oc + 1) * krows];
-                for (k, gw) in gwrow.iter_mut().enumerate() {
-                    let crow = &col[k * cols..(k + 1) * cols];
-                    let mut acc = 0.0f32;
-                    for (&g, &c) in gorow.iter().zip(crow) {
-                        acc += g * c;
-                    }
-                    *gw = acc;
-                }
-            }
-            // col_grad[k] = sum_oc W[oc, k] * go[oc]
+            // gw_b = go x col^T: [c_out, cols] x [cols, krows]. The col^T
+            // operand packs via strides; accumulation runs over the col
+            // index in ascending order, matching the serial dot products.
+            with_scratch(&PACK_LHS_SCRATCH, gemm::packed_a_len(c_out, cols), |pgo| {
+                gemm::pack_a_strided(go, pgo, c_out, cols, cols, 1);
+                with_scratch(
+                    &PACK_RHS_SCRATCH,
+                    gemm::packed_b_len(cols, krows),
+                    |pcolt| {
+                        gemm::pack_b_strided(col, pcolt, cols, krows, 1, cols);
+                        gemm::gemm_packed(pgo, pcolt, gw_b, c_out, cols, krows);
+                    },
+                );
+            });
+            // col_grad = W^T x go: [krows, c_out] x [c_out, cols], with
+            // the packed W^T panel shared across all samples.
             with_scratch(&COL_GRAD_SCRATCH, krows * cols, |col_grad| {
                 for v in col_grad.iter_mut() {
                     *v = 0.0;
                 }
-                for oc in 0..c_out {
-                    let wrow = &wdata[oc * krows..(oc + 1) * krows];
-                    let gorow = &go[oc * cols..(oc + 1) * cols];
-                    for (k, &wv) in wrow.iter().enumerate() {
-                        let cg = &mut col_grad[k * cols..(k + 1) * cols];
-                        for (c, &g) in cg.iter_mut().zip(gorow) {
-                            *c += wv * g;
-                        }
-                    }
-                }
+                with_scratch(
+                    &PACK_RHS_SCRATCH,
+                    gemm::packed_b_len(c_out, cols),
+                    |pgo_b| {
+                        gemm::pack_b_strided(go, pgo_b, c_out, cols, cols, 1);
+                        gemm::gemm_packed(packed_wt, pgo_b, col_grad, krows, c_out, cols);
+                    },
+                );
                 col2im(col_grad, c_in, h, w, kh, kw, stride, pad, out_h, out_w, gi);
             });
         });

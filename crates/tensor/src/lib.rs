@@ -18,16 +18,22 @@
 //!   (Eq. 9 of the paper), and
 //! * seeded random initialisation ([`init`]).
 //!
-//! Hot loops iterate over slices (bounds checks are hoisted by the
-//! compiler) and buffers are preallocated with exact capacities. The dense
-//! kernels (matmul, conv2d forward/backward) run on the work-parallel
-//! runtime in [`parallel`] — sized by the `O4A_THREADS` environment
-//! variable — with results guaranteed bit-identical to the serial path at
-//! any thread count (fixed chunking, disjoint outputs, index-ordered
-//! reductions). The only `unsafe` in the crate is the lifetime/aliasing
-//! bookkeeping localized in [`parallel`].
+//! The dense kernels (matmul, conv2d forward/backward) are lowered onto a
+//! packed, register-tiled GEMM micro-kernel (`gemm` module): operands are
+//! packed into cache-resident panels and an `MR x NR` accumulator tile is
+//! driven down `k` in one streaming pass, with conv's weight matrix packed
+//! once per call and reused across every batch sample. On top of that
+//! serial floor the kernels run on the work-parallel runtime in
+//! [`parallel`] — sized by the `O4A_THREADS` environment variable, with
+//! adaptive cutoffs that keep small jobs inline — and results are
+//! guaranteed bit-identical to the serial naive reference at any thread
+//! count (fixed chunking, disjoint outputs, single ascending k-order
+//! accumulation per element, index-ordered reductions; see
+//! [`Tensor::matmul_naive`]). The only `unsafe` in the crate is the
+//! lifetime/aliasing bookkeeping localized in [`parallel`].
 
 pub mod conv;
+mod gemm;
 pub mod init;
 pub mod ops;
 pub mod parallel;

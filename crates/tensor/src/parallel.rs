@@ -18,11 +18,22 @@
 //!    `O4A_THREADS=1`, or for trivially small task sets, `run` executes
 //!    the serial loop inline — byte-for-byte the code path the kernels
 //!    have always had.
+//! 4. **Adaptive cutoffs.** Every dispatch carries the caller's estimate
+//!    of the serial work in abstract *cost units* (one unit ≈ one scalar
+//!    float op). Jobs whose total estimated cost is below
+//!    [`PARALLEL_CUTOFF`] execute inline: waking the pool costs tens of
+//!    microseconds, so a job worth less than that loses time to
+//!    parallelism no matter how many cores exist. The requested thread
+//!    count is additionally capped at the machine's hardware parallelism —
+//!    oversubscribing a core can only add scheduling overhead, never
+//!    speed, for these CPU-bound kernels.
 //!
 //! Thread count resolution: the `O4A_THREADS` environment variable if set
 //! to a positive integer (read once, at first use; `1` forces the serial
-//! path), otherwise `std::thread::available_parallelism()`. Tests and
-//! benches may override at runtime with [`set_threads`].
+//! path), otherwise `std::thread::available_parallelism()`; either way the
+//! effective count is capped at the hardware thread count. Tests and
+//! benches may override the requested count at runtime with
+//! [`set_threads`].
 //!
 //! Nested calls (a task that itself calls `run`) and concurrent calls from
 //! a second OS thread execute serially inline rather than deadlocking the
@@ -35,6 +46,20 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Runtime thread-count override; 0 = not overridden (use the env/default).
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Hardware thread-count override for tests; 0 = use the real hardware.
+static HW_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Estimated serial cost (in units of roughly one scalar float op) below
+/// which a dispatch executes inline on the calling thread. Calibrated
+/// against the pool wake-up cost (tens of microseconds): a job must be
+/// worth several wake-ups before splitting it can win. At a conservative
+/// ~4 scalar ops/ns this threshold is ~130 µs of serial work.
+pub const PARALLEL_CUTOFF: usize = 1 << 19;
+
+/// A per-task cost that always clears [`PARALLEL_CUTOFF`] — used by tests
+/// that exercise the pool machinery itself regardless of job size.
+pub const COST_FORCE_PARALLEL: usize = usize::MAX;
 
 thread_local! {
     // Marks pool worker threads so nested `run` calls degrade to serial.
@@ -55,19 +80,44 @@ fn default_threads() -> usize {
     })
 }
 
-/// The number of threads `run` will use (including the calling thread).
-pub fn num_threads() -> usize {
-    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
-        0 => default_threads(),
+/// The machine's hardware thread count (or the test override).
+pub fn hw_threads() -> usize {
+    match HW_OVERRIDE.load(Ordering::Relaxed) {
+        0 => {
+            static HW: OnceLock<usize> = OnceLock::new();
+            *HW.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        }
         n => n,
     }
 }
 
-/// Overrides the thread count at runtime (`0` clears the override and
-/// returns to the `O4A_THREADS`/hardware default). Intended for tests and
-/// benches that compare scaling; determinism does not depend on it.
+/// The number of threads `run` will use (including the calling thread):
+/// the requested count capped at the hardware parallelism. Extra software
+/// threads on a busy core only add context switches — they cannot make
+/// CPU-bound kernels faster — so the cap is part of the cutoff policy.
+pub fn num_threads() -> usize {
+    let requested = match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    };
+    requested.min(hw_threads()).max(1)
+}
+
+/// Overrides the requested thread count at runtime (`0` clears the
+/// override and returns to the `O4A_THREADS`/hardware default). Intended
+/// for tests and benches that compare scaling; determinism does not depend
+/// on it. The hardware cap still applies — see [`set_hw_threads`] for
+/// tests that need to exercise the pool on a small machine.
 pub fn set_threads(n: usize) {
     THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Overrides what [`hw_threads`] reports (`0` restores the real value).
+/// **Test hook only**: lets determinism tests drive the actual worker pool
+/// on single-core CI machines where the hardware cap would otherwise turn
+/// every dispatch into the serial inline path.
+pub fn set_hw_threads(n: usize) {
+    HW_OVERRIDE.store(n, Ordering::Relaxed);
 }
 
 /// One published task set. `func` is a lifetime-erased borrow owned by the
@@ -188,13 +238,22 @@ fn ensure_workers(pool: &'static Pool, wanted: usize) {
 /// every call has finished. Bit-exact equivalence with the serial loop is
 /// the *caller's* contract: each index must write only its own output
 /// region. `run` itself guarantees every index executes exactly once.
-pub fn run<F: Fn(usize) + Sync>(total: usize, f: F) {
+///
+/// `est_task_cost` is the caller's estimate of one task's serial cost in
+/// abstract units (≈ one scalar float op each). When the whole job's
+/// estimated cost (`total * est_task_cost`, saturating) is below
+/// [`PARALLEL_CUTOFF`], the loop executes inline — small jobs lose more
+/// to the pool wake-up than they gain from extra cores. The estimate
+/// affects scheduling only, never results: both paths run the identical
+/// per-index closures.
+pub fn run<F: Fn(usize) + Sync>(total: usize, est_task_cost: usize, f: F) {
     if total == 0 {
         return;
     }
     let threads = num_threads().min(total);
     let nested = IN_POOL_WORKER.with(|flag| flag.get());
-    if threads <= 1 || nested {
+    let below_cutoff = est_task_cost.saturating_mul(total) < PARALLEL_CUTOFF;
+    if threads <= 1 || nested || below_cutoff {
         for i in 0..total {
             f(i);
         }
@@ -261,11 +320,18 @@ pub fn run<F: Fn(usize) + Sync>(total: usize, f: F) {
 /// Sweeps `0..total` in fixed-size chunks: `f` receives each half-open
 /// chunk range. Chunk boundaries depend only on `total` and `chunk`, never
 /// on the thread count — the determinism foundation for every parallel
-/// kernel.
-pub fn par_range<F: Fn(std::ops::Range<usize>) + Sync>(total: usize, chunk: usize, f: F) {
+/// kernel. `est_item_cost` is the estimated serial cost of one item (see
+/// [`run`]); a sweep whose total estimated cost falls below
+/// [`PARALLEL_CUTOFF`] runs inline.
+pub fn par_range<F: Fn(std::ops::Range<usize>) + Sync>(
+    total: usize,
+    chunk: usize,
+    est_item_cost: usize,
+    f: F,
+) {
     assert!(chunk > 0, "chunk size must be positive");
     let chunks = total.div_ceil(chunk);
-    run(chunks, |ci| {
+    run(chunks, est_item_cost.saturating_mul(chunk), |ci| {
         let start = ci * chunk;
         f(start..((start + chunk).min(total)))
     });
@@ -274,11 +340,17 @@ pub fn par_range<F: Fn(std::ops::Range<usize>) + Sync>(total: usize, chunk: usiz
 /// Splits `data` into fixed-size chunks processed in parallel; `f` gets
 /// the chunk index and the chunk slice. Equivalent to
 /// `data.chunks_mut(chunk).enumerate().for_each(...)` but parallel.
-pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(data: &mut [T], chunk: usize, f: F) {
+/// `est_item_cost` follows the [`par_range`] contract.
+pub fn par_chunks_mut<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+    data: &mut [T],
+    chunk: usize,
+    est_item_cost: usize,
+    f: F,
+) {
     assert!(chunk > 0, "chunk size must be positive");
     let total = data.len();
     let base = SendPtr(data.as_mut_ptr());
-    par_range(total, chunk, move |range| {
+    par_range(total, chunk, est_item_cost, move |range| {
         let ptr = base; // capture the Sync wrapper, not the raw field
         let ci = range.start / chunk;
         let len = range.end - range.start;
@@ -325,14 +397,26 @@ impl<T> SendPtr<T> {
 mod tests {
     use super::*;
 
+    /// Requests `threads` threads *and* pretends the hardware has that
+    /// many, so the pool machinery is exercised even on single-core CI.
+    fn force_threads(threads: usize) {
+        set_threads(threads);
+        set_hw_threads(threads);
+    }
+
+    fn reset_threads() {
+        set_threads(0);
+        set_hw_threads(0);
+    }
+
     #[test]
     fn run_executes_every_index_once() {
         let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
-        set_threads(4);
-        run(hits.len(), |i| {
+        force_threads(4);
+        run(hits.len(), COST_FORCE_PARALLEL, |i| {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
-        set_threads(0);
+        reset_threads();
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
@@ -340,26 +424,26 @@ mod tests {
     fn par_range_covers_exactly() {
         let total = 1003;
         let seen: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
-        set_threads(3);
-        par_range(total, 64, |r| {
+        force_threads(3);
+        par_range(total, 64, COST_FORCE_PARALLEL, |r| {
             for i in r {
                 seen[i].fetch_add(1, Ordering::Relaxed);
             }
         });
-        set_threads(0);
+        reset_threads();
         assert!(seen.iter().all(|s| s.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
     fn par_chunks_mut_writes_disjointly() {
         let mut data = vec![0u32; 500];
-        set_threads(4);
-        par_chunks_mut(&mut data, 33, |ci, chunk| {
+        force_threads(4);
+        par_chunks_mut(&mut data, 33, COST_FORCE_PARALLEL, |ci, chunk| {
             for v in chunk.iter_mut() {
                 *v = ci as u32 + 1;
             }
         });
-        set_threads(0);
+        reset_threads();
         for (i, v) in data.iter().enumerate() {
             assert_eq!(*v, (i / 33) as u32 + 1, "index {i}");
         }
@@ -367,27 +451,46 @@ mod tests {
 
     #[test]
     fn nested_run_degrades_serially() {
-        set_threads(4);
+        force_threads(4);
         let acc: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
-        run(8, |outer| {
-            run(8, |inner| {
+        run(8, COST_FORCE_PARALLEL, |outer| {
+            run(8, COST_FORCE_PARALLEL, |inner| {
                 acc[outer * 8 + inner].fetch_add(1, Ordering::Relaxed);
             });
         });
-        set_threads(0);
+        reset_threads();
         assert!(acc.iter().all(|a| a.load(Ordering::Relaxed) == 1));
     }
 
     #[test]
     fn zero_tasks_is_noop() {
-        run(0, |_| panic!("must not be called"));
+        run(0, COST_FORCE_PARALLEL, |_| panic!("must not be called"));
     }
 
     #[test]
     fn serial_override_uses_caller_thread() {
         set_threads(1);
         let caller = std::thread::current().id();
-        run(16, |_| assert_eq!(std::thread::current().id(), caller));
+        run(16, COST_FORCE_PARALLEL, |_| {
+            assert_eq!(std::thread::current().id(), caller)
+        });
         set_threads(0);
+    }
+
+    #[test]
+    fn below_cutoff_runs_inline() {
+        force_threads(4);
+        let caller = std::thread::current().id();
+        // 16 tasks of cost 1: far below PARALLEL_CUTOFF -> inline.
+        run(16, 1, |_| assert_eq!(std::thread::current().id(), caller));
+        reset_threads();
+    }
+
+    #[test]
+    fn hardware_cap_limits_requested_threads() {
+        set_hw_threads(2);
+        set_threads(8);
+        assert_eq!(num_threads(), 2);
+        reset_threads();
     }
 }

@@ -208,13 +208,34 @@ impl Tensor {
 
     /// Matrix multiplication of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
     ///
-    /// Rows of the output are computed in parallel on the pool in
-    /// [`crate::parallel`] (disjoint fixed row bands per task), with the
-    /// inner product blocked over `k` so the active panel of `rhs` stays
-    /// cache-resident while a band's rows stream through it. Every output
+    /// Runs the packed, register-tiled GEMM in [`crate::gemm`]: both
+    /// operands are packed into cache-friendly panels and an `MR x NR`
+    /// register tile is driven down `k`, with output rows split into fixed
+    /// disjoint bands across the pool in [`crate::parallel`]. Every output
     /// element accumulates over `k` in strictly increasing index order, so
-    /// the result is bit-identical at any thread count.
+    /// the result is bit-identical to [`Tensor::matmul_naive`] at any
+    /// thread count.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(rhs)?;
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::matmul_into(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Serial reference matrix multiplication: the plain `ikj` triple loop,
+    /// no packing, no parallelism.
+    ///
+    /// This is the accumulation-order oracle for [`Tensor::matmul`]: the
+    /// packed kernel must (and, proptest-enforced, does) reproduce it bit
+    /// for bit at every thread count.
+    pub fn matmul_naive(&self, rhs: &Tensor) -> Result<Tensor> {
+        let (m, k, n) = self.matmul_dims(rhs)?;
+        let mut out = vec![0.0f32; m * n];
+        crate::gemm::matmul_naive_into(&self.data, &rhs.data, &mut out, m, k, n);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    fn matmul_dims(&self, rhs: &Tensor) -> Result<(usize, usize, usize)> {
         if self.rank() != 2 || rhs.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -233,9 +254,7 @@ impl Tensor {
                 rhs: rhs.shape.clone(),
             });
         }
-        let mut out = vec![0.0f32; m * n];
-        matmul_into(&self.data, &rhs.data, &mut out, m, k, n);
-        Tensor::from_vec(out, &[m, n])
+        Ok((m, k, n))
     }
 
     /// Sum of all elements.
@@ -306,64 +325,6 @@ impl Tensor {
                 .zip(&rhs.data)
                 .all(|(a, b)| (a - b).abs() <= tol)
     }
-}
-
-/// Rows of the output each pool task owns. Fixed (independent of thread
-/// count) so chunk boundaries — and therefore results — never depend on
-/// parallelism.
-const MM_ROW_BAND: usize = 8;
-/// `k`-dimension block: the active `MM_K_BLOCK x n` panel of `b` stays hot
-/// in cache while a row band streams through it.
-const MM_K_BLOCK: usize = 256;
-
-/// `out[m,n] = a[m,k] x b[k,n]`, row-band-parallel and cache-blocked.
-///
-/// Each output element accumulates its `k` products in strictly increasing
-/// `p` order (blocks are visited in order, rows within a block in order),
-/// matching the plain serial `ikj` loop bit for bit. Tasks write disjoint
-/// row bands, so scheduling cannot reorder any accumulation.
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    if m == 0 || n == 0 {
-        return;
-    }
-    crate::parallel::par_chunks_mut(out, MM_ROW_BAND * n, |band, out_band| {
-        let row0 = band * MM_ROW_BAND;
-        let rows = out_band.len() / n;
-        for kb in (0..k).step_by(MM_K_BLOCK) {
-            let ke = (kb + MM_K_BLOCK).min(k);
-            let mut r = 0;
-            // 2-row micro-kernel: each loaded row of `b` feeds two output
-            // rows, halving traffic on the shared operand.
-            while r + 2 <= rows {
-                let (o0, o1) = out_band[r * n..(r + 2) * n].split_at_mut(n);
-                let a0 = &a[(row0 + r) * k..][..k];
-                let a1 = &a[(row0 + r + 1) * k..][..k];
-                for p in kb..ke {
-                    let b_row = &b[p * n..(p + 1) * n];
-                    let (c0, c1) = (a0[p], a1[p]);
-                    for ((x0, x1), &bv) in o0.iter_mut().zip(o1.iter_mut()).zip(b_row) {
-                        *x0 += c0 * bv;
-                        *x1 += c1 * bv;
-                    }
-                }
-                r += 2;
-            }
-            if r < rows {
-                let o = &mut out_band[r * n..(r + 1) * n];
-                let a_row = &a[(row0 + r) * k..][..k];
-                for p in kb..ke {
-                    let b_row = &b[p * n..(p + 1) * n];
-                    let c = a_row[p];
-                    for (x, &bv) in o.iter_mut().zip(b_row) {
-                        *x += c * bv;
-                    }
-                }
-            }
-        }
-    });
 }
 
 #[cfg(test)]

@@ -9,11 +9,14 @@ use o4a_tensor::{conv2d, conv2d_backward, parallel, SeededRng, Tensor};
 use proptest::prelude::*;
 
 /// Runs `f` once per thread count and asserts all results are bit-equal to
-/// the serial (1-thread) result.
+/// the serial (1-thread) result. Pretends the hardware has 4 threads so
+/// the pool genuinely engages even on single-core CI (the runtime caps
+/// requested threads at the hardware count).
 fn assert_bit_identical<T: PartialEq + std::fmt::Debug>(
     label: &str,
     f: impl Fn() -> T,
 ) -> Result<(), TestCaseError> {
+    parallel::set_hw_threads(4);
     parallel::set_threads(1);
     let serial = f();
     for threads in [2usize, 4] {
@@ -29,6 +32,7 @@ fn assert_bit_identical<T: PartialEq + std::fmt::Debug>(
         );
     }
     parallel::set_threads(0);
+    parallel::set_hw_threads(0);
     Ok(())
 }
 
@@ -71,9 +75,11 @@ proptest! {
         let a = rng.uniform_tensor(&[m, k], -1.0, 1.0);
         let b = rng.uniform_tensor(&[k, n], -1.0, 1.0);
         assert_bit_identical("matmul", || bits(&a.matmul(&b).unwrap()))?;
+        parallel::set_hw_threads(4);
         parallel::set_threads(4);
         let blocked = bits(&a.matmul(&b).unwrap());
         parallel::set_threads(0);
+        parallel::set_hw_threads(0);
         prop_assert_eq!(blocked, matmul_reference(&a, &b));
     }
 

@@ -22,12 +22,28 @@ echo "==> cargo clippy -D warnings (tensor, nn, core, bench, serve)"
 cargo clippy --release -p o4a-tensor -p o4a-nn -p o4a-core -p o4a-bench \
     -p o4a-serve --all-targets -- -D warnings
 
+# Kernel smoke: quick bench run to a scratch path (the committed
+# BENCH_kernels.json is NOT overwritten), then require that no kernel
+# got slower with more threads — every speedup_t2/speedup_t4 must be
+# >= 1.0. On a box with fewer cores than a column, the bench reuses the
+# serial measurement for capped columns, so the ratios are exactly
+# 1.000 there rather than timing noise.
+echo "==> kernels smoke (quick bench, t1/t2/t4 no-regression)"
+KSMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$KSMOKE_DIR"' EXIT
+./target/release/kernels --quick --out "$KSMOKE_DIR/BENCH_kernels.json" \
+    > "$KSMOKE_DIR/kernels.log" 2>&1
+grep -o '"speedup_t[24]": [0-9.]*' "$KSMOKE_DIR/BENCH_kernels.json" | awk '
+    { if ($2 + 0 < 1.0) { bad = 1; print "kernel speedup below 1.0: " $0 } }
+    END { exit bad }
+'
+
 # Serving smoke: cold-start a server on an ephemeral port, drive it with
 # the load generator for ~2s, and require non-zero throughput (loadgen
 # exits non-zero when no request succeeds) plus a clean server exit.
 echo "==> serve smoke (serve + loadgen, ~2s)"
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "$SMOKE_DIR"' EXIT
+trap 'rm -rf "$KSMOKE_DIR" "$SMOKE_DIR"' EXIT
 ./target/release/serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/addr" \
     --side 16 --artifacts "$SMOKE_DIR/artifacts" --run-secs 6 \
     > "$SMOKE_DIR/serve.log" 2>&1 &
