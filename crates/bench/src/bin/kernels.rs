@@ -149,10 +149,28 @@ fn main() {
         },
     ));
 
+    // Direct measurement of the per-call observability cost on the kernel
+    // hot path: exactly the span + FLOP-counter prologue the GEMM kernel
+    // executes once per call. Measured in-process alongside the kernels,
+    // so machine drift cancels — this is what the overhead gate in
+    // scripts/check.sh compares against the matmul wall time.
+    let instr_iters = if quick { 200_000 } else { 1_000_000 };
+    let t0 = std::time::Instant::now();
+    for _ in 0..instr_iters {
+        let _span = o4a_obs::span!("kernel_gemm");
+        o4a_obs::counter!(
+            "o4a_kernel_gemm_flops_total",
+            "floating-point operations issued by the GEMM kernel (2*m*k*n per call)"
+        )
+        .add(black_box(0));
+    }
+    let instr_ns = t0.elapsed().as_nanos() as f64 / instr_iters as f64;
+
     print!("{}", render(&rows));
-    let json = to_json(&rows);
+    println!("\ninstrumentation: {instr_ns:.1} ns per kernel call (span + flop counter)");
+    let json = to_json(&rows, instr_ns);
     std::fs::write(&out_path, &json).expect("write benchmark json");
-    println!("\nwrote {} ({} kernels)", out_path, rows.len());
+    println!("wrote {} ({} kernels)", out_path, rows.len());
 }
 
 fn measure(
@@ -227,12 +245,13 @@ fn render(rows: &[Row]) -> String {
     out
 }
 
-fn to_json(rows: &[Row]) -> String {
+fn to_json(rows: &[Row], instr_ns: f64) -> String {
     let hw = parallel::hw_threads();
     let effective: Vec<String> = THREADS.iter().map(|&t| t.min(hw).to_string()).collect();
     let mut json = format!(
         "{{\n  \"threads\": [1, 2, 4],\n  \"hw_threads\": {hw},\n  \
-         \"effective_threads\": [{}],\n  \"kernels\": [\n",
+         \"effective_threads\": [{}],\n  \
+         \"instrumentation_ns_per_call\": {instr_ns:.1},\n  \"kernels\": [\n",
         effective.join(", ")
     );
     let opt = |v: Option<f64>| match v {

@@ -15,6 +15,7 @@ use o4a_grid::decompose::{decompose, DecomposedGroup};
 use o4a_grid::hierarchy::{Hierarchy, LayerCell};
 use o4a_grid::mask::Mask;
 use parking_lot::{Mutex, RwLock};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,6 +48,70 @@ fn evaluate_group(
             }
         })
         .sum()
+}
+
+/// One decomposed group's resolved index lookups, separated from their
+/// evaluation so the timed query paths can report the lookup and
+/// aggregation stages individually. Evaluating a plan reproduces
+/// [`evaluate_group`]'s accumulation order exactly — the multi-grid entry
+/// when the coding rule applies, otherwise the member cells' combinations
+/// in cell order (owned fallback for cells a foreign index is missing).
+enum GroupPlan<'a> {
+    Multi(&'a Combination),
+    Cells(Vec<Cow<'a, Combination>>),
+}
+
+fn lookup_group<'a>(
+    hier: &Hierarchy,
+    index: &'a CombinationIndex,
+    group: &DecomposedGroup,
+) -> GroupPlan<'a> {
+    if group.cells.len() >= 2 && hier.k() == 2 {
+        if let Some(comb) = index.for_multi(group.layer, &group.cells) {
+            return GroupPlan::Multi(comb);
+        }
+    }
+    GroupPlan::Cells(
+        group
+            .cells
+            .iter()
+            .map(|&(r, c)| {
+                let cell = LayerCell::new(group.layer, r, c);
+                match index.for_cell(cell) {
+                    Some(comb) => Cow::Borrowed(comb),
+                    None => Cow::Owned(Combination::single(cell)),
+                }
+            })
+            .collect(),
+    )
+}
+
+fn evaluate_plan(hier: &Hierarchy, frames: &[Vec<f32>], plan: &GroupPlan<'_>) -> f32 {
+    match plan {
+        GroupPlan::Multi(comb) => comb.evaluate(hier, frames),
+        GroupPlan::Cells(combs) => combs.iter().map(|c| c.evaluate(hier, frames)).sum(),
+    }
+}
+
+/// Records one query's per-stage wall times into the global metrics
+/// registry (nanosecond histograms scraped through the serve layer's
+/// `METRICS` verb).
+fn record_query_stages(decompose: Duration, lookup: Duration, aggregate: Duration) {
+    o4a_obs::histogram!(
+        "o4a_query_decompose_ns",
+        "per-query hierarchical decomposition time (memo lookup on a cache hit)"
+    )
+    .record(decompose.as_nanos() as u64);
+    o4a_obs::histogram!(
+        "o4a_query_lookup_ns",
+        "per-query combination-index lookup time"
+    )
+    .record(lookup.as_nanos() as u64);
+    o4a_obs::histogram!(
+        "o4a_query_aggregate_ns",
+        "per-query signed aggregation time over the prediction snapshot"
+    )
+    .record(aggregate.as_nanos() as u64);
 }
 
 /// Predicts a region query from per-layer frames: hierarchical
@@ -223,7 +288,16 @@ impl PredictionStore {
     /// snapshot instead of serving garbage.
     pub fn publish(&self, frames: Vec<Vec<f32>>) {
         if let Err(e) = self.publish_checked(frames) {
-            eprintln!("PredictionStore: dropping malformed snapshot: {e}");
+            o4a_obs::counter!(
+                "o4a_store_publish_rejected_total",
+                "malformed prediction snapshots dropped by the store"
+            )
+            .inc();
+            o4a_obs::error!(
+                "core",
+                "PredictionStore: dropping malformed snapshot: {}",
+                e
+            );
         }
     }
 
@@ -325,10 +399,20 @@ impl DecompCache {
                 let groups = groups.clone();
                 drop(guard);
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                o4a_obs::counter!(
+                    "o4a_decomp_cache_hits_total",
+                    "decomposition-memo hits across all region servers"
+                )
+                .inc();
                 return groups;
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        o4a_obs::counter!(
+            "o4a_decomp_cache_misses_total",
+            "decomposition-memo misses across all region servers"
+        )
+        .inc();
         let groups = Arc::new(decompose(hier, mask));
         let mut guard = self.map.lock();
         let (map, clock) = &mut *guard;
@@ -367,6 +451,29 @@ const QUERY_COST: usize = 8192;
 impl RegionServer {
     /// Creates a server over a searched index and a prediction store.
     pub fn new(index: CombinationIndex, store: Arc<PredictionStore>) -> Self {
+        // Pre-register the query-path metrics so a scrape before the
+        // first query already exposes the stage histograms and memo
+        // counters at zero (no samples are recorded here).
+        let _ = o4a_obs::histogram!(
+            "o4a_query_decompose_ns",
+            "per-query hierarchical decomposition time (memo lookup on a cache hit)"
+        );
+        let _ = o4a_obs::histogram!(
+            "o4a_query_lookup_ns",
+            "per-query combination-index lookup time"
+        );
+        let _ = o4a_obs::histogram!(
+            "o4a_query_aggregate_ns",
+            "per-query signed aggregation time over the prediction snapshot"
+        );
+        let _ = o4a_obs::counter!(
+            "o4a_decomp_cache_hits_total",
+            "decomposition-memo hits across all region servers"
+        );
+        let _ = o4a_obs::counter!(
+            "o4a_decomp_cache_misses_total",
+            "decomposition-memo misses across all region servers"
+        );
         RegionServer {
             hier: index.hier.clone(),
             index,
@@ -416,7 +523,10 @@ impl RegionServer {
     }
 
     /// Answers a query and reports the timing breakdown. The decomposition
-    /// stage reports the memo lookup time — near zero on a cache hit.
+    /// stage reports the memo lookup time — near zero on a cache hit. The
+    /// three internal stages (decompose, index lookup, aggregation) are
+    /// also recorded into the global metrics registry; `QueryTiming.index`
+    /// stays the exact sum of the lookup and aggregation stages.
     pub fn query_timed(&self, mask: &Mask) -> (f32, QueryTiming) {
         let frames = self.store.snapshot();
         assert!(!frames.is_empty(), "no prediction snapshot published");
@@ -424,16 +534,23 @@ impl RegionServer {
         let groups = self.decomposed(mask);
         let decompose_t = t0.elapsed();
         let t1 = Instant::now();
-        let value: f32 = groups
+        let plans: Vec<GroupPlan<'_>> = groups
             .iter()
-            .map(|g| evaluate_group(&self.hier, &self.index, &frames, g))
+            .map(|g| lookup_group(&self.hier, &self.index, g))
+            .collect();
+        let lookup_t = t1.elapsed();
+        let t2 = Instant::now();
+        let value: f32 = plans
+            .iter()
+            .map(|p| evaluate_plan(&self.hier, &frames, p))
             .sum();
-        let index_t = t1.elapsed();
+        let aggregate_t = t2.elapsed();
+        record_query_stages(decompose_t, lookup_t, aggregate_t);
         (
             value,
             QueryTiming {
                 decompose: decompose_t,
-                index: index_t,
+                index: lookup_t + aggregate_t,
             },
         )
     }
@@ -490,17 +607,26 @@ impl RegionServer {
             let groups = self.decomposed(&masks[i]);
             let decompose_t = t0.elapsed();
             let t1 = Instant::now();
-            let v: f32 = groups
+            let plans: Vec<GroupPlan<'_>> = groups
                 .iter()
-                .map(|g| evaluate_group(&self.hier, &self.index, &frames, g))
+                .map(|g| lookup_group(&self.hier, &self.index, g))
+                .collect();
+            let lookup_t = t1.elapsed();
+            let t2 = Instant::now();
+            let v: f32 = plans
+                .iter()
+                .map(|p| evaluate_plan(&self.hier, &frames, p))
                 .sum();
-            let index_t = t1.elapsed();
+            let aggregate_t = t2.elapsed();
+            // Stage histograms are lock-free atomics, safe to bump from
+            // inside pool tasks.
+            record_query_stages(decompose_t, lookup_t, aggregate_t);
             // SAFETY: task `i` writes only slot `i` of each vector; all
             // three outlive the blocking `run` call.
             unsafe {
                 out_ptr.slice_mut(i, 1)[0] = v;
                 dec_ptr.slice_mut(i, 1)[0] = decompose_t.as_nanos() as u64;
-                idx_ptr.slice_mut(i, 1)[0] = index_t.as_nanos() as u64;
+                idx_ptr.slice_mut(i, 1)[0] = (lookup_t + aggregate_t).as_nanos() as u64;
             }
         });
         let timing = QueryTiming {

@@ -178,12 +178,29 @@ impl Predictor for DeepGridModel {
         let mut order: Vec<usize> = (0..n).collect();
         let start = Instant::now();
         let mut final_loss = 0.0f32;
-        for _ in 0..self.train_cfg.epochs {
+        for epoch in 0..self.train_cfg.epochs {
+            let epoch_start = Instant::now();
             // Fisher-Yates shuffle
             for i in (1..n).rev() {
                 order.swap(i, rng.index(i + 1));
             }
             final_loss = self.run_epoch(&inputs, &targets, &order, &mut opt);
+            o4a_obs::gauge!(
+                "o4a_train_epoch_loss",
+                "mean training loss of the most recent epoch"
+            )
+            .set(f64::from(final_loss));
+            o4a_obs::histogram!(
+                "o4a_train_epoch_ns",
+                "wall time per training epoch in nanoseconds"
+            )
+            .record(epoch_start.elapsed().as_nanos() as u64);
+            o4a_obs::debug!(
+                "models", "epoch {}/{} done", epoch + 1, self.train_cfg.epochs;
+                model = self.name,
+                loss = final_loss,
+                ms = epoch_start.elapsed().as_millis(),
+            );
         }
         let elapsed = start.elapsed().as_secs_f64();
         TrainStats {

@@ -111,6 +111,7 @@ impl Adam {
 
     /// Applies one update step to the parameters and clears their gradients.
     pub fn step(&mut self, params: &mut [&mut Param]) {
+        let _span = o4a_obs::span!("nn_adam_step");
         if self.m.is_empty() {
             self.m = params
                 .iter()
@@ -165,6 +166,11 @@ impl Adam {
 pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
     let total: f32 = params.iter().map(|p| p.grad.norm_sq()).sum();
     let norm = total.sqrt();
+    o4a_obs::gauge!(
+        "o4a_nn_grad_norm",
+        "pre-clip global L2 gradient norm of the latest training step"
+    )
+    .set(f64::from(norm));
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params.iter_mut() {

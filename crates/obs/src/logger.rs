@@ -1,0 +1,213 @@
+//! Leveled, structured, single-sink logging.
+//!
+//! The logger is deliberately tiny: one global level (read once from the
+//! `O4A_LOG` environment variable, overridable at runtime), one global
+//! `Write` sink behind a mutex (stderr by default), and a fixed record
+//! format:
+//!
+//! ```text
+//! [  12.345s ERROR serve] message text key=value key2=value2
+//! ```
+//!
+//! The timestamp is seconds since the logger first initialized — enough to
+//! correlate records within one process without any date formatting. The
+//! level check in the [`crate::log!`] family of macros happens *before*
+//! any formatting machinery runs, so a record below the active level costs
+//! one relaxed atomic load and a branch — no allocation, no formatting.
+
+use std::fmt;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Log verbosity levels, ordered so that a numeric comparison implements
+/// "at least as severe as".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Logging disabled entirely.
+    Off = 0,
+    /// Unrecoverable or dropped work (malformed snapshot, protocol error).
+    Error = 1,
+    /// Suspicious but survivable conditions.
+    Warn = 2,
+    /// Lifecycle events: cold start, bind, shutdown, artifacts persisted.
+    Info = 3,
+    /// Per-request / per-epoch detail.
+    Debug = 4,
+}
+
+impl Level {
+    /// Parses an `O4A_LOG` value; unknown strings fall back to `Info`.
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => Level::Off,
+            "error" => Level::Error,
+            "warn" | "warning" => Level::Warn,
+            "info" => Level::Info,
+            "debug" | "trace" => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+
+    /// Fixed-width upper-case name used in the record format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "OFF",
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+}
+
+/// `u8::MAX` marks "not initialized yet"; any real level is 0..=4.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(u8::MAX);
+
+fn sink() -> &'static Mutex<Box<dyn Write + Send>> {
+    static SINK: OnceLock<Mutex<Box<dyn Write + Send>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(Box::new(std::io::stderr())))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[cold]
+fn init_level() -> u8 {
+    let level = std::env::var("O4A_LOG")
+        .map(|v| Level::parse(&v))
+        .unwrap_or(Level::Info);
+    // Another thread may have raced us or called `set_max_level`; only
+    // install the env value if the slot is still uninitialized.
+    let _ = MAX_LEVEL.compare_exchange(u8::MAX, level as u8, Ordering::Relaxed, Ordering::Relaxed);
+    MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// The active maximum level (records above it are discarded).
+pub fn max_level() -> Level {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    let raw = if raw == u8::MAX { init_level() } else { raw };
+    match raw {
+        0 => Level::Off,
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Overrides the active level (tests, bins with `--log` flags).
+pub fn set_max_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would be emitted. This is the hot-path
+/// check the macros inline: one relaxed load and a compare.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    let raw = MAX_LEVEL.load(Ordering::Relaxed);
+    let raw = if raw == u8::MAX { init_level() } else { raw };
+    level as u8 <= raw
+}
+
+/// Redirects the sink (tests capture output through this). The previous
+/// sink is dropped; pass `Box::new(std::io::stderr())` to restore it.
+pub fn set_sink(w: Box<dyn Write + Send>) {
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    *guard = w;
+}
+
+/// Writes one record. Called by the macros only after the level check
+/// passed; callers should not invoke this directly.
+#[doc(hidden)]
+pub fn write_record(
+    level: Level,
+    target: &str,
+    args: fmt::Arguments<'_>,
+    fields: &[(&str, &dyn fmt::Display)],
+) {
+    let secs = epoch().elapsed().as_secs_f64();
+    let mut guard = sink().lock().unwrap_or_else(|p| p.into_inner());
+    let _ = write!(guard, "[{secs:>9.3}s {:<5} {target}] {args}", level.name());
+    for (k, v) in fields {
+        let _ = write!(guard, " {k}={v}");
+    }
+    let _ = writeln!(guard);
+    let _ = guard.flush();
+}
+
+/// Logs a record at an explicit [`Level`].
+///
+/// Forms:
+///
+/// ```
+/// o4a_obs::log!(o4a_obs::Level::Info, "serve", "listening on {}", "addr");
+/// o4a_obs::log!(o4a_obs::Level::Warn, "serve", "queue deep"; depth = 17, cap = 32);
+/// ```
+///
+/// The optional `; key = value, ...` tail appends structured `key=value`
+/// fields (values go through `Display`). Nothing right of the level check
+/// is evaluated when the level is disabled.
+#[macro_export]
+macro_rules! log {
+    ($lvl:expr, $target:expr, $fmt:literal $(, $farg:expr)* $(; $($k:ident = $v:expr),+ $(,)?)?) => {
+        if $crate::logger::enabled($lvl) {
+            $crate::logger::write_record(
+                $lvl,
+                $target,
+                ::std::format_args!($fmt $(, $farg)*),
+                &[$($((::std::stringify!($k), &$v as &dyn ::std::fmt::Display),)+)?],
+            );
+        }
+    };
+}
+
+/// Logs at [`Level::Error`]; same forms as [`crate::log!`].
+#[macro_export]
+macro_rules! error {
+    ($target:expr, $($rest:tt)*) => { $crate::log!($crate::Level::Error, $target, $($rest)*) };
+}
+
+/// Logs at [`Level::Warn`]; same forms as [`crate::log!`].
+#[macro_export]
+macro_rules! warn {
+    ($target:expr, $($rest:tt)*) => { $crate::log!($crate::Level::Warn, $target, $($rest)*) };
+}
+
+/// Logs at [`Level::Info`]; same forms as [`crate::log!`].
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($rest:tt)*) => { $crate::log!($crate::Level::Info, $target, $($rest)*) };
+}
+
+/// Logs at [`Level::Debug`]; same forms as [`crate::log!`].
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($rest:tt)*) => { $crate::log!($crate::Level::Debug, $target, $($rest)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("error"), Level::Error);
+        assert_eq!(Level::parse("WARN"), Level::Warn);
+        assert_eq!(Level::parse(" info "), Level::Info);
+        assert_eq!(Level::parse("debug"), Level::Debug);
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("garbage"), Level::Info);
+    }
+
+    #[test]
+    fn level_ordering_matches_severity() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

@@ -1,0 +1,138 @@
+//! RAII timing spans: measure a scope, record the elapsed nanoseconds into
+//! a registered histogram when the guard drops.
+//!
+//! ```
+//! {
+//!     let _s = o4a_obs::span!("doc_example");
+//!     // ... work ...
+//! } // records elapsed ns into o4a_doc_example_ns on drop
+//! ```
+//!
+//! Spans are *not* gated on the log level by default: the metrics registry
+//! must stay populated even under `O4A_LOG=error`, otherwise a `METRICS`
+//! scrape of a quiet server would be empty. The `span!(debug: "name")`
+//! form is gated — when the `Debug` level is disabled it evaluates to an
+//! inert guard: one atomic load, one branch, no clock read, no allocation
+//! (proven by `tests/no_alloc.rs`).
+
+use std::time::Instant;
+
+use crate::metrics::Histogram;
+
+/// A guard that records elapsed nanoseconds into a [`Histogram`] on drop.
+///
+/// Construct through the [`crate::span!`] macro (which names and registers
+/// the histogram) or [`Span::enter`] with an explicit histogram.
+#[must_use = "a span records on drop; binding it to _ discards it immediately"]
+#[derive(Debug)]
+pub struct Span<'a> {
+    state: Option<(&'a Histogram, Instant)>,
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span recording into `hist` when dropped.
+    #[inline]
+    pub fn enter(hist: &'a Histogram) -> Span<'a> {
+        Span {
+            state: Some((hist, Instant::now())),
+        }
+    }
+
+    /// A disabled span: drop does nothing, construction does nothing.
+    #[inline]
+    pub fn inert() -> Span<'static> {
+        Span { state: None }
+    }
+
+    /// Elapsed nanoseconds so far (`0` for an inert span).
+    pub fn elapsed_ns(&self) -> u64 {
+        self.state
+            .map(|(_, t0)| t0.elapsed().as_nanos() as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((hist, t0)) = self.state.take() {
+            hist.record(t0.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Opens a timing [`Span`] over the enclosing scope.
+///
+/// `span!("name")` registers (once) and records into the global histogram
+/// `o4a_<name>_ns`. `span!(debug: "name")` additionally checks the log
+/// level first and yields an inert, allocation-free guard when `Debug` is
+/// disabled — use it on paths too hot to pay even the histogram insert.
+#[macro_export]
+macro_rules! span {
+    ($name:literal) => {
+        $crate::span::Span::enter($crate::histogram!(
+            ::std::concat!("o4a_", $name, "_ns"),
+            ::std::concat!("latency of the `", $name, "` span in nanoseconds"),
+        ))
+    };
+    (debug: $name:literal) => {
+        if $crate::logger::enabled($crate::Level::Debug) {
+            $crate::span!($name)
+        } else {
+            $crate::span::Span::inert()
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let h = Histogram::new();
+        {
+            let _s = Span::enter(&h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 1_000_000, "recorded {} ns", h.sum());
+    }
+
+    #[test]
+    fn inert_span_records_nothing() {
+        let s = Span::inert();
+        assert_eq!(s.elapsed_ns(), 0);
+        drop(s);
+    }
+
+    #[test]
+    fn span_macro_registers_global_histogram() {
+        {
+            let _s = crate::span!("span_macro_test");
+        }
+        let h = crate::metrics::global().histogram(
+            "o4a_span_macro_test_ns",
+            "latency of the `span_macro_test` span in nanoseconds",
+        );
+        assert!(h.count() >= 1);
+    }
+
+    #[test]
+    fn debug_gated_span_is_inert_below_debug() {
+        crate::logger::set_max_level(crate::Level::Info);
+        {
+            let _s = crate::span!(debug: "span_gated_test");
+        }
+        crate::logger::set_max_level(crate::Level::Debug);
+        {
+            let _s = crate::span!(debug: "span_gated_test");
+        }
+        crate::logger::set_max_level(crate::Level::Info);
+        let h = crate::metrics::global().histogram(
+            "o4a_span_gated_test_ns",
+            "latency of the `span_gated_test` span in nanoseconds",
+        );
+        assert_eq!(h.count(), 1, "only the Debug-enabled span should record");
+    }
+}

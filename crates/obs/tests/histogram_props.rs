@@ -1,0 +1,98 @@
+//! Property tests for the log-bucketed histogram: bucket boundaries are
+//! exact, and quantile estimates are bounded by the √2 bucket width.
+
+use o4a_obs::metrics::{bounds, bucket_index, Histogram, BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every value lands in the first bucket whose upper bound covers it,
+    /// and one bucket below would not cover it.
+    #[test]
+    fn bucket_index_is_tight(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(v <= bounds()[i], "value {v} above bucket {i} bound");
+        if i > 0 {
+            prop_assert!(
+                v > bounds()[i - 1],
+                "value {v} should have landed in bucket {}",
+                i - 1
+            );
+        }
+    }
+
+    /// Boundary values map to their own bucket; boundary + 1 maps to the
+    /// next one.
+    #[test]
+    fn bucket_boundaries_are_inclusive(i in 0usize..BUCKETS - 1) {
+        let ub = bounds()[i];
+        prop_assert_eq!(bucket_index(ub), i);
+        prop_assert_eq!(bucket_index(ub + 1), i + 1);
+    }
+
+    /// For a batch of random values (kept below the last finite bound so
+    /// interpolation applies), any quantile estimate is within one √2
+    /// bucket of the true order statistic: the estimate and the true
+    /// value share a bucket, or sit in adjacent ones. Concretely:
+    /// `est <= ub(true)` and `est >= lb(true)`'s lower neighbour bound.
+    #[test]
+    fn quantile_error_bounded_by_bucket_width(
+        seed in 0u64..1_000_000,
+        n in 1usize..400,
+        q in 0u32..=100,
+    ) {
+        // xorshift so the value stream is dependency-free and seedable
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let h = Histogram::new();
+        let mut vals: Vec<u64> = (0..n)
+            .map(|_| next() % bounds()[BUCKETS - 2])
+            .collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let q = f64::from(q) / 100.0;
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        let truth = vals[rank - 1];
+        let est = h.quantile(q);
+
+        // The estimate interpolates inside the bucket holding the true
+        // rank, so it can never leave that bucket.
+        let tb = bucket_index(truth);
+        let lb = if tb == 0 { 0 } else { bounds()[tb - 1] };
+        let ub = bounds()[tb];
+        prop_assert!(
+            est >= lb && est <= ub,
+            "estimate {est} outside bucket [{lb}, {ub}] of true value {truth}"
+        );
+        // Relative error is therefore bounded by the √2 bucket growth.
+        if truth > 0 {
+            prop_assert!(
+                (est as f64) <= (truth as f64) * std::f64::consts::SQRT_2 + 1.0,
+                "estimate {est} more than √2 above true {truth}"
+            );
+            prop_assert!(
+                (est as f64) >= (truth as f64) / std::f64::consts::SQRT_2 - 1.0,
+                "estimate {est} more than √2 below true {truth}"
+            );
+        }
+    }
+
+    /// `count`/`sum` always agree with what was recorded.
+    #[test]
+    fn count_and_sum_track_records(vals in proptest::collection::vec(0u64..1u64 << 40, 0..64)) {
+        let h = Histogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), vals.len() as u64);
+        prop_assert_eq!(h.sum(), vals.iter().sum::<u64>());
+        let total: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(total, vals.len() as u64);
+    }
+}

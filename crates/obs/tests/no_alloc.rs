@@ -1,0 +1,59 @@
+//! Proves the "disabled observability is free" contract: with the level
+//! at `Error`, a `debug!` record and a `span!(debug: ...)` guard must not
+//! allocate at all — they are one relaxed atomic load and a branch.
+//!
+//! This file deliberately contains exactly ONE `#[test]`: the counting
+//! global allocator is process-wide, and a concurrently running test
+//! would pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_logging_and_spans_do_not_allocate() {
+    // Warm up everything that legitimately allocates once: the level
+    // (reads the O4A_LOG env var), and one enabled record through the
+    // sink so the mutex'd writer exists.
+    o4a_obs::set_max_level(o4a_obs::Level::Debug);
+    o4a_obs::debug!("no_alloc", "warmup"; k = 1);
+    {
+        let _s = o4a_obs::span!(debug: "no_alloc_warmup");
+    }
+
+    // Now disable Debug and measure.
+    o4a_obs::set_max_level(o4a_obs::Level::Error);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..10_000 {
+        o4a_obs::debug!("no_alloc", "dropped record {}", i; iter = i);
+        o4a_obs::info!("no_alloc", "also dropped");
+        let _s = o4a_obs::span!(debug: "no_alloc_gated");
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled-level logging/spans allocated {} times",
+        after - before
+    );
+}

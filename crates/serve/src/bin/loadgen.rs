@@ -4,16 +4,20 @@
 //! Each thread owns one connection and issues paper-style region queries
 //! (the four MAUP task mixes from `TaskSpec::standard_tasks`) back to back
 //! for `--secs` seconds, either one mask per request (`--batch 0`) or
-//! `--batch K` masks per BATCH frame. Exits non-zero if no request
-//! succeeds, so CI can gate on "the server actually served".
+//! `--batch K` masks per BATCH frame. Latency percentiles come from the
+//! shared `o4a_obs::Histogram` type (the same √2-bucket estimator the
+//! server exports through `METRICS`), and per-request outcomes (ok / busy
+//! / error) are counted into the JSON report. Exits non-zero if no
+//! request succeeds, so CI can gate on "the server actually served".
 //!
 //! Usage:
 //!   cargo run -p o4a-serve --release --bin loadgen -- \
 //!     [--addr 127.0.0.1:7474 | --addr-file PATH] [--threads 4] [--secs 2] \
-//!     [--batch 0] [--out BENCH_serve.json]
+//!     [--batch 0] [--out BENCH_serve.json] [--metrics-out PATH]
 
 use o4a_grid::queries::{task_queries, TaskSpec};
 use o4a_grid::Mask;
+use o4a_obs::Histogram;
 use o4a_serve::{Client, ClientConfig, ClientError};
 use o4a_tensor::SeededRng;
 use std::io::Write as _;
@@ -30,6 +34,7 @@ struct Args {
     secs: f64,
     batch: usize,
     out: PathBuf,
+    metrics_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +45,7 @@ fn parse_args() -> Args {
         secs: 2.0,
         batch: 0,
         out: PathBuf::from("BENCH_serve.json"),
+        metrics_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -54,6 +60,7 @@ fn parse_args() -> Args {
             "--secs" => args.secs = value("--secs").parse().expect("--secs"),
             "--batch" => args.batch = value("--batch").parse().expect("--batch"),
             "--out" => args.out = PathBuf::from(value("--out")),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -77,19 +84,13 @@ fn resolve_addr(args: &Args) -> SocketAddr {
     }
 }
 
+#[derive(Default)]
 struct ThreadOutcome {
-    latencies_us: Vec<u64>,
+    ok: u64,
     masks: u64,
     busy: u64,
     errors: u64,
-}
-
-fn percentile(sorted_us: &[u64], p: f64) -> u64 {
-    if sorted_us.is_empty() {
-        return 0;
-    }
-    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)]
+    max_ns: u64,
 }
 
 fn main() {
@@ -109,9 +110,16 @@ fn main() {
         }
     };
     assert!(health.ready, "server reports not ready");
-    eprintln!(
-        "[loadgen] target {addr}: raster {}x{}, {} layers; {} threads, {:.1}s, batch={}",
-        health.h, health.w, health.layers, args.threads, args.secs, args.batch
+    o4a_obs::info!(
+        "loadgen",
+        "target {addr}: raster {}x{}, {} layers (up {}s); {} threads, {:.1}s, batch={}",
+        health.h,
+        health.w,
+        health.layers,
+        health.uptime_secs,
+        args.threads,
+        args.secs,
+        args.batch
     );
 
     // Shared query pool: the paper's four task mixes over the served raster.
@@ -129,6 +137,9 @@ fn main() {
     assert!(!pool.is_empty(), "query pool is empty");
     let pool = Arc::new(pool);
 
+    // All threads record request latency (ns) into one lock-free histogram;
+    // percentiles below come from its bucket estimator.
+    let latency = Arc::new(Histogram::new());
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(args.secs);
@@ -137,14 +148,10 @@ fn main() {
             .map(|tid| {
                 let pool = Arc::clone(&pool);
                 let stop = Arc::clone(&stop);
+                let latency = Arc::clone(&latency);
                 let cfg = cfg.clone();
                 s.spawn(move || {
-                    let mut out = ThreadOutcome {
-                        latencies_us: Vec::new(),
-                        masks: 0,
-                        busy: 0,
-                        errors: 0,
-                    };
+                    let mut out = ThreadOutcome::default();
                     let mut client = match Client::connect(addr, cfg) {
                         Ok(c) => c,
                         Err(_) => {
@@ -171,7 +178,10 @@ fn main() {
                         };
                         match result {
                             Ok(n) => {
-                                out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                                let ns = t0.elapsed().as_nanos() as u64;
+                                latency.record(ns);
+                                out.max_ns = out.max_ns.max(ns);
+                                out.ok += 1;
                                 out.masks += n;
                             }
                             Err(ClientError::Busy) => {
@@ -195,13 +205,10 @@ fn main() {
     let elapsed = started.elapsed();
     stop.store(true, Ordering::Relaxed);
 
-    // Aggregate.
-    let mut latencies: Vec<u64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_us.iter().copied())
-        .collect();
-    latencies.sort_unstable();
-    let requests = latencies.len() as u64;
+    // Aggregate. Percentiles come straight from the histogram buckets
+    // (within one √2 bucket of the exact order statistic).
+    let requests = latency.count();
+    let ok: u64 = outcomes.iter().map(|o| o.ok).sum();
     let masks: u64 = outcomes.iter().map(|o| o.masks).sum();
     let busy: u64 = outcomes.iter().map(|o| o.busy).sum();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
@@ -209,16 +216,25 @@ fn main() {
     let rps = requests as f64 / secs;
     let mps = masks as f64 / secs;
     let (p50, p95, p99) = (
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 95.0),
-        percentile(&latencies, 99.0),
+        latency.quantile(0.50) / 1_000,
+        latency.quantile(0.95) / 1_000,
+        latency.quantile(0.99) / 1_000,
     );
-    let max_us = latencies.last().copied().unwrap_or(0);
+    let max_us = outcomes.iter().map(|o| o.max_ns).max().unwrap_or(0) / 1_000;
 
-    // Final server-side counters (best effort).
+    // Final server-side counters and metrics scrape (best effort).
     let server_stats = Client::connect(addr, ClientConfig::default())
         .and_then(|mut c| c.stats())
         .ok();
+    if let Some(path) = &args.metrics_out {
+        match Client::connect(addr, ClientConfig::default()).and_then(|mut c| c.metrics()) {
+            Ok(text) => {
+                std::fs::write(path, text).expect("write --metrics-out");
+                println!("wrote {}", path.display());
+            }
+            Err(e) => o4a_obs::warn!("loadgen", "METRICS scrape failed: {}", e),
+        }
+    }
 
     println!("== loadgen: {requests} requests / {masks} masks in {secs:.2}s ==");
     println!("  throughput   {rps:>10.1} req/s   {mps:>10.1} masks/s");
@@ -226,7 +242,7 @@ fn main() {
     println!("  latency p95  {p95:>10} us");
     println!("  latency p99  {p99:>10} us");
     println!("  latency max  {max_us:>10} us");
-    println!("  busy {busy}, client errors {errors}");
+    println!("  outcomes: {ok} ok, {busy} busy, {errors} client errors");
     if let Some(s) = &server_stats {
         println!(
             "  server: {} exec batches, {} coalesced masks, {} busy, {} protocol errors",
@@ -244,6 +260,9 @@ fn main() {
     json.push_str(&format!("  \"masks\": {masks},\n"));
     json.push_str(&format!("  \"busy\": {busy},\n"));
     json.push_str(&format!("  \"client_errors\": {errors},\n"));
+    json.push_str(&format!(
+        "  \"outcomes\": {{ \"ok\": {ok}, \"busy\": {busy}, \"error\": {errors} }},\n"
+    ));
     json.push_str(&format!("  \"throughput_rps\": {rps:.1},\n"));
     json.push_str(&format!("  \"throughput_masks_per_sec\": {mps:.1},\n"));
     json.push_str(&format!(
@@ -272,7 +291,7 @@ fn main() {
     println!("wrote {}", args.out.display());
 
     if requests == 0 {
-        eprintln!("[loadgen] FAIL: zero successful requests");
+        o4a_obs::error!("loadgen", "FAIL: zero successful requests");
         std::process::exit(1);
     }
 }

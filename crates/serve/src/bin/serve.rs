@@ -117,8 +117,9 @@ fn main() {
             });
             let hier = Hierarchy::new(args.side, args.side, 2, layers)
                 .expect("raster must divide by the coarsest scale");
-            eprintln!(
-                "[serve] synthetic offline phase: raster {0}x{0}, P = {1:?}",
+            o4a_obs::info!(
+                "serve",
+                "synthetic offline phase: raster {0}x{0}, P = {1:?}",
                 args.side,
                 hier.scales()
             );
@@ -137,8 +138,9 @@ fn main() {
             let model_path = args.artifacts.join("model.o4amdl");
             codec::save_index(&index, &index_path).expect("persist index");
             std::fs::write(&model_path, deploy::save_model(&mut model)).expect("persist model");
-            eprintln!(
-                "[serve] persisted artifacts: {} ({} entries), {}",
+            o4a_obs::info!(
+                "serve",
+                "persisted artifacts: {} ({} entries), {}",
                 index_path.display(),
                 index.tree.len(),
                 model_path.display()
@@ -150,8 +152,9 @@ fn main() {
     // --- cold start from disk ---
     let index = codec::load_index(&index_path).expect("cold-start index artifact");
     let hier = index.hier.clone();
-    eprintln!(
-        "[serve] cold-started index from {} ({} combinations, raster {}x{})",
+    o4a_obs::info!(
+        "serve",
+        "cold-started index from {} ({} combinations, raster {}x{})",
         index_path.display(),
         index.tree.len(),
         hier.h(),
@@ -168,7 +171,7 @@ fn main() {
                 TrainConfig::default(),
             );
             deploy::load_model(&mut model, &bytes).expect("cold-start model artifact");
-            eprintln!("[serve] cold-started model from {}", path.display());
+            o4a_obs::info!("serve", "cold-started model from {}", path.display());
             model
                 .predict_pyramid(&flow, &cfg, &[slot])
                 .into_iter()
@@ -176,7 +179,10 @@ fn main() {
                 .collect()
         }
         None => {
-            eprintln!("[serve] no model artifact: serving the ground-truth pyramid");
+            o4a_obs::warn!(
+                "serve",
+                "no model artifact: serving the ground-truth pyramid"
+            );
             truth_pyramid(&hier, &flow, &[slot])
                 .into_iter()
                 .map(|mut per_t| per_t.remove(0))
@@ -231,9 +237,11 @@ fn main() {
         None => loop {
             std::thread::sleep(Duration::from_secs(60));
             let s = handle.stats();
-            eprintln!(
-                "[serve] {} requests, {} masks served, {} busy",
-                s.requests, s.masks_served, s.busy_rejections
+            o4a_obs::info!(
+                "serve", "periodic stats";
+                requests = s.requests,
+                masks = s.masks_served,
+                busy = s.busy_rejections,
             );
         },
     }

@@ -177,6 +177,15 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Scrapes the server's full metrics registry as Prometheus text
+    /// exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(text) => Ok(text),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 fn unexpected(resp: Response) -> ClientError {
@@ -187,5 +196,6 @@ fn unexpected(resp: Response) -> ClientError {
         Response::BatchResult { .. } => ClientError::Unexpected("batch result"),
         Response::Health(_) => ClientError::Unexpected("health"),
         Response::Stats(_) => ClientError::Unexpected("stats"),
+        Response::Metrics(_) => ClientError::Unexpected("metrics"),
     }
 }

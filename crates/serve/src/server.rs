@@ -4,10 +4,11 @@
 //!
 //! * one **acceptor** thread polls the listener and spawns a reader
 //!   thread per connection;
-//! * each **connection** thread parses frames, answers `HEALTH`/`STATS`
-//!   inline, and submits `QUERY`/`BATCH` jobs to a **bounded admission
-//!   queue** — when the queue is full the request is shed immediately
-//!   with `BUSY` instead of queuing into unbounded latency;
+//! * each **connection** thread parses frames, answers
+//!   `HEALTH`/`STATS`/`METRICS` inline, and submits `QUERY`/`BATCH` jobs
+//!   to a **bounded admission queue** — when the queue is full the request
+//!   is shed immediately with `BUSY` instead of queuing into unbounded
+//!   latency;
 //! * a fixed pool of **executor** threads pops jobs, coalesces everything
 //!   that arrived within the coalescing window into a single
 //!   [`RegionServer::query_many_timed`] call (one snapshot, parallel
@@ -194,6 +195,13 @@ struct Shared {
     shutdown: AtomicBool,
     cfg: ServeConfig,
     conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Monotonic start instant (uptime reported by `HEALTH`).
+    started: Instant,
+    /// Start time in seconds since the Unix epoch (reported by `HEALTH`).
+    started_unix: u64,
+    /// Next request id; ids are unique per server and tag the per-request
+    /// debug logs so one request's records can be correlated.
+    next_request_id: AtomicU64,
 }
 
 impl Shared {
@@ -230,6 +238,7 @@ impl ServerHandle {
 
     /// Stops accepting, drains the threads and joins them all.
     pub fn shutdown(mut self) {
+        o4a_obs::info!("serve", "shutting down"; addr = self.addr);
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.shutdown();
         // wake the acceptor out of its poll by dialing it once
@@ -269,7 +278,34 @@ pub fn serve(region: Arc<RegionServer>, cfg: ServeConfig) -> std::io::Result<Ser
         shutdown: AtomicBool::new(false),
         cfg,
         conn_handles: Mutex::new(Vec::new()),
+        started: Instant::now(),
+        started_unix: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        next_request_id: AtomicU64::new(1),
     });
+    // Pre-register the serving metrics so a scrape of an idle server
+    // already exposes every counter at zero (the call sites below would
+    // otherwise register them lazily on first use).
+    let _ = o4a_obs::counter!(
+        "o4a_serve_connections_total",
+        "TCP connections accepted by the query server"
+    );
+    let _ = o4a_obs::counter!(
+        "o4a_serve_requests_total",
+        "well-formed request frames handled by the query server"
+    );
+    let _ = o4a_obs::counter!(
+        "o4a_serve_busy_total",
+        "requests shed with BUSY because the admission queue was full"
+    );
+    let _ = protocol_error_counter();
+    let _ = o4a_obs::histogram!(
+        "o4a_serve_request_ns",
+        "latency of the `serve_request` span in nanoseconds"
+    );
+    o4a_obs::info!("serve", "listening"; addr = addr, workers = workers);
 
     let executors: Vec<JoinHandle<()>> = (0..workers)
         .map(|i| {
@@ -305,6 +341,11 @@ fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
                     break;
                 }
                 shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+                o4a_obs::counter!(
+                    "o4a_serve_connections_total",
+                    "TCP connections accepted by the query server"
+                )
+                .inc();
                 let conn_shared = shared.clone();
                 let handle = std::thread::Builder::new()
                     .name("o4a-conn".into())
@@ -424,6 +465,8 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                 // a malformed frame desynchronizes the stream: report and
                 // close rather than guessing where the next frame starts
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                protocol_error_counter().inc();
+                o4a_obs::warn!("serve", "closing connection on malformed frame: {}", e);
                 send(
                     &mut stream,
                     &Response::Error(format!("protocol error: {e}")),
@@ -435,6 +478,8 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             Ok(req) => req,
             Err(e) => {
                 shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                protocol_error_counter().inc();
+                o4a_obs::warn!("serve", "closing connection on malformed payload: {}", e);
                 send(
                     &mut stream,
                     &Response::Error(format!("protocol error: {e}")),
@@ -443,6 +488,14 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
         };
         shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        o4a_obs::counter!(
+            "o4a_serve_requests_total",
+            "well-formed request frames handled by the query server"
+        )
+        .inc();
+        let req_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let _req_span = o4a_obs::span!("serve_request");
+        o4a_obs::debug!("serve", "request {:?}", verb; req = req_id);
         match request {
             Request::Health => {
                 let info = HealthInfo {
@@ -450,6 +503,8 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
                     h: hier.h() as u32,
                     w: hier.w() as u32,
                     layers: hier.num_layers() as u8,
+                    uptime_secs: shared.started.elapsed().as_secs(),
+                    started_unix: shared.started_unix,
                 };
                 if !send(&mut stream, &Response::Health(info)) {
                     return;
@@ -457,6 +512,12 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
             Request::Stats => {
                 if !send(&mut stream, &Response::Stats(shared.stats_snapshot())) {
+                    return;
+                }
+            }
+            Request::Metrics => {
+                let text = o4a_obs::render_prometheus();
+                if !send(&mut stream, &Response::Metrics(text)) {
                     return;
                 }
             }
@@ -472,6 +533,15 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
             }
         }
     }
+}
+
+/// Malformed frames / payloads received (mirrors
+/// `ServerStats::protocol_errors` into the metrics registry).
+fn protocol_error_counter() -> &'static o4a_obs::Counter {
+    o4a_obs::counter!(
+        "o4a_serve_protocol_errors_total",
+        "malformed frames or payloads received by the query server"
+    )
 }
 
 /// Submits masks through the admission queue and writes the response.
@@ -503,6 +573,11 @@ fn handle_query(
     let job = Job { masks, reply: tx };
     if shared.queue.push(job).is_err() {
         shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        o4a_obs::counter!(
+            "o4a_serve_busy_total",
+            "requests shed with BUSY because the admission queue was full"
+        )
+        .inc();
         return send(stream, &Response::Busy);
     }
     match rx.recv() {

@@ -9,10 +9,12 @@
 //! ```
 //!
 //! Request verbs: `QUERY` (one mask), `BATCH` (many masks), `HEALTH`,
-//! `STATS`. Response verbs: `PREDICTION`, `BATCH_RESULT` (values plus the
-//! decomposition/lookup timing breakdown of the executed batch),
-//! `HEALTH_OK`, `STATS_RESULT`, `BUSY` (admission queue full — the
-//! explicit load-shedding signal), `ERROR` (message).
+//! `STATS`, `METRICS` (full metrics registry as Prometheus text
+//! exposition). Response verbs: `PREDICTION`, `BATCH_RESULT` (values plus
+//! the decomposition/lookup timing breakdown of the executed batch),
+//! `HEALTH_OK`, `STATS_RESULT`, `METRICS_RESULT` (raw UTF-8 exposition
+//! text), `BUSY` (admission queue full — the explicit load-shedding
+//! signal), `ERROR` (message).
 //!
 //! A mask travels as `h u16 | w u16 | packed bits` (row-major, LSB-first
 //! within each byte; padding bits in the last byte must be zero). The
@@ -49,6 +51,8 @@ pub enum Verb {
     Health = 0x03,
     /// Request: serving counters.
     Stats = 0x04,
+    /// Request: full metrics registry in Prometheus text exposition.
+    Metrics = 0x05,
     /// Response to [`Verb::Query`].
     Prediction = 0x81,
     /// Response to [`Verb::Batch`].
@@ -57,6 +61,8 @@ pub enum Verb {
     HealthOk = 0x83,
     /// Response to [`Verb::Stats`].
     StatsResult = 0x84,
+    /// Response to [`Verb::Metrics`].
+    MetricsResult = 0x85,
     /// Response: admission queue full, request shed.
     Busy = 0x8E,
     /// Response: request failed with a message.
@@ -70,10 +76,12 @@ impl Verb {
             0x02 => Verb::Batch,
             0x03 => Verb::Health,
             0x04 => Verb::Stats,
+            0x05 => Verb::Metrics,
             0x81 => Verb::Prediction,
             0x82 => Verb::BatchResult,
             0x83 => Verb::HealthOk,
             0x84 => Verb::StatsResult,
+            0x85 => Verb::MetricsResult,
             0x8E => Verb::Busy,
             0x8F => Verb::Error,
             other => return Err(WireError::UnknownVerb(other)),
@@ -134,6 +142,8 @@ pub enum Request {
     Health,
     /// Serving counters.
     Stats,
+    /// Full metrics registry (Prometheus text exposition).
+    Metrics,
 }
 
 /// Aggregate timing of the executed batch a response rode in, in
@@ -148,6 +158,11 @@ pub struct TimingNs {
 }
 
 /// Readiness and raster geometry reported by `HEALTH`.
+///
+/// Payload revision 2 appends `uptime_secs` and `started_unix` (16 bytes)
+/// to the original 10-byte payload. The decoder accepts both forms —
+/// revision-1 frames from an old server decode with the two new fields at
+/// `0` — so mixed-version client/server pairs keep interoperating.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HealthInfo {
     /// Whether a prediction snapshot has been published.
@@ -158,6 +173,11 @@ pub struct HealthInfo {
     pub w: u32,
     /// Hierarchy layer count.
     pub layers: u8,
+    /// Seconds the server process has been up (0 from a revision-1 peer).
+    pub uptime_secs: u64,
+    /// Server start time, seconds since the Unix epoch (0 from a
+    /// revision-1 peer).
+    pub started_unix: u64,
 }
 
 /// Serving counters reported by `STATS`.
@@ -209,6 +229,8 @@ pub enum Response {
     Health(HealthInfo),
     /// Counter snapshot reply.
     Stats(StatsSnapshot),
+    /// Metrics scrape reply: Prometheus text exposition, raw UTF-8.
+    Metrics(String),
     /// Admission queue full; retry later.
     Busy,
     /// Request failed.
@@ -243,6 +265,9 @@ impl<'a> Rd<'a> {
     fn f32(&mut self) -> Result<f32, WireError> {
         let s = self.take(4)?;
         Ok(f32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
     }
     fn done(&self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
@@ -378,6 +403,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Health => encode_frame(Verb::Health, &[]),
         Request::Stats => encode_frame(Verb::Stats, &[]),
+        Request::Metrics => encode_frame(Verb::Metrics, &[]),
     }
 }
 
@@ -405,6 +431,7 @@ pub fn decode_request(verb: Verb, payload: &[u8]) -> Result<Request, WireError> 
         }
         Verb::Health => Request::Health,
         Verb::Stats => Request::Stats,
+        Verb::Metrics => Request::Metrics,
         _ => return Err(WireError::Corrupt("response verb in request frame")),
     };
     r.done()?;
@@ -437,6 +464,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             p.push(info.layers);
             p.extend_from_slice(&info.h.to_le_bytes());
             p.extend_from_slice(&info.w.to_le_bytes());
+            // payload revision 2: uptime fields appended after the
+            // revision-1 body so old decoders that stop early still work
+            put_u64(&mut p, info.uptime_secs);
+            put_u64(&mut p, info.started_unix);
             encode_frame(Verb::HealthOk, &p)
         }
         Response::Stats(s) => {
@@ -458,6 +489,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
             encode_frame(Verb::StatsResult, &p)
         }
+        Response::Metrics(text) => encode_frame(Verb::MetricsResult, text.as_bytes()),
         Response::Busy => encode_frame(Verb::Busy, &[]),
         Response::Error(msg) => {
             let bytes = msg.as_bytes();
@@ -506,11 +538,20 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
             }
             let h = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
             let w = u32::from_le_bytes(r.take(4)?.try_into().expect("4 bytes"));
+            // revision 2 appends uptime fields; a revision-1 payload ends
+            // here and decodes them as zero
+            let (uptime_secs, started_unix) = if r.remaining() == 0 {
+                (0, 0)
+            } else {
+                (r.u64()?, r.u64()?)
+            };
             Response::Health(HealthInfo {
                 ready: ready == 1,
                 h,
                 w,
                 layers,
+                uptime_secs,
+                started_unix,
             })
         }
         Verb::StatsResult => Response::Stats(StatsSnapshot {
@@ -526,6 +567,13 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
             decomp_cache_hits: r.u64()?,
             decomp_cache_misses: r.u64()?,
         }),
+        Verb::MetricsResult => {
+            let bytes = r.take(r.remaining())?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Corrupt("metrics payload is not UTF-8"))?
+                .to_string();
+            Response::Metrics(text)
+        }
         Verb::Busy => Response::Busy,
         Verb::Error => {
             let len = r.u16()? as usize;
@@ -661,6 +709,7 @@ mod tests {
             ]),
             Request::Health,
             Request::Stats,
+            Request::Metrics,
         ] {
             let bytes = encode_request(&req);
             assert_eq!(parse_request_bytes(&bytes).unwrap(), req);
@@ -687,7 +736,10 @@ mod tests {
                 h: 128,
                 w: 128,
                 layers: 6,
+                uptime_secs: 3600,
+                started_unix: 1_700_000_000,
             }),
+            Response::Metrics("# HELP o4a_x x\n# TYPE o4a_x counter\no4a_x 1\n".into()),
             Response::Stats(StatsSnapshot {
                 connections: 3,
                 requests: 1000,
@@ -707,6 +759,57 @@ mod tests {
             let bytes = encode_response(&resp);
             assert_eq!(parse_response_bytes(&bytes).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn legacy_health_payload_still_decodes() {
+        // A revision-1 HEALTH_OK frame (10-byte payload, no uptime
+        // fields), exactly as an old server would emit it.
+        let mut p = Vec::new();
+        p.push(1u8); // ready
+        p.push(5u8); // layers
+        p.extend_from_slice(&64u32.to_le_bytes());
+        p.extend_from_slice(&32u32.to_le_bytes());
+        let frame = encode_frame(Verb::HealthOk, &p);
+        let resp = parse_response_bytes(&frame).unwrap();
+        assert_eq!(
+            resp,
+            Response::Health(HealthInfo {
+                ready: true,
+                h: 64,
+                w: 32,
+                layers: 5,
+                uptime_secs: 0,
+                started_unix: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_health_uptime_rejected() {
+        // Revision-2 body cut mid-uptime: neither a valid revision-1 nor
+        // revision-2 payload — must be an error, not a silent partial read.
+        let info = HealthInfo {
+            ready: true,
+            h: 8,
+            w: 8,
+            layers: 3,
+            uptime_secs: 42,
+            started_unix: 9,
+        };
+        let frame = encode_response(&Response::Health(info));
+        let payload = &frame[HEADER_LEN..HEADER_LEN + 14];
+        let reframed = encode_frame(Verb::HealthOk, payload);
+        assert!(parse_response_bytes(&reframed).is_err());
+    }
+
+    #[test]
+    fn metrics_payload_must_be_utf8() {
+        let frame = encode_frame(Verb::MetricsResult, &[0xFF, 0xFE]);
+        assert_eq!(
+            parse_response_bytes(&frame),
+            Err(WireError::Corrupt("metrics payload is not UTF-8"))
+        );
     }
 
     #[test]

@@ -213,6 +213,12 @@ pub fn conv2d(
     let out_w = conv_out_size(w, kw, stride, pad);
     let cols = out_h * out_w;
     let krows = c_in * kh * kw;
+    let _span = o4a_obs::span!("kernel_conv2d");
+    o4a_obs::counter!(
+        "o4a_kernel_conv2d_flops_total",
+        "floating-point operations issued by the conv2d forward kernel"
+    )
+    .add(2 * (n * c_out * krows * cols) as u64);
 
     let mut out = vec![0.0f32; n * c_out * cols];
     let wdata = weight.data();
@@ -278,6 +284,12 @@ pub fn conv2d_backward(
     }
     let cols = out_h * out_w;
     let krows = c_in * kh * kw;
+    let _span = o4a_obs::span!("kernel_conv2d_bwd");
+    o4a_obs::counter!(
+        "o4a_kernel_conv2d_bwd_flops_total",
+        "floating-point operations issued by the conv2d backward kernel"
+    )
+    .add(6 * (n * c_out * krows * cols) as u64);
 
     let mut grad_input = vec![0.0f32; n * c_in * h * w];
     // Per-sample partials for the cross-sample reductions; folded serially

@@ -241,6 +241,12 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let _span = o4a_obs::span!("kernel_gemm");
+    o4a_obs::counter!(
+        "o4a_kernel_gemm_flops_total",
+        "floating-point operations issued by the GEMM kernel (2*m*k*n per call)"
+    )
+    .add(2 * (m * k * n) as u64);
     if 2 * m * k * n < GEMM_MIN_FLOPS {
         matmul_naive_into(a, b, out, m, k, n);
         return;

@@ -18,9 +18,9 @@ cargo fmt --check
 
 # Lint the crates touched by the parallel compute runtime and the
 # serving layer.
-echo "==> cargo clippy -D warnings (tensor, nn, core, bench, serve)"
+echo "==> cargo clippy -D warnings (tensor, nn, core, bench, serve, obs)"
 cargo clippy --release -p o4a-tensor -p o4a-nn -p o4a-core -p o4a-bench \
-    -p o4a-serve --all-targets -- -D warnings
+    -p o4a-serve -p o4a-obs --all-targets -- -D warnings
 
 # Kernel smoke: quick bench run to a scratch path (the committed
 # BENCH_kernels.json is NOT overwritten), then require that no kernel
@@ -31,12 +31,41 @@ cargo clippy --release -p o4a-tensor -p o4a-nn -p o4a-core -p o4a-bench \
 echo "==> kernels smoke (quick bench, t1/t2/t4 no-regression)"
 KSMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$KSMOKE_DIR"' EXIT
+# Seed the scratch path with the committed baseline so the bench computes
+# vs_prev_t1 against it (the committed BENCH_kernels.json is NOT
+# overwritten).
+cp BENCH_kernels.json "$KSMOKE_DIR/BENCH_kernels.json"
 ./target/release/kernels --quick --out "$KSMOKE_DIR/BENCH_kernels.json" \
     > "$KSMOKE_DIR/kernels.log" 2>&1
 grep -o '"speedup_t[24]": [0-9.]*' "$KSMOKE_DIR/BENCH_kernels.json" | awk '
     { if ($2 + 0 < 1.0) { bad = 1; print "kernel speedup below 1.0: " $0 } }
     END { exit bad }
 '
+# Observability overhead gate, two layers:
+#   1. Direct: the bench measures the exact span + FLOP-counter prologue
+#      the GEMM kernel runs per call, in the same process as the matmul
+#      timing (so machine drift cancels). The instrumentation must cost
+#      < 3% of the matmul call it wraps.
+#   2. Gross wall-clock guard: matmul t1 vs the committed baseline must
+#      stay >= 0.85 (run-to-run noise on shared boxes exceeds 10%, so a
+#      tight wall-clock bound would be flaky; a systematic slowdown —
+#      e.g. accidentally instrumenting per element — still trips it).
+echo "==> observability overhead gate (instrumentation < 3% of matmul)"
+awk '
+    /"instrumentation_ns_per_call"/ { gsub(/[^0-9.]/, "", $2); instr = $2 + 0 }
+    /"name": "matmul_256x1024x1024"/ {
+        match($0, /"mean_secs": \[[0-9.e-]+/)
+        t1 = substr($0, RSTART + 15, RLENGTH - 15) + 0
+        match($0, /"vs_prev_t1": [0-9.]+/)
+        vs = substr($0, RSTART + 14, RLENGTH - 14) + 0
+    }
+    END {
+        frac = instr / (t1 * 1e9)
+        printf "instrumentation %.1f ns/call = %.5f%% of matmul t1\n", instr, frac * 100
+        if (frac >= 0.03) { print "FAIL: instrumentation >= 3% of matmul"; exit 1 }
+        if (vs < 0.85) { print "FAIL: matmul t1 regressed >15% vs baseline: vs_prev_t1=" vs; exit 1 }
+    }
+' "$KSMOKE_DIR/BENCH_kernels.json"
 
 # Serving smoke: cold-start a server on an ephemeral port, drive it with
 # the load generator for ~2s, and require non-zero throughput (loadgen
@@ -49,8 +78,21 @@ trap 'rm -rf "$KSMOKE_DIR" "$SMOKE_DIR"' EXIT
     > "$SMOKE_DIR/serve.log" 2>&1 &
 SERVE_PID=$!
 ./target/release/loadgen --addr-file "$SMOKE_DIR/addr" --threads 2 \
-    --secs 2 --out "$SMOKE_DIR/BENCH_serve.json"
+    --secs 2 --out "$SMOKE_DIR/BENCH_serve.json" \
+    --metrics-out "$SMOKE_DIR/metrics.prom"
 wait "$SERVE_PID"
 grep -q '"requests"' "$SMOKE_DIR/BENCH_serve.json"
+grep -q '"outcomes"' "$SMOKE_DIR/BENCH_serve.json"
+
+# METRICS smoke: the scrape from the live server must be a well-formed
+# exposition containing the serving counters and query-stage histograms.
+echo "==> METRICS exposition smoke"
+for metric in o4a_serve_requests_total o4a_serve_busy_total \
+    o4a_serve_protocol_errors_total o4a_query_decompose_ns_bucket \
+    o4a_query_lookup_ns_count o4a_query_aggregate_ns_sum \
+    o4a_decomp_cache_hits_total o4a_decomp_cache_misses_total; do
+    grep -q "^$metric" "$SMOKE_DIR/metrics.prom" \
+        || { echo "metrics.prom is missing $metric"; exit 1; }
+done
 
 echo "==> all checks passed"

@@ -18,6 +18,8 @@
 //! * [`models`] — baseline ST predictors ([`o4a_models`])
 //! * [`core`] — the One4All-ST framework itself ([`o4a_core`])
 //! * [`serve`] — the networked query-serving layer ([`o4a_serve`])
+//! * [`obs`] — leveled logging, metrics registry, timing spans
+//!   ([`o4a_obs`])
 //!
 //! See `examples/` for runnable end-to-end scenarios and `DESIGN.md` for the
 //! system inventory.
@@ -27,5 +29,6 @@ pub use o4a_data as data;
 pub use o4a_grid as grid;
 pub use o4a_models as models;
 pub use o4a_nn as nn;
+pub use o4a_obs as obs;
 pub use o4a_serve as serve;
 pub use o4a_tensor as tensor;
