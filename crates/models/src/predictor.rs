@@ -11,7 +11,7 @@ use o4a_data::flow::FlowSeries;
 use o4a_data::norm::Normalizer;
 use o4a_nn::loss::mse_loss;
 use o4a_nn::module::Module;
-use o4a_nn::optim::{clip_grad_norm, Adam};
+use o4a_nn::optim::{clip_grad_norm_module, Adam};
 use o4a_tensor::{SeededRng, Tensor};
 use std::time::Instant;
 
@@ -110,12 +110,19 @@ impl DeepGridModel {
 
     /// Runs one training epoch over the (already-normalized) samples,
     /// returning the mean batch loss.
+    ///
+    /// Mini-batches are gathered into the caller's persistent
+    /// [`EpochScratch`]; together with the layer workspaces, the module
+    /// parameter walker and the `o4a-tensor` buffer pool, steady-state
+    /// steps perform no heap allocation at all (see the
+    /// `train_steady_state_allocates_nothing` integration test).
     fn run_epoch(
         &mut self,
         inputs: &Tensor,
         targets: &Tensor,
         order: &[usize],
         opt: &mut Adam,
+        scratch: &mut EpochScratch,
     ) -> f32 {
         let n = inputs.shape()[0];
         let in_stride: usize = inputs.shape()[1..].iter().product();
@@ -127,31 +134,53 @@ impl DeepGridModel {
         while bi < n {
             let idx = &order[bi..(bi + batch).min(n)];
             let bn = idx.len();
-            // gather the batch
-            let mut bin = Vec::with_capacity(bn * in_stride);
-            let mut bout = Vec::with_capacity(bn * out_stride);
-            for &s in idx {
-                bin.extend_from_slice(&inputs.data()[s * in_stride..(s + 1) * in_stride]);
-                bout.extend_from_slice(&targets.data()[s * out_stride..(s + 1) * out_stride]);
+            // gather the batch into the reusable workspaces
+            scratch.in_shape.clear();
+            scratch.in_shape.extend_from_slice(inputs.shape());
+            scratch.in_shape[0] = bn;
+            scratch.out_shape.clear();
+            scratch.out_shape.extend_from_slice(targets.shape());
+            scratch.out_shape[0] = bn;
+            scratch.x.reset_uninit(&scratch.in_shape);
+            scratch.y.reset_uninit(&scratch.out_shape);
+            for (b, &s) in idx.iter().enumerate() {
+                scratch.x.data_mut()[b * in_stride..(b + 1) * in_stride]
+                    .copy_from_slice(&inputs.data()[s * in_stride..(s + 1) * in_stride]);
+                scratch.y.data_mut()[b * out_stride..(b + 1) * out_stride]
+                    .copy_from_slice(&targets.data()[s * out_stride..(s + 1) * out_stride]);
             }
-            let mut in_shape = inputs.shape().to_vec();
-            in_shape[0] = bn;
-            let mut out_shape = targets.shape().to_vec();
-            out_shape[0] = bn;
-            let x = Tensor::from_vec(bin, &in_shape).expect("batch input shape");
-            let y = Tensor::from_vec(bout, &out_shape).expect("batch target shape");
 
-            let pred = self.net.forward(&x);
-            let (loss, grad) = mse_loss(&pred, &y);
+            let pred = self.net.forward(&scratch.x);
+            let (loss, grad) = mse_loss(&pred, &scratch.y);
             self.net.zero_grad();
             self.net.backward(&grad);
-            clip_grad_norm(&mut self.net.params_mut(), self.train_cfg.clip);
-            opt.step(&mut self.net.params_mut());
+            clip_grad_norm_module(self.net.as_mut(), self.train_cfg.clip);
+            opt.step_module(self.net.as_mut());
             total += loss;
             batches += 1;
             bi += batch;
         }
         total / batches.max(1) as f32
+    }
+}
+
+/// Persistent mini-batch gather workspaces, created once per `fit` and
+/// reused by every epoch.
+struct EpochScratch {
+    x: Tensor,
+    y: Tensor,
+    in_shape: Vec<usize>,
+    out_shape: Vec<usize>,
+}
+
+impl EpochScratch {
+    fn new() -> Self {
+        EpochScratch {
+            x: Tensor::empty(),
+            y: Tensor::empty(),
+            in_shape: Vec::new(),
+            out_shape: Vec::new(),
+        }
     }
 }
 
@@ -178,13 +207,14 @@ impl Predictor for DeepGridModel {
         let mut order: Vec<usize> = (0..n).collect();
         let start = Instant::now();
         let mut final_loss = 0.0f32;
+        let mut scratch = EpochScratch::new();
         for epoch in 0..self.train_cfg.epochs {
             let epoch_start = Instant::now();
             // Fisher-Yates shuffle
             for i in (1..n).rev() {
                 order.swap(i, rng.index(i + 1));
             }
-            final_loss = self.run_epoch(&inputs, &targets, &order, &mut opt);
+            final_loss = self.run_epoch(&inputs, &targets, &order, &mut opt, &mut scratch);
             o4a_obs::gauge!(
                 "o4a_train_epoch_loss",
                 "mean training loss of the most recent epoch"

@@ -77,6 +77,10 @@ impl Module for ConvBlock {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         self.conv.params_mut()
     }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv.visit_params(f);
+    }
 }
 
 /// Pre-activation residual block: `y = x + conv(ReLU(conv(ReLU(x))))`.
@@ -122,6 +126,11 @@ impl Module for ResBlock {
         p.extend(self.conv2.params_mut());
         p
     }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+    }
 }
 
 /// Squeeze-and-excitation residual block (Fig. 7 right):
@@ -144,6 +153,10 @@ pub struct SeBlock {
     fc2: Linear,
     gate: Sigmoid,
     cache: Option<SeCache>,
+    // per-step workspaces for the branch gradient and the channel-scale
+    // gradient (fully overwritten each backward)
+    du_ws: Tensor,
+    ds_ws: Tensor,
 }
 
 struct SeCache {
@@ -171,6 +184,8 @@ impl SeBlock {
             fc2: Linear::new(rng, hidden, channels),
             gate: Sigmoid::new(),
             cache: None,
+            du_ws: Tensor::empty(),
+            ds_ws: Tensor::empty(),
         }
     }
 }
@@ -224,38 +239,36 @@ impl Module for SeBlock {
         let plane = h * w;
 
         // du_direct = dy * s ; ds = sum_hw(dy * u)
-        let mut du = vec![0.0f32; n * c * plane];
-        let mut ds = vec![0.0f32; n * c];
+        self.du_ws.reset_uninit(&[n, c, h, w]);
+        self.ds_ws.reset_uninit(&[n, c]);
         {
             let gd = grad_output.data();
             let ud = branch.data();
             let sd = scale.data();
-            for bc in 0..n * c {
-                let sv = sd[bc];
+            let du = self.du_ws.data_mut();
+            for (bc, &sv) in sd.iter().enumerate() {
                 let off = bc * plane;
                 let mut acc = 0.0f32;
                 for i in 0..plane {
                     du[off + i] = gd[off + i] * sv;
                     acc += gd[off + i] * ud[off + i];
                 }
-                ds[bc] = acc;
+                self.ds_ws.data_mut()[bc] = acc;
             }
         }
-        let ds = Tensor::from_vec(ds, &[n, c]).expect("ds shape");
 
         // back through the excitation MLP into the pooled squeeze
-        let mut gs = self.gate.backward(&ds);
+        let mut gs = self.gate.backward(&self.ds_ws);
         gs = self.fc2.backward(&gs);
         gs = self.fc_relu.backward(&gs);
         gs = self.fc1.backward(&gs);
         let du_pool = self.pool.backward(&gs);
 
         // total branch gradient
-        let mut du = Tensor::from_vec(du, &[n, c, h, w]).expect("du shape");
-        du.add_assign(&du_pool).expect("du shapes");
+        self.du_ws.add_assign(&du_pool).expect("du shapes");
 
         // back through the residual branch
-        let mut g = self.conv2.backward(&du);
+        let mut g = self.conv2.backward(&self.du_ws);
         g = self.relu2.backward(&g);
         g = self.conv1.backward(&g);
         g = self.relu1.backward(&g);
@@ -269,6 +282,13 @@ impl Module for SeBlock {
         p.extend(self.fc1.params_mut());
         p.extend(self.fc2.params_mut());
         p
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv1.visit_params(f);
+        self.conv2.visit_params(f);
+        self.fc1.visit_params(f);
+        self.fc2.visit_params(f);
     }
 }
 

@@ -3,9 +3,16 @@
 use crate::module::Module;
 use crate::param::Param;
 use o4a_tensor::{
-    conv2d, conv2d_backward, glorot_uniform, upsample_nearest, upsample_nearest_backward,
-    SeededRng, Tensor,
+    conv2d_bwd_into, conv2d_into, glorot_uniform, upsample_nearest, upsample_nearest_backward,
+    Conv2dGrads, SeededRng, Tensor,
 };
+
+// Layers keep their backward caches and gradient outputs in persistent
+// workspaces (`Tensor` fields reset in place each step) instead of cloning
+// inputs and collecting fresh `Vec`s. Together with the `o4a-tensor` buffer
+// pool this makes the whole forward/backward step allocation-free at steady
+// state; a `primed` flag preserves the "backward before forward" panic of
+// the old `Option` caches.
 
 /// 2-D convolution layer over NCHW tensors.
 ///
@@ -18,7 +25,13 @@ pub struct Conv2d {
     bias: Param,
     stride: usize,
     pad: usize,
-    cache: Option<Tensor>,
+    // Backward re-unrolls a cached copy of the input. Retaining the packed
+    // im2col panels instead (`conv2d_into_caching`) is bit-identical but
+    // measured slower here: the panels are ~9x the input and the extra
+    // DRAM traffic outweighs the skipped re-unroll on a memory-bound core.
+    cache: Tensor,
+    primed: bool,
+    grads: Conv2dGrads,
 }
 
 impl Conv2d {
@@ -36,7 +49,9 @@ impl Conv2d {
             bias: Param::new(Tensor::zeros(&[c_out])),
             stride,
             pad,
-            cache: None,
+            cache: Tensor::empty(),
+            primed: false,
+            grads: Conv2dGrads::default(),
         }
     }
 
@@ -59,36 +74,48 @@ impl Conv2d {
 
 impl Module for Conv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let out = conv2d(
+        let mut out = Tensor::empty();
+        conv2d_into(
             input,
             &self.weight.value,
             &self.bias.value,
             self.stride,
             self.pad,
+            &mut out,
         )
         .expect("Conv2d forward: invalid shapes");
-        self.cache = Some(input.clone());
+        self.cache.copy_from(input);
+        self.primed = true;
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cache.take().expect("Conv2d backward before forward");
-        let grads = conv2d_backward(
-            &input,
+        assert!(self.primed, "Conv2d backward before forward");
+        self.primed = false;
+        conv2d_bwd_into(
+            &self.cache,
             &self.weight.value,
             &self.bias.value,
             self.stride,
             self.pad,
             grad_output,
+            &mut self.grads,
         )
         .expect("Conv2d backward: invalid shapes");
-        self.weight.accumulate(&grads.grad_weight);
-        self.bias.accumulate(&grads.grad_bias);
-        grads.grad_input
+        self.weight.accumulate(&self.grads.grad_weight);
+        self.bias.accumulate(&self.grads.grad_bias);
+        // hand the input gradient upstream without a copy; the next backward
+        // resizes the emptied workspace in place (through the pool)
+        std::mem::replace(&mut self.grads.grad_input, Tensor::empty())
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
     }
 }
 
@@ -96,7 +123,13 @@ impl Module for Conv2d {
 pub struct Linear {
     weight: Param,
     bias: Param,
-    cache: Option<Tensor>,
+    cache: Tensor,
+    primed: bool,
+    // per-step workspaces: transposed weight, transposed grad, dW, db
+    wt: Tensor,
+    gyt: Tensor,
+    gw: Tensor,
+    gb: Tensor,
 }
 
 impl Linear {
@@ -105,7 +138,12 @@ impl Linear {
         Linear {
             weight: Param::new(glorot_uniform(rng, &[d_out, d_in])),
             bias: Param::new(Tensor::zeros(&[d_out])),
-            cache: None,
+            cache: Tensor::empty(),
+            primed: false,
+            wt: Tensor::empty(),
+            gyt: Tensor::empty(),
+            gw: Tensor::empty(),
+            gb: Tensor::empty(),
         }
     }
 
@@ -119,8 +157,11 @@ impl Linear {
 impl Module for Linear {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.rank(), 2, "Linear expects [n, d_in]");
-        let wt = self.weight.value.transpose2().expect("weight is rank 2");
-        let mut out = input.matmul(&wt).expect("Linear forward shapes");
+        self.weight
+            .value
+            .transpose2_into(&mut self.wt)
+            .expect("weight is rank 2");
+        let mut out = input.matmul(&self.wt).expect("Linear forward shapes");
         let (n, d_out) = (out.shape()[0], out.shape()[1]);
         let b = self.bias.value.data();
         for i in 0..n {
@@ -129,18 +170,26 @@ impl Module for Linear {
                 *o += bv;
             }
         }
-        self.cache = Some(input.clone());
+        self.cache.copy_from(input);
+        self.primed = true;
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let input = self.cache.take().expect("Linear backward before forward");
+        assert!(self.primed, "Linear backward before forward");
+        self.primed = false;
         // dW = dY^T X ; db = sum over batch ; dX = dY W
-        let gyt = grad_output.transpose2().expect("grad rank 2");
-        let gw = gyt.matmul(&input).expect("Linear dW shapes");
-        self.weight.accumulate(&gw);
-        let gb = grad_output.sum_axis0().expect("grad rank 2");
-        self.bias.accumulate(&gb);
+        grad_output
+            .transpose2_into(&mut self.gyt)
+            .expect("grad rank 2");
+        self.gyt
+            .matmul_into(&self.cache, &mut self.gw)
+            .expect("Linear dW shapes");
+        self.weight.accumulate(&self.gw);
+        grad_output
+            .sum_axis0_into(&mut self.gb)
+            .expect("grad rank 2");
+        self.bias.accumulate(&self.gb);
         grad_output
             .matmul(&self.weight.value)
             .expect("Linear dX shapes")
@@ -149,17 +198,26 @@ impl Module for Linear {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
     }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
 }
 
 /// Rectified linear activation.
 pub struct Relu {
-    mask: Option<Vec<bool>>,
+    mask: Vec<bool>,
+    primed: bool,
 }
 
 impl Relu {
     /// Creates a ReLU activation.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu {
+            mask: Vec::new(),
+            primed: false,
+        }
     }
 }
 
@@ -171,19 +229,25 @@ impl Default for Relu {
 
 impl Module for Relu {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.mask = Some(input.data().iter().map(|&v| v > 0.0).collect());
-        input.map(|v| v.max(0.0))
+        self.mask.clear();
+        self.mask.extend(input.data().iter().map(|&v| v > 0.0));
+        self.primed = true;
+        input.relu()
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let mask = self.mask.take().expect("Relu backward before forward");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(&mask)
-            .map(|(&g, &m)| if m { g } else { 0.0 })
-            .collect();
-        Tensor::from_vec(data, grad_output.shape()).expect("Relu grad shape")
+        assert!(self.primed, "Relu backward before forward");
+        self.primed = false;
+        let mut out = Tensor::uninit(grad_output.shape());
+        for ((o, &g), &m) in out
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(&self.mask)
+        {
+            *o = if m { g } else { 0.0 };
+        }
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -193,13 +257,17 @@ impl Module for Relu {
 
 /// Logistic sigmoid activation.
 pub struct Sigmoid {
-    out: Option<Tensor>,
+    out: Tensor,
+    primed: bool,
 }
 
 impl Sigmoid {
     /// Creates a sigmoid activation.
     pub fn new() -> Self {
-        Sigmoid { out: None }
+        Sigmoid {
+            out: Tensor::empty(),
+            primed: false,
+        }
     }
 }
 
@@ -212,19 +280,24 @@ impl Default for Sigmoid {
 impl Module for Sigmoid {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let out = input.map(|v| 1.0 / (1.0 + (-v).exp()));
-        self.out = Some(out.clone());
+        self.out.copy_from(&out);
+        self.primed = true;
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self.out.take().expect("Sigmoid backward before forward");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(out.data())
-            .map(|(&g, &y)| g * y * (1.0 - y))
-            .collect();
-        Tensor::from_vec(data, grad_output.shape()).expect("Sigmoid grad shape")
+        assert!(self.primed, "Sigmoid backward before forward");
+        self.primed = false;
+        let mut g = Tensor::uninit(grad_output.shape());
+        for ((o, &gv), &y) in g
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(self.out.data())
+        {
+            *o = gv * y * (1.0 - y);
+        }
+        g
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -234,13 +307,17 @@ impl Module for Sigmoid {
 
 /// Hyperbolic tangent activation.
 pub struct Tanh {
-    out: Option<Tensor>,
+    out: Tensor,
+    primed: bool,
 }
 
 impl Tanh {
     /// Creates a tanh activation.
     pub fn new() -> Self {
-        Tanh { out: None }
+        Tanh {
+            out: Tensor::empty(),
+            primed: false,
+        }
     }
 }
 
@@ -253,19 +330,24 @@ impl Default for Tanh {
 impl Module for Tanh {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let out = input.map(f32::tanh);
-        self.out = Some(out.clone());
+        self.out.copy_from(&out);
+        self.primed = true;
         out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let out = self.out.take().expect("Tanh backward before forward");
-        let data = grad_output
-            .data()
-            .iter()
-            .zip(out.data())
-            .map(|(&g, &y)| g * (1.0 - y * y))
-            .collect();
-        Tensor::from_vec(data, grad_output.shape()).expect("Tanh grad shape")
+        assert!(self.primed, "Tanh backward before forward");
+        self.primed = false;
+        let mut g = Tensor::uninit(grad_output.shape());
+        for ((o, &gv), &y) in g
+            .data_mut()
+            .iter_mut()
+            .zip(grad_output.data())
+            .zip(self.out.data())
+        {
+            *o = gv * (1.0 - y * y);
+        }
+        g
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -277,13 +359,17 @@ impl Module for Tanh {
 ///
 /// The *squeeze* step of the SE block.
 pub struct GlobalAvgPool {
-    in_shape: Option<Vec<usize>>,
+    in_shape: Vec<usize>,
+    primed: bool,
 }
 
 impl GlobalAvgPool {
     /// Creates a global average pool.
     pub fn new() -> Self {
-        GlobalAvgPool { in_shape: None }
+        GlobalAvgPool {
+            in_shape: Vec::new(),
+            primed: false,
+        }
     }
 }
 
@@ -303,30 +389,35 @@ impl Module for GlobalAvgPool {
             input.shape()[3],
         );
         let plane = h * w;
-        let mut out = Vec::with_capacity(n * c);
+        let mut out = Tensor::uninit(&[n, c]);
         for bc in 0..n * c {
             let s: f32 = input.data()[bc * plane..(bc + 1) * plane].iter().sum();
-            out.push(s / plane as f32);
+            out.data_mut()[bc] = s / plane as f32;
         }
-        self.in_shape = Some(input.shape().to_vec());
-        Tensor::from_vec(out, &[n, c]).expect("pool output shape")
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(input.shape());
+        self.primed = true;
+        out
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .in_shape
-            .take()
-            .expect("GlobalAvgPool backward before forward");
-        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        assert!(self.primed, "GlobalAvgPool backward before forward");
+        self.primed = false;
+        let (n, c, h, w) = (
+            self.in_shape[0],
+            self.in_shape[1],
+            self.in_shape[2],
+            self.in_shape[3],
+        );
         let plane = h * w;
-        let mut out = vec![0.0f32; n * c * plane];
+        let mut out = Tensor::uninit(&self.in_shape);
         for bc in 0..n * c {
             let g = grad_output.data()[bc] / plane as f32;
-            for v in &mut out[bc * plane..(bc + 1) * plane] {
+            for v in &mut out.data_mut()[bc * plane..(bc + 1) * plane] {
                 *v = g;
             }
         }
-        Tensor::from_vec(out, &shape).expect("pool grad shape")
+        out
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -364,13 +455,17 @@ impl Module for Upsample {
 
 /// Flattens `[n, ...]` to `[n, prod(...)]` (and unflattens on backward).
 pub struct Flatten {
-    in_shape: Option<Vec<usize>>,
+    in_shape: Vec<usize>,
+    primed: bool,
 }
 
 impl Flatten {
     /// Creates a flatten layer.
     pub fn new() -> Self {
-        Flatten { in_shape: None }
+        Flatten {
+            in_shape: Vec::new(),
+            primed: false,
+        }
     }
 }
 
@@ -384,16 +479,18 @@ impl Module for Flatten {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         let n = input.shape()[0];
         let rest: usize = input.shape()[1..].iter().product();
-        self.in_shape = Some(input.shape().to_vec());
+        self.in_shape.clear();
+        self.in_shape.extend_from_slice(input.shape());
+        self.primed = true;
         input.reshape(&[n, rest]).expect("flatten reshape")
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let shape = self
-            .in_shape
-            .take()
-            .expect("Flatten backward before forward");
-        grad_output.reshape(&shape).expect("unflatten reshape")
+        assert!(self.primed, "Flatten backward before forward");
+        self.primed = false;
+        grad_output
+            .reshape(&self.in_shape)
+            .expect("unflatten reshape")
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {

@@ -11,20 +11,18 @@ pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
         .expect("mse_loss shape mismatch");
     let n = pred.len().max(1) as f32;
     let mut loss = 0.0f32;
-    let grad: Vec<f32> = pred
-        .data()
-        .iter()
+    let mut grad = Tensor::uninit(pred.shape());
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
         .zip(target.data())
-        .map(|(&p, &t)| {
-            let d = p - t;
-            loss += d * d;
-            2.0 * d / n
-        })
-        .collect();
-    (
-        loss / n,
-        Tensor::from_vec(grad, pred.shape()).expect("mse grad shape"),
-    )
+    {
+        let d = p - t;
+        loss += d * d;
+        *g = 2.0 * d / n;
+    }
+    (loss / n, grad)
 }
 
 /// Mean absolute error loss and its (sub)gradient.
@@ -33,20 +31,18 @@ pub fn mae_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
         .expect("mae_loss shape mismatch");
     let n = pred.len().max(1) as f32;
     let mut loss = 0.0f32;
-    let grad: Vec<f32> = pred
-        .data()
-        .iter()
+    let mut grad = Tensor::uninit(pred.shape());
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
         .zip(target.data())
-        .map(|(&p, &t)| {
-            let d = p - t;
-            loss += d.abs();
-            d.signum() / n
-        })
-        .collect();
-    (
-        loss / n,
-        Tensor::from_vec(grad, pred.shape()).expect("mae grad shape"),
-    )
+    {
+        let d = p - t;
+        loss += d.abs();
+        *g = d.signum() / n;
+    }
+    (loss / n, grad)
 }
 
 /// Huber (smooth-L1) loss with threshold `delta`.
@@ -56,25 +52,23 @@ pub fn huber_loss(pred: &Tensor, target: &Tensor, delta: f32) -> (f32, Tensor) {
     assert!(delta > 0.0, "delta must be positive");
     let n = pred.len().max(1) as f32;
     let mut loss = 0.0f32;
-    let grad: Vec<f32> = pred
-        .data()
-        .iter()
+    let mut grad = Tensor::uninit(pred.shape());
+    for ((g, &p), &t) in grad
+        .data_mut()
+        .iter_mut()
+        .zip(pred.data())
         .zip(target.data())
-        .map(|(&p, &t)| {
-            let d = p - t;
-            if d.abs() <= delta {
-                loss += 0.5 * d * d;
-                d / n
-            } else {
-                loss += delta * (d.abs() - 0.5 * delta);
-                delta * d.signum() / n
-            }
-        })
-        .collect();
-    (
-        loss / n,
-        Tensor::from_vec(grad, pred.shape()).expect("huber grad shape"),
-    )
+    {
+        let d = p - t;
+        *g = if d.abs() <= delta {
+            loss += 0.5 * d * d;
+            d / n
+        } else {
+            loss += delta * (d.abs() - 0.5 * delta);
+            delta * d.signum() / n
+        };
+    }
+    (loss / n, grad)
 }
 
 #[cfg(test)]

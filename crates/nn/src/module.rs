@@ -30,16 +30,30 @@ pub trait Module: Send {
     /// Mutable access to all trainable parameters (used by optimizers).
     fn params_mut(&mut self) -> Vec<&mut Param>;
 
+    /// Visits every trainable parameter in the same fixed order as
+    /// [`Module::params_mut`] without materialising a `Vec`.
+    ///
+    /// Per-step optimizer sweeps ([`crate::optim::Adam::step_module`],
+    /// [`crate::optim::clip_grad_norm_module`]) run through this so the
+    /// training loop allocates nothing at steady state; hot-path layers and
+    /// containers override it, everything else inherits the
+    /// `params_mut`-backed default.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for p in self.params_mut() {
+            f(p);
+        }
+    }
+
     /// Clears every parameter gradient.
     fn zero_grad(&mut self) {
-        for p in self.params_mut() {
-            p.zero_grad();
-        }
+        self.visit_params(&mut |p| p.zero_grad());
     }
 
     /// Total number of trainable scalars.
     fn num_params(&mut self) -> usize {
-        self.params_mut().iter().map(|p| p.len()).sum()
+        let mut total = 0usize;
+        self.visit_params(&mut |p| total += p.len());
+        total
     }
 }
 
@@ -104,6 +118,12 @@ impl Module for Sequential {
             .iter_mut()
             .flat_map(|l| l.params_mut())
             .collect()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
     }
 }
 

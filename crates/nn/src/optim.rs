@@ -3,9 +3,10 @@
 //! Optimizers hold per-parameter state keyed by position, so they must be
 //! applied to the same parameter list (same order, same shapes) every step.
 
+use crate::module::Module;
 use crate::param::Param;
 use o4a_tensor::parallel::{self, SendPtr};
-use o4a_tensor::Tensor;
+use o4a_tensor::{adam_update_into, AdamUpdate, Tensor};
 
 /// Fixed chunk size for the parallel elementwise update sweeps. Chunk
 /// boundaries are independent of the thread count, and every element is
@@ -128,33 +129,50 @@ impl Adam {
             "optimizer applied to a different parameter list"
         );
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let (lr, beta1, beta2, eps) = (self.lr, self.beta1, self.beta2, self.eps);
+        let hp = self.hyper_params();
         for ((p, m), v) in params.iter_mut().zip(&mut self.m).zip(&mut self.v) {
-            let g = p.grad.data();
-            let len = g.len();
-            let md_ptr = SendPtr(m.data_mut().as_mut_ptr());
-            let vd_ptr = SendPtr(v.data_mut().as_mut_ptr());
-            let pd_ptr = SendPtr(p.value.data_mut().as_mut_ptr());
-            // ~12 flops per element (two EMAs, bias correction, rsqrt);
-            // small tensors stay inline under the pool's adaptive cutoff.
-            parallel::par_range(len, OPT_CHUNK, 12, |r| {
-                // SAFETY: `par_range` chunks are disjoint; the buffers
-                // outlive the blocking call.
-                let md = unsafe { md_ptr.slice_mut(r.start, r.end - r.start) };
-                let vd = unsafe { vd_ptr.slice_mut(r.start, r.end - r.start) };
-                let pd = unsafe { pd_ptr.slice_mut(r.start, r.end - r.start) };
-                let g = &g[r];
-                for i in 0..g.len() {
-                    md[i] = beta1 * md[i] + (1.0 - beta1) * g[i];
-                    vd[i] = beta2 * vd[i] + (1.0 - beta2) * g[i] * g[i];
-                    let mhat = md[i] / bc1;
-                    let vhat = vd[i] / bc2;
-                    pd[i] -= lr * mhat / (vhat.sqrt() + eps);
-                }
-            });
+            let Param { value, grad } = &mut **p;
+            adam_update_into(value, grad, m, v, &hp).expect("Adam moment shapes");
             p.zero_grad();
+        }
+    }
+
+    /// One [`Module`]-walking update step: same math and parameter order as
+    /// [`Adam::step`], but without materialising a `Vec<&mut Param>` — the
+    /// steady-state training loop stays allocation-free.
+    pub fn step_module(&mut self, net: &mut dyn Module) {
+        let _span = o4a_obs::span!("nn_adam_step");
+        self.t += 1;
+        let hp = self.hyper_params();
+        let fresh = self.m.is_empty();
+        let (m, v) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        net.visit_params(&mut |p| {
+            if m.len() == idx {
+                assert!(fresh, "optimizer applied to a different parameter list");
+                m.push(Tensor::zeros(p.value.shape()));
+                v.push(Tensor::zeros(p.value.shape()));
+            }
+            adam_update_into(&mut p.value, &p.grad, &mut m[idx], &mut v[idx], &hp)
+                .expect("Adam moment shapes");
+            p.zero_grad();
+            idx += 1;
+        });
+        assert_eq!(
+            idx,
+            self.m.len(),
+            "optimizer applied to a different parameter list"
+        );
+    }
+
+    fn hyper_params(&self) -> AdamUpdate {
+        AdamUpdate {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            bc1: 1.0 - self.beta1.powi(self.t as i32),
+            bc2: 1.0 - self.beta2.powi(self.t as i32),
         }
     }
 }
@@ -176,6 +194,25 @@ pub fn clip_grad_norm(params: &mut [&mut Param], max_norm: f32) -> f32 {
         for p in params.iter_mut() {
             p.grad.scale_in_place(scale);
         }
+    }
+    norm
+}
+
+/// [`Module`]-walking variant of [`clip_grad_norm`]: identical math and
+/// parameter order (the norm is accumulated serially in visit order), but
+/// no `Vec<&mut Param>` per step.
+pub fn clip_grad_norm_module(net: &mut dyn Module, max_norm: f32) -> f32 {
+    let mut total = 0.0f32;
+    net.visit_params(&mut |p| total += p.grad.norm_sq());
+    let norm = total.sqrt();
+    o4a_obs::gauge!(
+        "o4a_nn_grad_norm",
+        "pre-clip global L2 gradient norm of the latest training step"
+    )
+    .set(f64::from(norm));
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        net.visit_params(&mut |p| p.grad.scale_in_place(scale));
     }
     norm
 }
@@ -239,6 +276,55 @@ mod tests {
         let pre = clip_grad_norm(&mut [&mut p], 1.0);
         assert!((pre - 5.0).abs() < 1e-6);
         assert!((p.grad.norm_sq().sqrt() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn step_module_matches_step_bitwise() {
+        use crate::layers::{Conv2d, Relu};
+        use crate::module::Sequential;
+        use o4a_tensor::SeededRng;
+
+        let build = |rng: &mut SeededRng| {
+            Sequential::new()
+                .push(Conv2d::same3x3(rng, 2, 4))
+                .push(Relu::new())
+                .push(Conv2d::pointwise(rng, 4, 1))
+        };
+        let mut rng = SeededRng::new(77);
+        let mut a = build(&mut rng);
+        let mut rng = SeededRng::new(77);
+        let mut b = build(&mut rng);
+        let mut opt_a = Adam::new(1e-2);
+        let mut opt_b = Adam::new(1e-2);
+        let mut rng = SeededRng::new(99);
+        for _ in 0..3 {
+            let x = rng.uniform_tensor(&[2, 2, 5, 5], -1.0, 1.0);
+            let ya = a.forward(&x);
+            let g = Tensor::ones(ya.shape());
+            a.backward(&g);
+            let _yb = b.forward(&x);
+            b.backward(&g);
+            let na = clip_grad_norm(&mut a.params_mut(), 1.0);
+            let nb = clip_grad_norm_module(&mut b, 1.0);
+            assert_eq!(na.to_bits(), nb.to_bits(), "clip norm diverged");
+            opt_a.step(&mut a.params_mut());
+            opt_b.step_module(&mut b);
+            for (pa, pb) in a.params_mut().iter().zip(b.params_mut().iter()) {
+                assert_eq!(
+                    pa.value
+                        .data()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    pb.value
+                        .data()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<_>>(),
+                    "step_module diverged from step"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,56 @@
+//! A counting global allocator for allocation-budget tests.
+//!
+//! Install it as the `#[global_allocator]` of a test binary and read
+//! [`CountingAlloc::allocations`] before and after the code under test; the
+//! delta is the number of heap allocation events (fresh allocations and
+//! reallocations — frees are not counted, so a steady-state loop that
+//! allocates nothing shows a delta of exactly zero).
+//!
+//! Because a global allocator is process-wide, a test binary using this
+//! should contain exactly **one** `#[test]` — a concurrently running test
+//! would pollute the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A [`GlobalAlloc`] that forwards to [`System`] and counts allocation
+/// events.
+pub struct CountingAlloc {
+    allocs: AtomicUsize,
+}
+
+impl CountingAlloc {
+    /// Creates a new counting allocator (all counts at zero).
+    pub const fn new() -> Self {
+        CountingAlloc {
+            allocs: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of allocation events (`alloc` + `realloc` calls) so far.
+    pub fn allocations(&self) -> usize {
+        self.allocs.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for CountingAlloc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        self.allocs.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}

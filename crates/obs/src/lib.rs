@@ -14,15 +14,22 @@
 //!   `span!(debug: ...)` form compiles to a branch + no allocation when
 //!   the `Debug` level is off.
 //!
+//! The crate also ships [`alloc::CountingAlloc`], a counting global
+//! allocator used by allocation-budget tests across the workspace (the
+//! observability overhead contract here and the zero-allocation training
+//! steady-state contract in `o4a-models`).
+//!
 //! Design notes (naming scheme, bucket math, overhead budget) live in the
 //! repo-level `DESIGN.md` under "Observability".
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod logger;
 pub mod metrics;
 pub mod span;
 
+pub use alloc::CountingAlloc;
 pub use logger::{max_level, set_max_level, set_sink, Level};
 pub use metrics::{global, render_prometheus, Counter, Gauge, Histogram, Registry};
 pub use span::Span;

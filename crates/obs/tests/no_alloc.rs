@@ -6,29 +6,10 @@
 //! global allocator is process-wide, and a concurrently running test
 //! would pollute the delta.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-struct CountingAlloc;
-
-static ALLOCS: AtomicUsize = AtomicUsize::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-}
+use o4a_obs::CountingAlloc;
 
 #[global_allocator]
-static A: CountingAlloc = CountingAlloc;
+static A: CountingAlloc = CountingAlloc::new();
 
 #[test]
 fn disabled_logging_and_spans_do_not_allocate() {
@@ -43,13 +24,13 @@ fn disabled_logging_and_spans_do_not_allocate() {
 
     // Now disable Debug and measure.
     o4a_obs::set_max_level(o4a_obs::Level::Error);
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = A.allocations();
     for i in 0..10_000 {
         o4a_obs::debug!("no_alloc", "dropped record {}", i; iter = i);
         o4a_obs::info!("no_alloc", "also dropped");
         let _s = o4a_obs::span!(debug: "no_alloc_gated");
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = A.allocations();
     assert_eq!(
         after - before,
         0,

@@ -17,9 +17,8 @@ use std::cell::RefCell;
 use std::thread::LocalKey;
 
 thread_local! {
-    // Per-worker im2col scratch, reused across batch samples so the
-    // parallel loops allocate nothing per task.
-    static COL_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    // Per-worker column-gradient scratch, reused across batch samples so
+    // the parallel loops allocate nothing per task.
     static COL_GRAD_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
     // Per-worker packed-operand scratches for the GEMM lowering (left and
     // right panels of the per-sample products).
@@ -54,6 +53,18 @@ pub struct Conv2dGrads {
     pub grad_bias: Tensor,
 }
 
+impl Default for Conv2dGrads {
+    /// Empty placeholder gradients, ready to serve as a reusable workspace
+    /// for [`conv2d_bwd_into`].
+    fn default() -> Self {
+        Conv2dGrads {
+            grad_input: Tensor::empty(),
+            grad_weight: Tensor::empty(),
+            grad_bias: Tensor::empty(),
+        }
+    }
+}
+
 /// Output spatial size of a convolution along one axis.
 #[inline]
 pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
@@ -61,15 +72,15 @@ pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> 
 }
 
 fn check_conv_args(
-    input: &Tensor,
+    input_shape: &[usize],
     weight: &Tensor,
     bias: &Tensor,
     stride: usize,
 ) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
-    if input.rank() != 4 {
+    if input_shape.len() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
-            actual: input.rank(),
+            actual: input_shape.len(),
         });
     }
     if weight.rank() != 4 {
@@ -80,10 +91,10 @@ fn check_conv_args(
     }
     assert!(stride >= 1, "stride must be >= 1");
     let (n, c_in, h, w) = (
-        input.shape()[0],
-        input.shape()[1],
-        input.shape()[2],
-        input.shape()[3],
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
     );
     let (c_out, wc_in, kh, kw) = (
         weight.shape()[0],
@@ -93,7 +104,7 @@ fn check_conv_args(
     );
     if wc_in != c_in {
         return Err(TensorError::ShapeMismatch {
-            lhs: input.shape().to_vec(),
+            lhs: input_shape.to_vec(),
             rhs: weight.shape().to_vec(),
         });
     }
@@ -108,6 +119,13 @@ fn check_conv_args(
 
 /// Unrolls one batch image `[c_in, h, w]` into a column matrix
 /// `[c_in*kh*kw, out_h*out_w]` (zero padding applied implicitly).
+///
+/// The forward path uses the fused [`im2col_packed_b`] form below, which
+/// writes the GEMM panel layout directly. The uncached backward re-unrolls
+/// through this materialized form instead: the weight-gradient GEMM wants
+/// the *transpose* of the column matrix, and packing a transposed view of
+/// the plain matrix is cheaper than unrolling straight into panel layout
+/// and re-repacking inside the kernel.
 #[allow(clippy::too_many_arguments)]
 fn im2col(
     img: &[f32],
@@ -146,6 +164,135 @@ fn im2col(
                         } else {
                             src_row[jj as usize]
                         };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Output-column range `[lo, hi)` whose source column `oj*stride + kj - pad`
+/// lies inside `[0, w)`; columns outside the range read implicit zero
+/// padding.
+#[inline]
+fn unrolled_col_bounds(
+    out_w: usize,
+    stride: usize,
+    pad: usize,
+    kj: usize,
+    w: usize,
+) -> (usize, usize) {
+    let lo = if pad > kj {
+        (pad - kj).div_ceil(stride).min(out_w)
+    } else {
+        0
+    };
+    let num = (w + pad).saturating_sub(kj);
+    let hi = if num == 0 {
+        lo
+    } else {
+        ((num - 1) / stride + 1).clamp(lo, out_w)
+    };
+    (lo, hi)
+}
+
+/// Fills `dst[j] = unrolled value of output column oj0 + j` for one kernel
+/// tap on one in-bounds image row: leading/trailing padding zeros around a
+/// contiguous (`stride == 1`) or strided copy from `src_row`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn fill_unrolled_run(
+    dst: &mut [f32],
+    oj0: usize,
+    lo: usize,
+    hi: usize,
+    stride: usize,
+    kj: usize,
+    pad: usize,
+    src_row: &[f32],
+) {
+    let len = dst.len();
+    let zl = lo.saturating_sub(oj0).min(len);
+    let ch = hi.saturating_sub(oj0).min(len).max(zl);
+    dst[..zl].fill(0.0);
+    if ch > zl {
+        let src0 = (oj0 + zl) * stride + kj - pad;
+        if stride == 1 {
+            dst[zl..ch].copy_from_slice(&src_row[src0..src0 + (ch - zl)]);
+        } else {
+            for (j, v) in dst[zl..ch].iter_mut().enumerate() {
+                *v = src_row[src0 + j * stride];
+            }
+        }
+    }
+    dst[ch..].fill(0.0);
+}
+
+/// [`im2col`] fused with GEMM right-operand packing: writes the column
+/// matrix `[krows, cols]` directly in `pack_b_strided` layout (`NR`-wide
+/// column strips), so the forward GEMM consumes the unrolled windows
+/// without a separate 2x-sweep packing pass over the materialized matrix.
+/// `packed` (length `packed_b_len(krows, cols)`) is fully initialized,
+/// including the zero pad columns of the tail strip.
+#[allow(clippy::too_many_arguments)]
+fn im2col_packed_b(
+    img: &[f32],
+    c_in: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    out_h: usize,
+    out_w: usize,
+    packed: &mut [f32],
+) {
+    use crate::gemm::NR;
+    let cols = out_h * out_w;
+    let krows = c_in * kh * kw;
+    debug_assert_eq!(packed.len(), gemm::packed_b_len(krows, cols));
+    let tail_v = cols - (cols.div_ceil(NR) - 1) * NR;
+    if tail_v < NR {
+        // Pool scratch is dirty; the dead lanes must be zero so the kernel
+        // multiplies them by 0 instead of by denormal/NaN garbage.
+        let tail = &mut packed[(cols.div_ceil(NR) - 1) * krows * NR..];
+        for p in 0..krows {
+            for slot in &mut tail[p * NR + tail_v..(p + 1) * NR] {
+                *slot = 0.0;
+            }
+        }
+    }
+    for c in 0..c_in {
+        let chan = &img[c * h * w..(c + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row_idx = (c * kh + ki) * kw + kj;
+                let (lo, hi) = unrolled_col_bounds(out_w, stride, pad, kj, w);
+                for oi in 0..out_h {
+                    let ii = (oi * stride + ki) as isize - pad as isize;
+                    let c0 = oi * out_w;
+                    let in_bounds = ii >= 0 && ii < h as isize;
+                    let src_row = if in_bounds {
+                        &chan[ii as usize * w..(ii as usize + 1) * w]
+                    } else {
+                        &[][..]
+                    };
+                    // Consecutive output columns are contiguous within a
+                    // strip; walk the row in strip-bounded runs so both
+                    // sides of every copy are plain slices.
+                    let mut oj = 0usize;
+                    while oj < out_w {
+                        let cc = c0 + oj;
+                        let run = (NR - cc % NR).min(out_w - oj);
+                        let start = (cc / NR) * krows * NR + row_idx * NR + cc % NR;
+                        let dst = &mut packed[start..start + run];
+                        if in_bounds {
+                            fill_unrolled_run(dst, oj, lo, hi, stride, kj, pad, src_row);
+                        } else {
+                            dst.fill(0.0);
+                        }
+                        oj += run;
                     }
                 }
             }
@@ -208,7 +355,51 @@ pub fn conv2d(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
-    let (n, c_in, h, w, c_out, kh, kw) = check_conv_args(input, weight, bias, stride)?;
+    let mut out = Tensor::empty();
+    conv2d_into(input, weight, bias, stride, pad, &mut out)?;
+    Ok(out)
+}
+
+/// [`conv2d`] into a reusable output workspace (resized as needed; previous
+/// contents discarded). Bit-identical to the allocating form.
+pub fn conv2d_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    out: &mut Tensor,
+) -> Result<()> {
+    conv2d_fwd_impl(input, weight, bias, stride, pad, out, None)
+}
+
+/// [`conv2d_into`] that additionally retains the per-sample packed im2col
+/// panels in `col_cache` (resized as needed), for
+/// [`conv2d_bwd_into_cached`] to consume. The forward result is
+/// bit-identical to [`conv2d_into`]; the cache holds sample `b`'s unrolled
+/// windows at `col_cache[b * packed_b_len(c_in*kh*kw, out_h*out_w)..]`.
+pub fn conv2d_into_caching(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    out: &mut Tensor,
+    col_cache: &mut Vec<f32>,
+) -> Result<()> {
+    conv2d_fwd_impl(input, weight, bias, stride, pad, out, Some(col_cache))
+}
+
+fn conv2d_fwd_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    out: &mut Tensor,
+    col_cache: Option<&mut Vec<f32>>,
+) -> Result<()> {
+    let (n, c_in, h, w, c_out, kh, kw) = check_conv_args(input.shape(), weight, bias, stride)?;
     let out_h = conv_out_size(h, kh, stride, pad);
     let out_w = conv_out_size(w, kw, stride, pad);
     let cols = out_h * out_w;
@@ -220,44 +411,63 @@ pub fn conv2d(
     )
     .add(2 * (n * c_out * krows * cols) as u64);
 
-    let mut out = vec![0.0f32; n * c_out * cols];
+    // Every output element is bias-seeded before the GEMM accumulates into
+    // it, so an uninitialized (pool-recycled) workspace is safe.
+    out.reset_uninit(&[n, c_out, out_h, out_w]);
     let wdata = weight.data();
     let bdata = bias.data();
     let idata = input.data();
-    let out_ptr = SendPtr(out.as_mut_ptr());
+    let out_ptr = SendPtr(out.data_mut().as_mut_ptr());
 
     // Pack the `[c_out, krows]` weight matrix into GEMM row strips once;
     // every batch sample below reuses this shared read-only panel instead
-    // of re-reading the strided weight view per sample.
-    let mut packed_w = vec![0.0f32; gemm::packed_a_len(c_out, krows)];
+    // of re-reading the strided weight view per sample. (`pack_a_strided`
+    // fully initializes the panel, so pool scratch is safe here too.)
+    let mut packed_w = crate::pool::scratch(gemm::packed_a_len(c_out, krows));
     gemm::pack_a_strided(wdata, &mut packed_w, c_out, krows, krows, 1);
-    let packed_w = &packed_w;
+    let packed_w = &packed_w[..];
 
     // Batch samples are independent: each task owns one sample's disjoint
-    // output slice, with im2col + packed-column scratches reused per
-    // worker. Each output element is seeded with its bias and accumulates
-    // its k products in ascending order — exactly the serial loop — so
-    // results are bit-identical at any thread count.
-    parallel::run(n, 2 * c_out * krows * cols, |b| {
+    // output slice, with the unrolled windows written straight into the
+    // GEMM panel layout — no materialized column matrix, no separate
+    // packing sweep. The panel lands either in a per-worker scratch or,
+    // when the caller wants the panels back for the backward pass, in its
+    // disjoint slice of `col_cache`. Each output element is seeded with
+    // its bias and accumulates its k products in ascending order — exactly
+    // the serial loop — so results are bit-identical at any thread count.
+    let panel_len = gemm::packed_b_len(krows, cols);
+    let body = |b: usize, pcol: &mut [f32]| {
         let img = &idata[b * c_in * h * w..(b + 1) * c_in * h * w];
         // SAFETY: batch index `b` owns `out[b * c_out * cols ..]` alone,
         // and `out` outlives the blocking `run` call.
         let out_b = unsafe { out_ptr.slice_mut(b * c_out * cols, c_out * cols) };
-        with_scratch(&COL_SCRATCH, krows * cols, |col| {
-            im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, col);
-            // out_b = bias broadcast + W x col
-            for oc in 0..c_out {
-                for v in out_b[oc * cols..(oc + 1) * cols].iter_mut() {
-                    *v = bdata[oc];
-                }
+        im2col_packed_b(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, pcol);
+        // out_b = bias broadcast + W x col
+        for oc in 0..c_out {
+            for v in out_b[oc * cols..(oc + 1) * cols].iter_mut() {
+                *v = bdata[oc];
             }
-            with_scratch(&PACK_RHS_SCRATCH, gemm::packed_b_len(krows, cols), |pcol| {
-                gemm::pack_b_strided(col, pcol, krows, cols, cols, 1);
-                gemm::gemm_packed(packed_w, pcol, out_b, c_out, krows, cols);
+        }
+        gemm::gemm_packed(packed_w, pcol, out_b, c_out, krows, cols);
+    };
+    match col_cache {
+        Some(cache) => {
+            // One resize on first use (or batch growth); steady state is
+            // allocation-free. `im2col_packed_b` fully writes each panel.
+            cache.resize(n * panel_len, 0.0);
+            let cache_ptr = SendPtr(cache.as_mut_ptr());
+            parallel::run(n, 2 * c_out * krows * cols, |b| {
+                // SAFETY: batch index `b` owns its panel slice alone, and
+                // the cache outlives the blocking `run` call.
+                let pcol = unsafe { cache_ptr.slice_mut(b * panel_len, panel_len) };
+                body(b, pcol);
             });
-        });
-    });
-    Tensor::from_vec(out, &[n, c_out, out_h, out_w])
+        }
+        None => parallel::run(n, 2 * c_out * krows * cols, |b| {
+            with_scratch(&PACK_RHS_SCRATCH, panel_len, |pcol| body(b, pcol));
+        }),
+    }
+    Ok(())
 }
 
 /// 2-D convolution backward pass.
@@ -273,7 +483,78 @@ pub fn conv2d_backward(
     pad: usize,
     grad_output: &Tensor,
 ) -> Result<Conv2dGrads> {
-    let (n, c_in, h, w, c_out, kh, kw) = check_conv_args(input, weight, bias, stride)?;
+    let mut grads = Conv2dGrads::default();
+    conv2d_bwd_into(input, weight, bias, stride, pad, grad_output, &mut grads)?;
+    Ok(grads)
+}
+
+/// [`conv2d_backward`] into a reusable gradient workspace (each tensor in
+/// `grads` resized as needed; previous contents discarded). Bit-identical
+/// to the allocating form.
+pub fn conv2d_bwd_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    grad_output: &Tensor,
+    grads: &mut Conv2dGrads,
+) -> Result<()> {
+    conv2d_bwd_impl(
+        input.shape(),
+        Some(input.data()),
+        weight,
+        bias,
+        stride,
+        pad,
+        grad_output,
+        grads,
+        None,
+    )
+}
+
+/// [`conv2d_bwd_into`] consuming the packed im2col panels retained by
+/// [`conv2d_into_caching`] instead of re-unrolling the input: the weight
+/// gradient reads the forward pass's panels directly (the input tensor
+/// itself is no longer needed — only its shape). Gradients are
+/// bit-identical to the uncached form.
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_bwd_into_cached(
+    input_shape: &[usize],
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    grad_output: &Tensor,
+    grads: &mut Conv2dGrads,
+    col_cache: &[f32],
+) -> Result<()> {
+    conv2d_bwd_impl(
+        input_shape,
+        None,
+        weight,
+        bias,
+        stride,
+        pad,
+        grad_output,
+        grads,
+        Some(col_cache),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv2d_bwd_impl(
+    input_shape: &[usize],
+    input_data: Option<&[f32]>,
+    weight: &Tensor,
+    bias: &Tensor,
+    stride: usize,
+    pad: usize,
+    grad_output: &Tensor,
+    grads: &mut Conv2dGrads,
+    col_cache: Option<&[f32]>,
+) -> Result<()> {
+    let (n, c_in, h, w, c_out, kh, kw) = check_conv_args(input_shape, weight, bias, stride)?;
     let out_h = conv_out_size(h, kh, stride, pad);
     let out_w = conv_out_size(w, kw, stride, pad);
     if grad_output.shape() != [n, c_out, out_h, out_w] {
@@ -291,93 +572,145 @@ pub fn conv2d_backward(
     )
     .add(6 * (n * c_out * krows * cols) as u64);
 
-    let mut grad_input = vec![0.0f32; n * c_in * h * w];
+    // `col2im` accumulates into grad_input, so the workspace must start at
+    // zero (pool scratch is dirty; a fresh `vec![0.0; ..]` used to
+    // guarantee this implicitly).
+    grads.grad_input.reset_zeroed(&[n, c_in, h, w]);
     // Per-sample partials for the cross-sample reductions; folded serially
     // in batch order below, reproducing the serial accumulation order
-    // exactly (gradients stay bit-identical at any thread count).
-    let mut gw_partial = vec![0.0f32; n * c_out * krows];
-    let mut gb_partial = vec![0.0f32; n * c_out];
+    // exactly (gradients stay bit-identical at any thread count). The
+    // weight partials are `[c_out, krows]` on the uncached path and
+    // transposed (`[krows, c_out]`, as the colpanel gw^T GEMM produces) on
+    // the cached path — either way each element is the same ascending-
+    // column dot product, so the folded gradient is bit-identical. Both
+    // partial buffers are fully overwritten; dirty pool scratch is safe.
+    let panel_len = gemm::packed_b_len(krows, cols);
+    if let Some(cache) = col_cache {
+        assert_eq!(
+            cache.len(),
+            n * panel_len,
+            "col cache does not match this conv geometry (stale forward?)"
+        );
+    }
+    let mut gw_partial = crate::pool::scratch(n * c_out * krows);
+    let mut gb_partial = crate::pool::scratch(n * c_out);
     let wdata = weight.data();
-    let idata = input.data();
+    let idata = input_data.unwrap_or(&[]);
     let godata = grad_output.data();
-    let gi_ptr = SendPtr(grad_input.as_mut_ptr());
+    let gi_ptr = SendPtr(grads.grad_input.data_mut().as_mut_ptr());
     let gw_ptr = SendPtr(gw_partial.as_mut_ptr());
     let gb_ptr = SendPtr(gb_partial.as_mut_ptr());
 
     // Pack W-transpose (`[krows, c_out]`, via strides — no materialized
-    // transpose) once; every sample's col_grad GEMM reuses the panel.
-    let mut packed_wt = vec![0.0f32; gemm::packed_a_len(krows, c_out)];
+    // transpose) once; every sample's col_grad GEMM reuses the panel
+    // (`pack_a_strided` fully initializes it).
+    let mut packed_wt = crate::pool::scratch(gemm::packed_a_len(krows, c_out));
     gemm::pack_a_strided(wdata, &mut packed_wt, krows, c_out, 1, krows);
-    let packed_wt = &packed_wt;
+    let packed_wt = &packed_wt[..];
 
     parallel::run(n, 5 * c_out * krows * cols, |b| {
-        let img = &idata[b * c_in * h * w..(b + 1) * c_in * h * w];
         let go = &godata[b * c_out * cols..(b + 1) * c_out * cols];
         // SAFETY: batch index `b` owns disjoint slices of grad_input and
         // the partial buffers; all outlive the blocking `run` call.
         let gi = unsafe { gi_ptr.slice_mut(b * c_in * h * w, c_in * h * w) };
         let gw_b = unsafe { gw_ptr.slice_mut(b * c_out * krows, c_out * krows) };
         let gb_b = unsafe { gb_ptr.slice_mut(b * c_out, c_out) };
-        with_scratch(&COL_SCRATCH, krows * cols, |col| {
-            im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, col);
 
-            // gb_b[oc] = sum(go[oc])
-            for (oc, gb) in gb_b.iter_mut().enumerate() {
-                *gb = go[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+        // gb_b[oc] = sum(go[oc])
+        for (oc, gb) in gb_b.iter_mut().enumerate() {
+            *gb = go[oc * cols..(oc + 1) * cols].iter().sum::<f32>();
+        }
+        // Weight-gradient GEMM. Either orientation sums each gw element
+        // over the output-column index in strictly ascending order — the
+        // exact serial accumulation — so the two paths produce bit-equal
+        // partials (modulo the transposed storage the fold untangles).
+        match col_cache {
+            Some(cache) => {
+                // gw_b^T = col x go^T: [krows, cols] x [cols, c_out]. The
+                // unrolled windows are read straight back from the forward
+                // pass's packed panels (zero unrolling work); the colpanel
+                // kernel consumes that layout as its left operand, and the
+                // small go^T operand packs via strides.
+                let pcol = &cache[b * panel_len..(b + 1) * panel_len];
+                with_scratch(&PACK_RHS_SCRATCH, gemm::packed_b_len(cols, c_out), |pgot| {
+                    gemm::pack_b_strided(go, pgot, cols, c_out, 1, cols);
+                    gemm::gemm_a_colpanel_overwrite(pcol, pgot, gw_b, krows, cols, c_out);
+                });
             }
-            // gw_b = go x col^T: [c_out, cols] x [cols, krows]. The col^T
-            // operand packs via strides; accumulation runs over the col
-            // index in ascending order, matching the serial dot products.
-            with_scratch(&PACK_LHS_SCRATCH, gemm::packed_a_len(c_out, cols), |pgo| {
-                gemm::pack_a_strided(go, pgo, c_out, cols, cols, 1);
-                with_scratch(
-                    &PACK_RHS_SCRATCH,
-                    gemm::packed_b_len(cols, krows),
-                    |pcolt| {
-                        gemm::pack_b_strided(col, pcolt, cols, krows, 1, cols);
-                        gemm::gemm_packed(pgo, pcolt, gw_b, c_out, cols, krows);
-                    },
-                );
-            });
-            // col_grad = W^T x go: [krows, c_out] x [c_out, cols], with
-            // the packed W^T panel shared across all samples.
-            with_scratch(&COL_GRAD_SCRATCH, krows * cols, |col_grad| {
-                for v in col_grad.iter_mut() {
-                    *v = 0.0;
-                }
-                with_scratch(
-                    &PACK_RHS_SCRATCH,
-                    gemm::packed_b_len(c_out, cols),
-                    |pgo_b| {
-                        gemm::pack_b_strided(go, pgo_b, c_out, cols, cols, 1);
-                        gemm::gemm_packed(packed_wt, pgo_b, col_grad, krows, c_out, cols);
-                    },
-                );
-                col2im(col_grad, c_in, h, w, kh, kw, stride, pad, out_h, out_w, gi);
-            });
+            None => {
+                // gw_b = go x col^T: [c_out, cols] x [cols, krows],
+                // written directly in grad_weight's layout. The column
+                // matrix is re-unrolled in plain form and packed through
+                // its transposed view — cheaper than unrolling into panel
+                // layout and re-repacking strips inside the kernel.
+                let img = &idata[b * c_in * h * w..(b + 1) * c_in * h * w];
+                with_scratch(&PACK_LHS_SCRATCH, krows * cols, |col| {
+                    im2col(img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, col);
+                    with_scratch(
+                        &COL_GRAD_SCRATCH,
+                        gemm::packed_b_len(cols, krows),
+                        |pcolt| {
+                            gemm::pack_b_strided(col, pcolt, cols, krows, 1, cols);
+                            with_scratch(
+                                &PACK_RHS_SCRATCH,
+                                gemm::packed_a_len(c_out, cols),
+                                |pgo| {
+                                    gemm::pack_a_strided(go, pgo, c_out, cols, cols, 1);
+                                    gemm::gemm_packed_overwrite(
+                                        pgo, pcolt, gw_b, c_out, cols, krows,
+                                    );
+                                },
+                            );
+                        },
+                    );
+                });
+            }
+        }
+        // col_grad = W^T x go: [krows, c_out] x [c_out, cols], with the
+        // packed W^T panel shared across all samples. The overwrite GEMM
+        // seeds its register tile at zero, so the scratch needs no
+        // zero-fill pass (bit-identical to zeroing then accumulating).
+        with_scratch(&COL_GRAD_SCRATCH, krows * cols, |col_grad| {
+            with_scratch(
+                &PACK_RHS_SCRATCH,
+                gemm::packed_b_len(c_out, cols),
+                |pgo_b| {
+                    gemm::pack_b_strided(go, pgo_b, c_out, cols, cols, 1);
+                    gemm::gemm_packed_overwrite(packed_wt, pgo_b, col_grad, krows, c_out, cols);
+                },
+            );
+            col2im(col_grad, c_in, h, w, kh, kw, stride, pad, out_h, out_w, gi);
         });
     });
 
     // Fold the per-sample partials serially, in batch index order — the
-    // exact order the serial loop accumulated them.
-    let mut grad_weight = vec![0.0f32; c_out * krows];
-    let mut grad_bias = vec![0.0f32; c_out];
+    // exact order the serial loop accumulated them. Cached-path weight
+    // partials are read back through their transpose so each
+    // `grad_weight` element receives the same per-sample addends in the
+    // same order either way.
+    grads.grad_weight.reset_zeroed(&[c_out, c_in, kh, kw]);
+    grads.grad_bias.reset_zeroed(&[c_out]);
+    let grad_weight = grads.grad_weight.data_mut();
+    let grad_bias = grads.grad_bias.data_mut();
     for b in 0..n {
         let gw_b = &gw_partial[b * c_out * krows..(b + 1) * c_out * krows];
-        for (gw, &p) in grad_weight.iter_mut().zip(gw_b) {
-            *gw += p;
+        if col_cache.is_some() {
+            for (oc, gw_row) in grad_weight.chunks_exact_mut(krows).enumerate() {
+                for (r, gw) in gw_row.iter_mut().enumerate() {
+                    *gw += gw_b[r * c_out + oc];
+                }
+            }
+        } else {
+            for (gw, &p) in grad_weight.iter_mut().zip(gw_b) {
+                *gw += p;
+            }
         }
         let gb_b = &gb_partial[b * c_out..(b + 1) * c_out];
         for (gb, &p) in grad_bias.iter_mut().zip(gb_b) {
             *gb += p;
         }
     }
-
-    Ok(Conv2dGrads {
-        grad_input: Tensor::from_vec(grad_input, &[n, c_in, h, w])?,
-        grad_weight: Tensor::from_vec(grad_weight, &[c_out, c_in, kh, kw])?,
-        grad_bias: Tensor::from_vec(grad_bias, &[c_out])?,
-    })
+    Ok(())
 }
 
 /// Nearest-neighbour upsampling by an integer factor along both spatial
@@ -401,7 +734,9 @@ pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
         input.shape()[3],
     );
     let (oh, ow) = (h * factor, w * factor);
-    let mut out = vec![0.0f32; n * c * oh * ow];
+    // Fully written below, so an uninitialized pooled workspace is safe.
+    let mut out_t = Tensor::uninit(&[n, c, oh, ow]);
+    let out = out_t.data_mut();
     for bc in 0..n * c {
         let src = &input.data()[bc * h * w..(bc + 1) * h * w];
         let dst = &mut out[bc * oh * ow..(bc + 1) * oh * ow];
@@ -414,7 +749,7 @@ pub fn upsample_nearest(input: &Tensor, factor: usize) -> Result<Tensor> {
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, oh, ow])
+    Ok(out_t)
 }
 
 /// Backward pass of [`upsample_nearest`]: each coarse cell accumulates the
@@ -437,7 +772,9 @@ pub fn upsample_nearest_backward(grad_output: &Tensor, factor: usize) -> Result<
         "grad_output spatial dims must be divisible by factor"
     );
     let (h, w) = (oh / factor, ow / factor);
-    let mut out = vec![0.0f32; n * c * h * w];
+    // Accumulated into, so the pooled workspace must start zeroed.
+    let mut out_t = Tensor::zeros(&[n, c, h, w]);
+    let out = out_t.data_mut();
     for bc in 0..n * c {
         let src = &grad_output.data()[bc * oh * ow..(bc + 1) * oh * ow];
         let dst = &mut out[bc * h * w..(bc + 1) * h * w];
@@ -450,7 +787,7 @@ pub fn upsample_nearest_backward(grad_output: &Tensor, factor: usize) -> Result<
             }
         }
     }
-    Tensor::from_vec(out, &[n, c, h, w])
+    Ok(out_t)
 }
 
 #[cfg(test)]
@@ -599,6 +936,232 @@ mod tests {
                 grads.grad_bias.data()[idx]
             );
         }
+    }
+
+    /// The fused im2col-pack forms must write the exact bytes of packing
+    /// the materialized column matrix, across kernel geometries that
+    /// exercise padding, stride, ragged strips and the 1x1 identity case.
+    #[test]
+    fn fused_im2col_packs_match_reference() {
+        for &(c_in, h, w, kh, kw, stride, pad) in &[
+            (3usize, 5usize, 6usize, 3usize, 3usize, 1usize, 1usize),
+            (2, 4, 4, 2, 2, 2, 0),
+            (1, 7, 5, 3, 2, 1, 0),
+            (4, 6, 6, 1, 1, 1, 0),
+            (2, 9, 9, 3, 3, 2, 1),
+            (17, 6, 6, 3, 3, 1, 1), // krows = 153: ragged MR strip
+        ] {
+            let out_h = conv_out_size(h, kh, stride, pad);
+            let out_w = conv_out_size(w, kw, stride, pad);
+            let (cols, krows) = (out_h * out_w, c_in * kh * kw);
+            let img: Vec<f32> = (0..c_in * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
+            let mut col = vec![0.0f32; krows * cols];
+            im2col(
+                &img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut col,
+            );
+
+            let mut pb_ref = vec![0.0f32; gemm::packed_b_len(krows, cols)];
+            gemm::pack_b_strided(&col, &mut pb_ref, krows, cols, cols, 1);
+            // NaN prefill: any slot the fused form fails to write shows up
+            // as a NaN-vs-number bit mismatch against the reference.
+            let mut pb_fused = vec![f32::NAN; pb_ref.len()];
+            im2col_packed_b(
+                &img,
+                c_in,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+                out_h,
+                out_w,
+                &mut pb_fused,
+            );
+            let rb: Vec<u32> = pb_ref.iter().map(|v| v.to_bits()).collect();
+            let fb: Vec<u32> = pb_fused.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                rb, fb,
+                "packed-B mismatch for ({c_in},{h},{w},{kh},{kw},{stride},{pad})"
+            );
+        }
+    }
+
+    /// Backward through the forward pass's cached panels must produce the
+    /// exact bits of the self-contained backward (which re-unrolls the
+    /// input), and the caching forward must not perturb the output.
+    #[test]
+    fn cached_backward_matches_uncached() {
+        use crate::init::SeededRng;
+        let bits = |t: &Tensor| -> Vec<u32> { t.data().iter().map(|v| v.to_bits()).collect() };
+        for &(n, c_in, c_out, hw, k, stride, pad) in &[
+            (2usize, 3usize, 4usize, 6usize, 3usize, 1usize, 1usize),
+            (3, 2, 5, 8, 2, 2, 0),
+            (1, 4, 2, 5, 1, 1, 0),
+            (2, 17, 3, 6, 3, 1, 1), // ragged MR strip in krows
+        ] {
+            let mut rng = SeededRng::new(19);
+            let x = rng.uniform_tensor(&[n, c_in, hw, hw], -1.0, 1.0);
+            let w = rng.uniform_tensor(&[c_out, c_in, k, k], -0.5, 0.5);
+            let b = rng.uniform_tensor(&[c_out], -0.5, 0.5);
+
+            let plain = conv2d(&x, &w, &b, stride, pad).unwrap();
+            let mut cached_out = Tensor::empty();
+            let mut cache = Vec::new();
+            conv2d_into_caching(&x, &w, &b, stride, pad, &mut cached_out, &mut cache).unwrap();
+            assert_eq!(
+                bits(&plain),
+                bits(&cached_out),
+                "forward perturbed by caching"
+            );
+
+            let go = rng.uniform_tensor(plain.shape(), -1.0, 1.0);
+            let uncached = conv2d_backward(&x, &w, &b, stride, pad, &go).unwrap();
+            let mut cached = Conv2dGrads::default();
+            conv2d_bwd_into_cached(x.shape(), &w, &b, stride, pad, &go, &mut cached, &cache)
+                .unwrap();
+            assert_eq!(bits(&uncached.grad_input), bits(&cached.grad_input));
+            assert_eq!(bits(&uncached.grad_weight), bits(&cached.grad_weight));
+            assert_eq!(bits(&uncached.grad_bias), bits(&cached.grad_bias));
+        }
+    }
+
+    /// Finite-difference check of the backward pass through a
+    /// stride-2 scale-merging conv (`kernel = stride = 2`, no padding) —
+    /// the geometry the fused packing paths don't share with the
+    /// stride-1 gradcheck above.
+    #[test]
+    fn backward_matches_finite_differences_scale_merge() {
+        use crate::init::SeededRng;
+        let mut rng = SeededRng::new(11);
+        let x = rng.uniform_tensor(&[2, 3, 6, 6], -1.0, 1.0);
+        let w = rng.uniform_tensor(&[4, 3, 2, 2], -0.5, 0.5);
+        let b = rng.uniform_tensor(&[4], -0.5, 0.5);
+        let (stride, pad) = (2, 0);
+
+        let y = conv2d(&x, &w, &b, stride, pad).unwrap();
+        let go = Tensor::ones(y.shape());
+        let grads = conv2d_backward(&x, &w, &b, stride, pad, &go).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| -> f32 {
+            conv2d(x, w, b, stride, pad).unwrap().sum()
+        };
+        for idx in [0usize, 13, 50, 107] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!(
+                (fd - grads.grad_input.data()[idx]).abs() < 1e-2,
+                "grad_input[{idx}]: fd={fd} analytic={}",
+                grads.grad_input.data()[idx]
+            );
+        }
+        for idx in [0usize, 11, 29, 47] {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!(
+                (fd - grads.grad_weight.data()[idx]).abs() < 5e-2,
+                "grad_weight[{idx}]: fd={fd} analytic={}",
+                grads.grad_weight.data()[idx]
+            );
+        }
+    }
+
+    // Micro-timing of the conv pipeline pieces (unrolling, packing, the
+    // three GEMMs, col2im) at the 16-channel 32x32 training shape — the
+    // numbers behind the path choices documented on `conv2d_bwd_impl`.
+    // Run with: `cargo test --release -p o4a-tensor --lib --
+    // --ignored conv_piece_timings --nocapture`
+    #[test]
+    #[ignore]
+    fn conv_piece_timings() {
+        use std::time::Instant;
+        let (c_in, h, w, kh, kw, stride, pad, c_out) = (16usize, 32, 32, 3, 3, 1, 1, 16);
+        let out_h = conv_out_size(h, kh, stride, pad);
+        let out_w = conv_out_size(w, kw, stride, pad);
+        let (cols, krows) = (out_h * out_w, c_in * kh * kw);
+        let img: Vec<f32> = (0..c_in * h * w).map(|i| (i as f32 * 0.37).sin()).collect();
+        let go: Vec<f32> = (0..c_out * cols).map(|i| (i as f32 * 0.53).sin()).collect();
+        let wgt: Vec<f32> = (0..c_out * krows)
+            .map(|i| (i as f32 * 0.71).sin())
+            .collect();
+
+        let mut col = vec![0.0f32; krows * cols];
+        let mut pb = vec![0.0f32; gemm::packed_b_len(krows, cols)];
+        let mut pgo_b = vec![0.0f32; gemm::packed_b_len(c_out, cols)];
+        let mut pgot = vec![0.0f32; gemm::packed_b_len(cols, c_out)];
+        let mut pw = vec![0.0f32; gemm::packed_a_len(c_out, krows)];
+        let mut pwt = vec![0.0f32; gemm::packed_a_len(krows, c_out)];
+        gemm::pack_a_strided(&wgt, &mut pw, c_out, krows, krows, 1);
+        gemm::pack_a_strided(&wgt, &mut pwt, krows, c_out, 1, krows);
+        let mut out = vec![0.0f32; c_out * cols];
+        let mut gwt = vec![0.0f32; krows * c_out];
+        let mut col_grad = vec![0.0f32; krows * cols];
+        let mut gi = vec![0.0f32; c_in * h * w];
+
+        let reps = 200u32;
+        let time = |label: &str, f: &mut dyn FnMut()| {
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    f();
+                }
+                best = best.min(t0.elapsed().as_secs_f64() / reps as f64 * 1e6);
+            }
+            println!("{label:26} {best:9.1} us");
+        };
+
+        time("im2col plain", &mut || {
+            im2col(
+                &img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut col,
+            )
+        });
+        time("im2col_packed_b", &mut || {
+            im2col_packed_b(&img, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut pb)
+        });
+        time("pack_b(col)", &mut || {
+            gemm::pack_b_strided(&col, &mut pb, krows, cols, cols, 1)
+        });
+        time("pack_b(go)", &mut || {
+            gemm::pack_b_strided(&go, &mut pgo_b, c_out, cols, cols, 1)
+        });
+        time("pack_b(go^T) strided", &mut || {
+            gemm::pack_b_strided(&go, &mut pgot, cols, c_out, 1, cols)
+        });
+        time("gemm fwd W*col", &mut || {
+            gemm::gemm_packed(&pw, &pb, &mut out, c_out, krows, cols)
+        });
+        time("gemm gw^T colpanel*go^T", &mut || {
+            gemm::gemm_a_colpanel_overwrite(&pb, &pgot, &mut gwt, krows, cols, c_out)
+        });
+        let mut pcolt = vec![0.0f32; gemm::packed_b_len(cols, krows)];
+        let mut pgo_a = vec![0.0f32; gemm::packed_a_len(c_out, cols)];
+        let mut gw = vec![0.0f32; c_out * krows];
+        time("pack_b(col^T) strided", &mut || {
+            gemm::pack_b_strided(&col, &mut pcolt, cols, krows, 1, cols)
+        });
+        time("pack_a(go)", &mut || {
+            gemm::pack_a_strided(&go, &mut pgo_a, c_out, cols, cols, 1)
+        });
+        time("gemm gw go*col^T", &mut || {
+            gemm::gemm_packed_overwrite(&pgo_a, &pcolt, &mut gw, c_out, cols, krows)
+        });
+        time("gemm gi W^T*go", &mut || {
+            gemm::gemm_packed_overwrite(&pwt, &pgo_b, &mut col_grad, krows, c_out, cols)
+        });
+        time("col2im", &mut || {
+            gi.iter_mut().for_each(|v| *v = 0.0);
+            col2im(
+                &col_grad, c_in, h, w, kh, kw, stride, pad, out_h, out_w, &mut gi,
+            )
+        });
     }
 
     #[test]

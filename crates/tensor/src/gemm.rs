@@ -29,11 +29,18 @@
 //! single accumulation sequence in strictly ascending `p` order — exactly
 //! the order of the serial `ikj` reference loop ([`matmul_naive_into`]).
 //! Vectorizing across independent output lanes does not reorder any
-//! element's additions, and Rust does not contract `mul + add` into FMA,
-//! so the packed kernel is bit-for-bit identical to the naive loop (and
-//! therefore thread-count independent: parallel callers split work over
-//! disjoint output row bands only). Property-tested in
+//! element's additions, and every accumulation step in both the kernel and
+//! the reference is the same explicit `f32::mul_add` (the exactly-rounded
+//! fused multiply-add — one deterministic rounding per step, on every
+//! target CPU), so the packed kernel is bit-for-bit identical to the naive
+//! loop (and therefore thread-count independent: parallel callers split
+//! work over disjoint output row bands only). Property-tested in
 //! `crates/tensor/tests/gemm_props.rs`.
+//!
+//! `mul_add` is used deliberately: with `target-cpu=native` it lowers to
+//! the hardware FMA instruction, doubling the kernel's peak flops per
+//! cycle versus the separate mul + add sequence Rust would otherwise emit
+//! (fp-contraction is never implicit in Rust).
 
 use std::cell::RefCell;
 
@@ -56,6 +63,9 @@ thread_local! {
     // Per-worker packed-A scratch for matmul row bands, reused across
     // calls so the parallel band loop allocates nothing per task.
     static BAND_PACK_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    // Per-worker strip scratch for [`gemm_a_colpanel_overwrite`]'s
+    // panel-to-strip repack (`k * MR` floats).
+    static COLPANEL_STRIP_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Length of the packed buffer for an `m x k` left operand.
@@ -138,12 +148,16 @@ pub(crate) fn pack_b_strided(
 
 /// The `MR x NR` register-tiled micro-kernel: one output tile, full `k`.
 ///
-/// The accumulator is seeded from the output's valid lanes (zeros in the
-/// padded lanes), swept down `p = 0..k` in ascending order, and only the
-/// valid lanes are stored back — see the module docs for why this keeps
-/// the result bit-identical to the naive loop.
+/// With `LOAD = true` the accumulator is seeded from the output's valid
+/// lanes (zeros in the padded lanes) and the tile *accumulates*; with
+/// `LOAD = false` it starts at zero and *overwrites* — bit-identical to
+/// zero-filling the output first and accumulating, minus one full
+/// write + read pass. Either way the tile is swept down `p = 0..k` in
+/// ascending order and only the valid lanes are stored back — see the
+/// module docs for why this keeps the result bit-identical to the naive
+/// loop.
 #[inline(always)]
-fn micro_tile(
+fn micro_tile<const LOAD: bool>(
     pa: &[f32],
     pb: &[f32],
     out: &mut [f32],
@@ -153,15 +167,17 @@ fn micro_tile(
     cols_v: usize,
 ) {
     let mut acc = [[0.0f32; NR]; MR];
-    for (r, accr) in acc.iter_mut().enumerate().take(rows_v) {
-        let row = &out[origin + r * n..origin + r * n + cols_v];
-        accr[..cols_v].copy_from_slice(row);
+    if LOAD {
+        for (r, accr) in acc.iter_mut().enumerate().take(rows_v) {
+            let row = &out[origin + r * n..origin + r * n + cols_v];
+            accr[..cols_v].copy_from_slice(row);
+        }
     }
     for (ap, bp) in pa.chunks_exact(MR).zip(pb.chunks_exact(NR)) {
         for (r, accr) in acc.iter_mut().enumerate() {
             let ar = ap[r];
             for (x, &bv) in accr.iter_mut().zip(bp) {
-                *x += ar * bv;
+                *x = ar.mul_add(bv, *x);
             }
         }
     }
@@ -185,6 +201,35 @@ pub(crate) fn gemm_packed(
     k: usize,
     n: usize,
 ) {
+    gemm_packed_impl::<true>(pa, pb, out, rows, k, n);
+}
+
+/// `out[rows x n] = A_packed[rows x k] * B_packed[k x n]`, serial.
+///
+/// The *overwrite* form of [`gemm_packed`]: the register tile starts at
+/// zero instead of loading the previous output, so `out` may hold
+/// arbitrary garbage (e.g. dirty pool scratch) on entry. Bit-identical to
+/// zero-filling `out` and calling [`gemm_packed`], without the extra
+/// write + read sweep over the output.
+pub(crate) fn gemm_packed_overwrite(
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_packed_impl::<false>(pa, pb, out, rows, k, n);
+}
+
+fn gemm_packed_impl<const LOAD: bool>(
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert_eq!(pa.len(), packed_a_len(rows, k));
     debug_assert_eq!(pb.len(), packed_b_len(k, n));
     debug_assert_eq!(out.len(), rows * n);
@@ -194,15 +239,112 @@ pub(crate) fn gemm_packed(
         for (si, pa_strip) in pa.chunks_exact(k * MR).enumerate() {
             let r0 = si * MR;
             let rows_v = MR.min(rows - r0);
-            micro_tile(pa_strip, pb_strip, out, r0 * n + c0, n, rows_v, cols_v);
+            micro_tile::<LOAD>(pa_strip, pb_strip, out, r0 * n + c0, n, rows_v, cols_v);
         }
+    }
+}
+
+/// `out[rows x n] = A_panel[rows x k] * B_packed[k x n]`, serial, where the
+/// *left* operand is stored in **packed-B layout** (`NR`-wide strips over
+/// its `k` columns, i.e. `pack_b_strided(a, panel, rows, k, k, 1)`).
+///
+/// This is the layout [`crate::conv2d_into`]'s fused im2col produces for
+/// the unrolled-window matrix, so the backward weight-gradient GEMM
+/// (`gw^T = col x go^T`) can consume the forward pass's cached panels
+/// directly — the same matrix never gets re-unrolled. Element `(r, p)` of
+/// the panel lives at `(p/NR)*(rows*NR) + r*NR + p%NR`; each `MR`-row
+/// strip is repacked into the kernel's A layout through a small
+/// cache-resident scratch, which costs one pass over the matrix in L1
+/// instead of the full-size strided packing sweep.
+///
+/// The accumulator tile starts at zero (overwrite form: `out` may hold
+/// garbage) and every element accumulates in strictly ascending `p` order —
+/// bit-identical to [`matmul_naive_into`] over zeros.
+pub(crate) fn gemm_a_colpanel_overwrite(
+    apanel: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(apanel.len(), packed_b_len(rows, k));
+    debug_assert_eq!(pb.len(), packed_b_len(k, n));
+    debug_assert_eq!(out.len(), rows * n);
+    // Repack one MR-row strip at a time from the panel layout into the
+    // packed-A strip layout, then hand it to the regular micro-kernel. The
+    // strip scratch is `k * MR` floats (L1/L2-resident), so the transpose
+    // scatter never leaves cache — unlike packing the whole matrix — and
+    // the kernel loop stays the one the compiler already turns into a
+    // register-resident FMA tile.
+    COLPANEL_STRIP_SCRATCH.with(|cell| {
+        let mut strip = cell.borrow_mut();
+        if strip.len() < k * MR {
+            strip.resize(k * MR, 0.0);
+        }
+        let strip = &mut strip[..k * MR];
+        for si in 0..rows.div_ceil(MR) {
+            let r0 = si * MR;
+            let rows_v = MR.min(rows - r0);
+            if rows_v < MR {
+                // dead lanes of the ragged strip: `0 * b`, never stored
+                strip.fill(0.0);
+            }
+            colpanel_repack_strip(apanel, strip, rows, k, r0, rows_v);
+            colpanel_strip_pass(strip, pb, out, r0, k, n, rows_v);
+        }
+    });
+}
+
+/// Scatters one `MR`-row strip of the panel-layout left operand into the
+/// kernel's packed-A strip layout.
+#[inline(never)]
+fn colpanel_repack_strip(
+    apanel: &[f32],
+    strip: &mut [f32],
+    rows: usize,
+    k: usize,
+    r0: usize,
+    rows_v: usize,
+) {
+    for (jb, ablock) in apanel.chunks_exact(rows * NR).enumerate() {
+        let p0 = jb * NR;
+        let pv = NR.min(k - p0);
+        let ablk = &ablock[r0 * NR..(r0 + rows_v) * NR];
+        let dst = &mut strip[p0 * MR..];
+        for (r, arow) in ablk.chunks_exact(NR).enumerate() {
+            for (pp, &v) in arow.iter().take(pv).enumerate() {
+                dst[pp * MR + r] = v;
+            }
+        }
+    }
+}
+
+/// Drives the micro-kernel across every column strip for one packed A
+/// strip. Kept out-of-line so the tile loop compiles in the same clean
+/// context as [`gemm_packed_impl`]'s.
+#[inline(never)]
+fn colpanel_strip_pass(
+    strip: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    r0: usize,
+    k: usize,
+    n: usize,
+    rows_v: usize,
+) {
+    for (sj, pb_strip) in pb.chunks_exact(k * NR).enumerate() {
+        let c0 = sj * NR;
+        let cols_v = NR.min(n - c0);
+        micro_tile::<false>(strip, pb_strip, out, r0 * n + c0, n, rows_v, cols_v);
     }
 }
 
 /// `out[m,n] += a[m,k] x b[k,n]` — the serial `ikj` reference loop.
 ///
 /// This is the accumulation-order oracle for the packed kernel: every
-/// other matmul path in the crate must match it bit for bit.
+/// other matmul path in the crate must match it bit for bit. Each step is
+/// the same exactly-rounded `f32::mul_add` the micro-kernel uses.
 pub(crate) fn matmul_naive_into(
     a: &[f32],
     b: &[f32],
@@ -220,7 +362,7 @@ pub(crate) fn matmul_naive_into(
         for (p, &av) in arow.iter().enumerate() {
             let brow = &b[p * n..(p + 1) * n];
             for (o, &bv) in orow.iter_mut().zip(brow) {
-                *o += av * bv;
+                *o = av.mul_add(bv, *o);
             }
         }
     }
@@ -252,13 +394,19 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
         return;
     }
 
-    let mut packed_b = vec![0.0f32; packed_b_len(k, n)];
+    // Pool scratch has unspecified contents, so the pad lanes of the last
+    // strip are zeroed explicitly below (a fresh `vec![0.0; ..]` used to
+    // guarantee that implicitly).
+    let mut packed_b = crate::pool::scratch(packed_b_len(k, n));
     crate::parallel::par_chunks_mut(&mut packed_b, k * NR, 1, |sj, strip| {
         let c0 = sj * NR;
         let cols_v = NR.min(n - c0);
         for p in 0..k {
             let row = &mut strip[p * NR..(p + 1) * NR];
             row[..cols_v].copy_from_slice(&b[p * n + c0..p * n + c0 + cols_v]);
+            for slot in &mut row[cols_v..] {
+                *slot = 0.0;
+            }
         }
     });
 
@@ -307,6 +455,91 @@ mod tests {
         assert_matches_naive(1, 1, 1);
         assert_matches_naive(MR - 1, 130, NR - 1);
         assert_matches_naive(MC + MR + 1, 64, NR * 3 + 7);
+    }
+
+    #[test]
+    fn overwrite_matches_zero_then_accumulate() {
+        for &(m, k, n) in &[(MR, 4, NR), (11, 5, 19), (1, 1, 1), (MR + 3, 130, NR - 1)] {
+            let a = seq(m * k, 0.41);
+            let b = seq(k * n, 0.59);
+            let mut pa = vec![0.0; packed_a_len(m, k)];
+            let mut pb = vec![0.0; packed_b_len(k, n)];
+            pack_a_strided(&a, &mut pa, m, k, k, 1);
+            pack_b_strided(&b, &mut pb, k, n, n, 1);
+            let mut accum = vec![0.0f32; m * n];
+            gemm_packed(&pa, &pb, &mut accum, m, k, n);
+            // the overwrite form must ignore whatever garbage is in `out`
+            let mut over = vec![f32::NAN; m * n];
+            gemm_packed_overwrite(&pa, &pb, &mut over, m, k, n);
+            let ab: Vec<u32> = accum.iter().map(|v| v.to_bits()).collect();
+            let ob: Vec<u32> = over.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ab, ob, "overwrite != accumulate for ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn colpanel_kernel_matches_naive() {
+        // Left operand supplied in packed-B layout (as the fused im2col
+        // writes it) must reproduce the naive loop bit for bit, across
+        // ragged row strips, ragged k blocks and ragged output strips.
+        for &(m, k, n) in &[
+            (MR, NR, NR),
+            (11, 33, 5),
+            (1, 1, 1),
+            (MR + 3, 2 * NR + 7, NR - 1),
+            (24, 40, NR + 2),
+        ] {
+            let a = seq(m * k, 0.43);
+            let b = seq(k * n, 0.61);
+            let mut apanel = vec![f32::NAN; packed_b_len(m, k)];
+            let mut pb = vec![f32::NAN; packed_b_len(k, n)];
+            pack_b_strided(&a, &mut apanel, m, k, k, 1);
+            pack_b_strided(&b, &mut pb, k, n, n, 1);
+            let mut out = vec![f32::NAN; m * n];
+            gemm_a_colpanel_overwrite(&apanel, &pb, &mut out, m, k, n);
+            let mut naive = vec![0.0f32; m * n];
+            matmul_naive_into(&a, &b, &mut naive, m, k, n);
+            let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            let nb: Vec<u32> = naive.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(ob, nb, "colpanel != naive for ({m},{k},{n})");
+        }
+    }
+
+    // Micro-timing for the colpanel kernel vs the pre-packed kernel it
+    // wraps (the gap is the per-strip repack cost). Run with:
+    // `cargo test --release -p o4a-tensor --lib -- --ignored colpanel_timing --nocapture`
+    #[test]
+    #[ignore]
+    fn colpanel_timing() {
+        use std::time::Instant;
+        let (m, k, n) = (144usize, 1024usize, 16usize);
+        let a = seq(m * k, 0.37);
+        let b = seq(k * n, 0.53);
+        let mut apanel = vec![0.0f32; packed_b_len(m, k)];
+        let mut pa = vec![0.0f32; packed_a_len(m, k)];
+        let mut pb = vec![0.0f32; packed_b_len(k, n)];
+        pack_b_strided(&a, &mut apanel, m, k, k, 1);
+        pack_a_strided(&a, &mut pa, m, k, k, 1);
+        pack_b_strided(&b, &mut pb, k, n, n, 1);
+        let mut out = vec![0.0f32; m * n];
+        let reps = 200u32;
+        let time = |label: &str, f: &mut dyn FnMut()| {
+            let mut best = f64::MAX;
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                for _ in 0..reps {
+                    f();
+                }
+                best = best.min(t0.elapsed().as_secs_f64() / reps as f64 * 1e6);
+            }
+            println!("{label:26} {best:9.1} us");
+        };
+        time("gemm_packed pre-packed A", &mut || {
+            gemm_packed_overwrite(&pa, &pb, &mut out, m, k, n)
+        });
+        time("colpanel full", &mut || {
+            gemm_a_colpanel_overwrite(&apanel, &pb, &mut out, m, k, n)
+        });
     }
 
     #[test]

@@ -31,16 +31,29 @@
 //! accumulation per element, index-ordered reductions; see
 //! [`Tensor::matmul_naive`]). The only `unsafe` in the crate is the
 //! lifetime/aliasing bookkeeping localized in [`parallel`].
+//!
+//! Tensor storage and kernel scratch come from a thread-aware buffer pool
+//! ([`pool`]): dropping a tensor recycles its buffer, `_into` kernel
+//! variants (e.g. [`Tensor::matmul_into`], [`conv::conv2d_into`]) write
+//! into caller-owned workspaces, and fused elementwise kernels
+//! ([`Tensor::add_relu_into`], [`ops::adam_update_into`]) collapse the
+//! remaining temporaries — so a training step allocates nothing at steady
+//! state. `O4A_POOL=0` disables pooling without changing any result bit.
 
 pub mod conv;
 mod gemm;
 pub mod init;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod tensor;
 
-pub use conv::{conv2d, conv2d_backward, upsample_nearest, upsample_nearest_backward, Conv2dGrads};
+pub use conv::{
+    conv2d, conv2d_backward, conv2d_bwd_into, conv2d_bwd_into_cached, conv2d_into,
+    conv2d_into_caching, upsample_nearest, upsample_nearest_backward, Conv2dGrads,
+};
 pub use init::{glorot_uniform, he_normal, SeededRng};
+pub use ops::{adam_update_into, AdamUpdate};
 pub use tensor::Tensor;
 
 /// Error type for shape mismatches and invalid tensor operations.
@@ -74,6 +87,11 @@ pub enum TensorError {
         /// Actual tensor rank.
         actual: usize,
     },
+    /// An operation that needs at least one operand received none.
+    EmptyInput {
+        /// The operation that was invoked.
+        op: &'static str,
+    },
 }
 
 impl std::fmt::Display for TensorError {
@@ -90,6 +108,9 @@ impl std::fmt::Display for TensorError {
             }
             TensorError::RankMismatch { expected, actual } => {
                 write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            TensorError::EmptyInput { op } => {
+                write!(f, "{op} requires at least one input tensor")
             }
         }
     }

@@ -2,57 +2,150 @@
 //!
 //! All binary operations require identical shapes — the network code works on
 //! fixed grid sizes, so implicit broadcasting would only hide bugs.
+//!
+//! Every allocating op has an `_into` twin that writes into a caller-owned
+//! workspace tensor (resized through the buffer pool as needed), plus fused
+//! kernels for the compositions the network blocks actually execute
+//! ([`Tensor::add_relu_into`] for residual joins, [`Tensor::scale_shift_into`]
+//! for BN-style per-channel affines, and [`adam_update_into`] for the
+//! optimizer's moment update). The allocating forms delegate to the `_into`
+//! forms, so there is exactly one code path and the results are bit-identical.
 
+use crate::parallel::{self, SendPtr};
 use crate::tensor::Tensor;
 use crate::Result;
 
+/// Fixed chunk size for the parallel elementwise update sweeps. Chunk
+/// boundaries are independent of the thread count, and every element is
+/// updated independently, so the updates are bit-identical to the serial
+/// loop at any `O4A_THREADS`.
+const OPT_CHUNK: usize = 4096;
+
 impl Tensor {
+    /// Shared body of the binary `_into` kernels: shape-check, resize the
+    /// workspace, and stream both operands once.
+    #[inline]
+    fn binary_into(
+        &self,
+        rhs: &Tensor,
+        out: &mut Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<()> {
+        self.check_same_shape(rhs)?;
+        out.reset_uninit(self.shape());
+        for ((o, &a), &b) in out.data_mut().iter_mut().zip(self.data()).zip(rhs.data()) {
+            *o = f(a, b);
+        }
+        Ok(())
+    }
+
     /// Elementwise addition.
     pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
-        self.check_same_shape(rhs)?;
-        let data = self
-            .data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(a, b)| a + b)
-            .collect();
-        Tensor::from_vec(data, self.shape())
+        let mut out = Tensor::empty();
+        self.add_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Elementwise addition into a reusable output workspace.
+    pub fn add_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.binary_into(rhs, out, |a, b| a + b)
     }
 
     /// Elementwise subtraction.
     pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
-        self.check_same_shape(rhs)?;
-        let data = self
-            .data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(a, b)| a - b)
-            .collect();
-        Tensor::from_vec(data, self.shape())
+        let mut out = Tensor::empty();
+        self.sub_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Elementwise subtraction into a reusable output workspace.
+    pub fn sub_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.binary_into(rhs, out, |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) multiplication.
     pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
-        self.check_same_shape(rhs)?;
-        let data = self
-            .data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(a, b)| a * b)
-            .collect();
-        Tensor::from_vec(data, self.shape())
+        let mut out = Tensor::empty();
+        self.mul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Elementwise multiplication into a reusable output workspace.
+    pub fn mul_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.binary_into(rhs, out, |a, b| a * b)
     }
 
     /// Elementwise division.
     pub fn div(&self, rhs: &Tensor) -> Result<Tensor> {
-        self.check_same_shape(rhs)?;
-        let data = self
-            .data()
-            .iter()
-            .zip(rhs.data())
-            .map(|(a, b)| a / b)
-            .collect();
-        Tensor::from_vec(data, self.shape())
+        let mut out = Tensor::empty();
+        self.binary_into(rhs, &mut out, |a, b| a / b)?;
+        Ok(out)
+    }
+
+    /// Elementwise ReLU (`max(v, 0)`).
+    pub fn relu(&self) -> Tensor {
+        let mut out = Tensor::empty();
+        self.relu_into(&mut out);
+        out
+    }
+
+    /// Elementwise ReLU into a reusable output workspace.
+    pub fn relu_into(&self, out: &mut Tensor) {
+        out.reset_uninit(self.shape());
+        for (o, &v) in out.data_mut().iter_mut().zip(self.data()) {
+            *o = v.max(0.0);
+        }
+    }
+
+    /// Fused residual join: `out = relu(self + rhs)`, one pass over memory
+    /// instead of an `add` temporary followed by a `relu`. Bit-identical to
+    /// the two-step composition.
+    pub fn add_relu_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
+        self.binary_into(rhs, out, |a, b| (a + b).max(0.0))
+    }
+
+    /// Fused BN-style per-channel affine on a rank-4 `[n, c, h, w]` tensor:
+    /// `out[n, ch, ...] = self[n, ch, ...] * scale[ch] + shift[ch]`.
+    ///
+    /// `scale` and `shift` are rank-1 `[c]` tensors.
+    pub fn scale_shift_into(&self, scale: &Tensor, shift: &Tensor, out: &mut Tensor) -> Result<()> {
+        if self.rank() != 4 {
+            return Err(crate::TensorError::RankMismatch {
+                expected: 4,
+                actual: self.rank(),
+            });
+        }
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
+        if scale.shape() != [c] || shift.shape() != [c] {
+            return Err(crate::TensorError::ShapeMismatch {
+                lhs: vec![c],
+                rhs: if scale.shape() != [c] {
+                    scale.shape().to_vec()
+                } else {
+                    shift.shape().to_vec()
+                },
+            });
+        }
+        out.reset_uninit(self.shape());
+        let plane = h * w;
+        let src = self.data();
+        let (sc, sh) = (scale.data(), shift.data());
+        let dst = out.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                let off = (b * c + ch) * plane;
+                let (s, t) = (sc[ch], sh[ch]);
+                for (o, &v) in dst[off..off + plane].iter_mut().zip(&src[off..off + plane]) {
+                    *o = v * s + t;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// In-place elementwise addition (`self += rhs`).
@@ -100,6 +193,13 @@ impl Tensor {
     ///
     /// Used to reduce per-sample bias gradients.
     pub fn sum_axis0(&self) -> Result<Tensor> {
+        let mut out = Tensor::empty();
+        self.sum_axis0_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::sum_axis0`] into a reusable output workspace.
+    pub fn sum_axis0_into(&self, out: &mut Tensor) -> Result<()> {
         if self.rank() != 2 {
             return Err(crate::TensorError::RankMismatch {
                 expected: 2,
@@ -107,23 +207,27 @@ impl Tensor {
             });
         }
         let (r, c) = (self.shape()[0], self.shape()[1]);
-        let mut out = vec![0.0f32; c];
+        out.reset_zeroed(&[c]);
+        let dst = out.data_mut();
         for i in 0..r {
             let row = &self.data()[i * c..(i + 1) * c];
-            for (o, &v) in out.iter_mut().zip(row) {
+            for (o, &v) in dst.iter_mut().zip(row) {
                 *o += v;
             }
         }
-        Tensor::from_vec(out, &[c])
+        Ok(())
     }
 
     /// Concatenates rank-4 `[n, c, h, w]` tensors along the channel axis.
     ///
-    /// All inputs must agree on `n`, `h`, `w`. This is the operation behind
-    /// Eq. 7 of the paper (fusing closeness / period / trend features).
+    /// All inputs must agree on `n`, `h`, `w`; an empty slice is an
+    /// [`crate::TensorError::EmptyInput`] error. This is the operation
+    /// behind Eq. 7 of the paper (fusing closeness / period / trend
+    /// features).
     pub fn concat_channels(parts: &[&Tensor]) -> Result<Tensor> {
-        assert!(!parts.is_empty(), "concat_channels needs at least one part");
-        let first = parts[0];
+        let first = *parts.first().ok_or(crate::TensorError::EmptyInput {
+            op: "concat_channels",
+        })?;
         if first.rank() != 4 {
             return Err(crate::TensorError::RankMismatch {
                 expected: 4,
@@ -142,15 +246,19 @@ impl Tensor {
             total_c += p.shape()[1];
         }
         let plane = h * w;
-        let mut out = Vec::with_capacity(n * total_c * plane);
+        let mut out = Tensor::uninit(&[n, total_c, h, w]);
+        let dst = out.data_mut();
+        let mut at = 0usize;
         for b in 0..n {
             for p in parts {
                 let c = p.shape()[1];
                 let start = b * c * plane;
-                out.extend_from_slice(&p.data()[start..start + c * plane]);
+                let chunk = c * plane;
+                dst[at..at + chunk].copy_from_slice(&p.data()[start..start + chunk]);
+                at += chunk;
             }
         }
-        Tensor::from_vec(out, &[n, total_c, h, w])
+        Ok(out)
     }
 
     /// Splits a rank-4 `[n, c, h, w]` tensor into channel groups with the
@@ -176,22 +284,21 @@ impl Tensor {
             });
         }
         let plane = h * w;
-        let mut outs: Vec<Vec<f32>> = sizes
+        let mut outs: Vec<Tensor> = sizes
             .iter()
-            .map(|&s| Vec::with_capacity(n * s * plane))
+            .map(|&s| Tensor::uninit(&[n, s, h, w]))
             .collect();
         for b in 0..n {
             let mut ch_off = 0usize;
-            for (gi, &s) in sizes.iter().enumerate() {
+            for (out, &s) in outs.iter_mut().zip(sizes) {
                 let start = (b * c + ch_off) * plane;
-                outs[gi].extend_from_slice(&self.data()[start..start + s * plane]);
+                let chunk = s * plane;
+                out.data_mut()[b * chunk..(b + 1) * chunk]
+                    .copy_from_slice(&self.data()[start..start + chunk]);
                 ch_off += s;
             }
         }
-        outs.into_iter()
-            .zip(sizes)
-            .map(|(data, &s)| Tensor::from_vec(data, &[n, s, h, w]))
-            .collect()
+        Ok(outs)
     }
 
     /// Mean squared error between two same-shape tensors.
@@ -213,6 +320,83 @@ impl Tensor {
     }
 }
 
+/// Hyper-parameters for one fused Adam update ([`adam_update_into`]).
+///
+/// `bc1`/`bc2` are the bias-correction denominators `1 - beta^t` for the
+/// current step `t` (computed once per step by the optimizer).
+#[derive(Debug, Clone, Copy)]
+pub struct AdamUpdate {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment EMA coefficient.
+    pub beta1: f32,
+    /// Second-moment EMA coefficient.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// First-moment bias correction `1 - beta1^t`.
+    pub bc1: f32,
+    /// Second-moment bias correction `1 - beta2^t`.
+    pub bc2: f32,
+}
+
+/// Fused in-place Adam moment update: advances both moment EMAs and applies
+/// the bias-corrected parameter step in a single pass over memory.
+///
+/// Per element, in this exact order (the same serial expression the
+/// optimizer has always used, so results are bit-identical):
+///
+/// ```text
+/// m = beta1 * m + (1 - beta1) * g
+/// v = beta2 * v + (1 - beta2) * g * g
+/// p -= lr * (m / bc1) / (sqrt(v / bc2) + eps)
+/// ```
+///
+/// Chunk boundaries are fixed (`OPT_CHUNK`), so the sweep is bit-identical
+/// at any thread count.
+pub fn adam_update_into(
+    param: &mut Tensor,
+    grad: &Tensor,
+    m: &mut Tensor,
+    v: &mut Tensor,
+    hp: &AdamUpdate,
+) -> Result<()> {
+    param.check_same_shape(grad)?;
+    param.check_same_shape(m)?;
+    param.check_same_shape(v)?;
+    let g = grad.data();
+    let len = g.len();
+    let md_ptr = SendPtr(m.data_mut().as_mut_ptr());
+    let vd_ptr = SendPtr(v.data_mut().as_mut_ptr());
+    let pd_ptr = SendPtr(param.data_mut().as_mut_ptr());
+    let &AdamUpdate {
+        lr,
+        beta1,
+        beta2,
+        eps,
+        bc1,
+        bc2,
+    } = hp;
+    // ~12 flops per element (two EMAs, bias correction, rsqrt); small
+    // tensors stay inline under the runtime's adaptive cutoff.
+    parallel::par_range(len, OPT_CHUNK, 12, |r| {
+        // SAFETY: `par_range` chunks are disjoint; the buffers outlive the
+        // blocking call.
+        let md = unsafe { md_ptr.slice_mut(r.start, r.end - r.start) };
+        let vd = unsafe { vd_ptr.slice_mut(r.start, r.end - r.start) };
+        let pd = unsafe { pd_ptr.slice_mut(r.start, r.end - r.start) };
+        let g = &g[r];
+        for i in 0..g.len() {
+            md[i] = beta1 * md[i] + (1.0 - beta1) * g[i];
+            vd[i] = beta2 * vd[i] + (1.0 - beta2) * g[i] * g[i];
+            let mhat = md[i] / bc1;
+            let vhat = vd[i] / bc2;
+            pd[i] -= lr * mhat / (vhat.sqrt() + eps);
+        }
+    });
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,6 +413,35 @@ mod tests {
         assert_eq!(a.sub(&b).unwrap().data(), &[-3.0, -1.0, 1.0, 3.0]);
         assert_eq!(a.mul(&b).unwrap().data(), &[4.0, 6.0, 6.0, 4.0]);
         assert_eq!(a.div(&b).unwrap().data(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn into_variants_overwrite_dirty_workspace() {
+        let a = t(&[1.0, -2.0], &[2]);
+        let b = t(&[3.0, 1.0], &[2]);
+        let mut out = Tensor::full(&[3, 3], 9.0);
+        a.add_into(&b, &mut out).unwrap();
+        assert_eq!(out.shape(), &[2]);
+        assert_eq!(out.data(), &[4.0, -1.0]);
+        a.relu_into(&mut out);
+        assert_eq!(out.data(), &[1.0, 0.0]);
+        a.add_relu_into(&b, &mut out).unwrap();
+        assert_eq!(out.data(), &[4.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_shift_applies_per_channel() {
+        // [n=1, c=2, h=1, w=2]
+        let x = t(&[1.0, 2.0, 3.0, 4.0], &[1, 2, 1, 2]);
+        let scale = t(&[2.0, -1.0], &[2]);
+        let shift = t(&[0.5, 1.0], &[2]);
+        let mut out = Tensor::empty();
+        x.scale_shift_into(&scale, &shift, &mut out).unwrap();
+        assert_eq!(out.data(), &[2.5, 4.5, -2.0, -3.0]);
+        // wrong scale shape rejected
+        assert!(x
+            .scale_shift_into(&shift, &t(&[1.0], &[1]), &mut out)
+            .is_err());
     }
 
     #[test]
@@ -280,6 +493,16 @@ mod tests {
     }
 
     #[test]
+    fn concat_empty_slice_is_an_error() {
+        assert!(matches!(
+            Tensor::concat_channels(&[]),
+            Err(crate::TensorError::EmptyInput {
+                op: "concat_channels"
+            })
+        ));
+    }
+
+    #[test]
     fn concat_rejects_mismatched_planes() {
         let a = Tensor::zeros(&[1, 1, 2, 2]);
         let b = Tensor::zeros(&[1, 1, 3, 2]);
@@ -290,6 +513,34 @@ mod tests {
     fn split_rejects_bad_sizes() {
         let a = Tensor::zeros(&[1, 3, 2, 2]);
         assert!(a.split_channels(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn adam_update_matches_serial_reference() {
+        let mut p = t(&[1.0, -2.0, 0.5], &[3]);
+        let g = t(&[0.3, -0.1, 0.2], &[3]);
+        let mut m = Tensor::zeros(&[3]);
+        let mut v = Tensor::zeros(&[3]);
+        let hp = AdamUpdate {
+            lr: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            bc1: 1.0 - 0.9f32,
+            bc2: 1.0 - 0.999f32,
+        };
+        // serial reference
+        let (mut pr, mut mr, mut vr) = (p.data().to_vec(), vec![0.0f32; 3], vec![0.0f32; 3]);
+        for i in 0..3 {
+            let gi = g.data()[i];
+            mr[i] = hp.beta1 * mr[i] + (1.0 - hp.beta1) * gi;
+            vr[i] = hp.beta2 * vr[i] + (1.0 - hp.beta2) * gi * gi;
+            pr[i] -= hp.lr * (mr[i] / hp.bc1) / ((vr[i] / hp.bc2).sqrt() + hp.eps);
+        }
+        adam_update_into(&mut p, &g, &mut m, &mut v, &hp).unwrap();
+        assert_eq!(p.data(), &pr[..]);
+        assert_eq!(m.data(), &mr[..]);
+        assert_eq!(v.data(), &vr[..]);
     }
 
     #[test]

@@ -1,12 +1,60 @@
 //! The core dense [`Tensor`] type: a row-major `f32` buffer plus a shape.
 
+use crate::pool::Buf;
 use crate::{Result, TensorError};
 
-/// A dense, row-major, `f32` tensor of arbitrary rank.
+/// Maximum tensor rank. Nothing in the reproduction exceeds rank 4; 6 gives
+/// headroom while keeping the shape inline (no heap allocation per tensor).
+pub const MAX_RANK: usize = 6;
+
+/// Inline, copyable shape: up to [`MAX_RANK`] dimensions with no heap
+/// allocation. Unused trailing dims are zero so derived equality is exact.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Shape {
+    dims: [usize; MAX_RANK],
+    rank: u8,
+}
+
+impl Shape {
+    /// # Panics
+    /// Panics if `shape` is empty or longer than [`MAX_RANK`].
+    fn from_slice(shape: &[usize]) -> Shape {
+        Self::try_from_slice(shape).unwrap_or_else(|| {
+            assert!(!shape.is_empty(), "tensor shape must not be empty");
+            panic!("tensor rank {} exceeds MAX_RANK {}", shape.len(), MAX_RANK)
+        })
+    }
+
+    fn try_from_slice(shape: &[usize]) -> Option<Shape> {
+        if shape.is_empty() || shape.len() > MAX_RANK {
+            return None;
+        }
+        let mut dims = [0usize; MAX_RANK];
+        dims[..shape.len()].copy_from_slice(shape);
+        Some(Shape {
+            dims,
+            rank: shape.len() as u8,
+        })
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[usize] {
+        &self.dims[..self.rank as usize]
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+/// A dense, row-major, `f32` tensor of arbitrary rank (up to [`MAX_RANK`]).
 ///
-/// The shape is stored as a `Vec<usize>`; strides are derived on demand
-/// (tensors are always contiguous). Rank-0 tensors are not supported — a
-/// scalar is represented as shape `[1]`.
+/// Storage comes from the thread-aware buffer pool in [`crate::pool`], so
+/// dropping a tensor recycles its buffer for the next one of a similar size;
+/// strides are derived on demand (tensors are always contiguous). Rank-0
+/// tensors are not supported — a scalar is represented as shape `[1]`.
 ///
 /// ```
 /// use o4a_tensor::Tensor;
@@ -16,8 +64,8 @@ use crate::{Result, TensorError};
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
-    data: Vec<f32>,
-    shape: Vec<usize>,
+    data: Buf,
+    shape: Shape,
 }
 
 impl Tensor {
@@ -26,11 +74,11 @@ impl Tensor {
     /// # Panics
     /// Panics if `shape` is empty.
     pub fn zeros(shape: &[usize]) -> Self {
-        assert!(!shape.is_empty(), "tensor shape must not be empty");
-        let len = shape.iter().product();
+        let shape = Shape::from_slice(shape);
+        let len = shape.as_slice().iter().product();
         Tensor {
-            data: vec![0.0; len],
-            shape: shape.to_vec(),
+            data: Buf::zeroed(len),
+            shape,
         }
     }
 
@@ -41,11 +89,33 @@ impl Tensor {
 
     /// Creates a tensor filled with a constant value.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        assert!(!shape.is_empty(), "tensor shape must not be empty");
-        let len = shape.iter().product();
+        let mut t = Self::uninit(shape);
+        t.data.as_mut_slice().fill(value);
+        t
+    }
+
+    /// Creates a tensor with **unspecified contents** (a recycled pool
+    /// buffer keeps its previous values). Callers must fully overwrite
+    /// every element before reading any.
+    ///
+    /// # Panics
+    /// Panics if `shape` is empty.
+    pub fn uninit(shape: &[usize]) -> Self {
+        let shape = Shape::from_slice(shape);
+        let len = shape.as_slice().iter().product();
         Tensor {
-            data: vec![value; len],
-            shape: shape.to_vec(),
+            data: Buf::uninit(len),
+            shape,
+        }
+    }
+
+    /// An empty placeholder tensor (shape `[0]`, no allocation). Used as the
+    /// initial state of reusable output workspaces: the first
+    /// `reset_uninit`/`_into` call gives it real storage.
+    pub fn empty() -> Self {
+        Tensor {
+            data: Buf::empty(),
+            shape: Shape::from_slice(&[0]),
         }
     }
 
@@ -53,36 +123,36 @@ impl Tensor {
     /// matches the shape.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
         let expected: usize = shape.iter().product();
-        if data.len() != expected || shape.is_empty() {
-            return Err(TensorError::InvalidReshape {
+        match Shape::try_from_slice(shape) {
+            Some(s) if data.len() == expected => Ok(Tensor {
+                data: Buf::from_vec(data),
+                shape: s,
+            }),
+            _ => Err(TensorError::InvalidReshape {
                 len: data.len(),
                 shape: shape.to_vec(),
-            });
+            }),
         }
-        Ok(Tensor {
-            data,
-            shape: shape.to_vec(),
-        })
     }
 
     /// Creates a rank-1 tensor from a slice.
     pub fn from_slice(data: &[f32]) -> Self {
         Tensor {
-            data: data.to_vec(),
-            shape: vec![data.len()],
+            data: Buf::from_slice(data),
+            shape: Shape::from_slice(&[data.len()]),
         }
     }
 
     /// The shape of the tensor.
     #[inline]
     pub fn shape(&self) -> &[usize] {
-        &self.shape
+        self.shape.as_slice()
     }
 
     /// The rank (number of dimensions).
     #[inline]
     pub fn rank(&self) -> usize {
-        self.shape.len()
+        self.shape.rank as usize
     }
 
     /// Total number of elements.
@@ -95,31 +165,59 @@ impl Tensor {
     /// zero-length dimension).
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.data.len() == 0
     }
 
     /// Read-only view of the underlying row-major buffer.
     #[inline]
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
     /// Mutable view of the underlying row-major buffer.
     #[inline]
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.as_mut_slice()
     }
 
-    /// Consumes the tensor, returning the flat buffer.
+    /// Consumes the tensor, returning the flat buffer (the allocation leaves
+    /// pool custody).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
+    }
+
+    /// Re-shapes this tensor into a workspace of the given shape with
+    /// **unspecified contents**, reusing the existing buffer when it is
+    /// large enough and swapping through the pool when not. Callers must
+    /// fully overwrite every element before reading any.
+    pub fn reset_uninit(&mut self, shape: &[usize]) {
+        let s = Shape::from_slice(shape);
+        let len = s.as_slice().iter().product();
+        self.shape = s;
+        self.data.reset(len, false);
+    }
+
+    /// Like [`Tensor::reset_uninit`] but the contents are zeroed.
+    pub fn reset_zeroed(&mut self, shape: &[usize]) {
+        let s = Shape::from_slice(shape);
+        let len = s.as_slice().iter().product();
+        self.shape = s;
+        self.data.reset(len, true);
+    }
+
+    /// Makes this tensor an exact copy of `src` (shape and data), reusing
+    /// the existing buffer when possible.
+    pub fn copy_from(&mut self, src: &Tensor) {
+        self.reset_uninit(src.shape());
+        self.data.as_mut_slice().copy_from_slice(src.data());
     }
 
     /// Row-major strides for the current shape.
     pub fn strides(&self) -> Vec<usize> {
-        let mut strides = vec![1usize; self.shape.len()];
-        for i in (0..self.shape.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * self.shape[i + 1];
+        let shape = self.shape();
+        let mut strides = vec![1usize; shape.len()];
+        for i in (0..shape.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * shape[i + 1];
         }
         strides
     }
@@ -127,19 +225,19 @@ impl Tensor {
     /// Converts a multi-dimensional index into a flat offset, validating
     /// every coordinate.
     pub fn offset(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.shape.len() {
+        if index.len() != self.rank() {
             return Err(TensorError::RankMismatch {
-                expected: self.shape.len(),
+                expected: self.rank(),
                 actual: index.len(),
             });
         }
         let mut off = 0usize;
         let strides = self.strides();
-        for ((&i, &d), &s) in index.iter().zip(&self.shape).zip(&strides) {
+        for ((&i, &d), &s) in index.iter().zip(self.shape()).zip(&strides) {
             if i >= d {
                 return Err(TensorError::IndexOutOfBounds {
                     index: index.to_vec(),
-                    shape: self.shape.clone(),
+                    shape: self.shape().to_vec(),
                 });
             }
             off += i * s;
@@ -149,61 +247,73 @@ impl Tensor {
 
     /// Reads one element by multi-dimensional index.
     pub fn get(&self, index: &[usize]) -> Result<f32> {
-        Ok(self.data[self.offset(index)?])
+        Ok(self.data()[self.offset(index)?])
     }
 
     /// Writes one element by multi-dimensional index.
     pub fn set(&mut self, index: &[usize], value: f32) -> Result<()> {
         let off = self.offset(index)?;
-        self.data[off] = value;
+        self.data.as_mut_slice()[off] = value;
         Ok(())
     }
 
     /// Returns a tensor with the same data but a new shape.
     pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
         let expected: usize = shape.iter().product();
-        if expected != self.data.len() || shape.is_empty() {
-            return Err(TensorError::InvalidReshape {
-                len: self.data.len(),
+        match Shape::try_from_slice(shape) {
+            Some(s) if expected == self.len() => Ok(Tensor {
+                data: self.data.clone(),
+                shape: s,
+            }),
+            _ => Err(TensorError::InvalidReshape {
+                len: self.len(),
                 shape: shape.to_vec(),
-            });
+            }),
         }
-        Ok(Tensor {
-            data: self.data.clone(),
-            shape: shape.to_vec(),
-        })
     }
 
     /// In-place reshape (no data copy).
     pub fn reshape_in_place(&mut self, shape: &[usize]) -> Result<()> {
         let expected: usize = shape.iter().product();
-        if expected != self.data.len() || shape.is_empty() {
-            return Err(TensorError::InvalidReshape {
-                len: self.data.len(),
+        match Shape::try_from_slice(shape) {
+            Some(s) if expected == self.len() => {
+                self.shape = s;
+                Ok(())
+            }
+            _ => Err(TensorError::InvalidReshape {
+                len: self.len(),
                 shape: shape.to_vec(),
-            });
+            }),
         }
-        self.shape = shape.to_vec();
-        Ok(())
     }
 
     /// Transpose of a rank-2 tensor.
     pub fn transpose2(&self) -> Result<Tensor> {
+        let mut out = Tensor::empty();
+        self.transpose2_into(&mut out)?;
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor into a reusable output workspace
+    /// (resized as needed; previous contents discarded).
+    pub fn transpose2_into(&self, out: &mut Tensor) -> Result<()> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
                 actual: self.rank(),
             });
         }
-        let (r, c) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0f32; r * c];
+        let (r, c) = (self.shape()[0], self.shape()[1]);
+        out.reset_uninit(&[c, r]);
+        let src = self.data();
+        let dst = out.data_mut();
         for i in 0..r {
-            let row = &self.data[i * c..(i + 1) * c];
+            let row = &src[i * c..(i + 1) * c];
             for (j, &v) in row.iter().enumerate() {
-                out[j * r + i] = v;
+                dst[j * r + i] = v;
             }
         }
-        Tensor::from_vec(out, &[c, r])
+        Ok(())
     }
 
     /// Matrix multiplication of two rank-2 tensors: `[m,k] x [k,n] -> [m,n]`.
@@ -216,10 +326,19 @@ impl Tensor {
     /// the result is bit-identical to [`Tensor::matmul_naive`] at any
     /// thread count.
     pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        let mut out = Tensor::empty();
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Tensor::matmul`] into a reusable output workspace (resized as
+    /// needed; previous contents discarded). Bit-identical to `matmul`.
+    pub fn matmul_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
         let (m, k, n) = self.matmul_dims(rhs)?;
-        let mut out = vec![0.0f32; m * n];
-        crate::gemm::matmul_into(&self.data, &rhs.data, &mut out, m, k, n);
-        Tensor::from_vec(out, &[m, n])
+        // The GEMM accumulates into its output, so seed it with zeros.
+        out.reset_zeroed(&[m, n]);
+        crate::gemm::matmul_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        Ok(())
     }
 
     /// Serial reference matrix multiplication: the plain `ikj` triple loop,
@@ -230,9 +349,9 @@ impl Tensor {
     /// for bit at every thread count.
     pub fn matmul_naive(&self, rhs: &Tensor) -> Result<Tensor> {
         let (m, k, n) = self.matmul_dims(rhs)?;
-        let mut out = vec![0.0f32; m * n];
-        crate::gemm::matmul_naive_into(&self.data, &rhs.data, &mut out, m, k, n);
-        Tensor::from_vec(out, &[m, n])
+        let mut out = Tensor::zeros(&[m, n]);
+        crate::gemm::matmul_naive_into(self.data(), rhs.data(), out.data_mut(), m, k, n);
+        Ok(out)
     }
 
     fn matmul_dims(&self, rhs: &Tensor) -> Result<(usize, usize, usize)> {
@@ -246,12 +365,12 @@ impl Tensor {
                 },
             });
         }
-        let (m, k) = (self.shape[0], self.shape[1]);
-        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (rhs.shape()[0], rhs.shape()[1]);
         if k != k2 {
             return Err(TensorError::ShapeMismatch {
-                lhs: self.shape.clone(),
-                rhs: rhs.shape.clone(),
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
             });
         }
         Ok((m, k, n))
@@ -259,48 +378,56 @@ impl Tensor {
 
     /// Sum of all elements.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.data().iter().sum()
     }
 
     /// Mean of all elements. Returns 0 for an empty tensor.
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
     /// Population variance of all elements. Returns 0 for an empty tensor.
     pub fn variance(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             return 0.0;
         }
         let mu = self.mean();
-        self.data.iter().map(|&v| (v - mu) * (v - mu)).sum::<f32>() / self.data.len() as f32
+        self.data()
+            .iter()
+            .map(|&v| (v - mu) * (v - mu))
+            .sum::<f32>()
+            / self.len() as f32
     }
 
     /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.data()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element. Returns `f32::INFINITY` for an empty tensor.
     pub fn min(&self) -> f32 {
-        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+        self.data().iter().copied().fold(f32::INFINITY, f32::min)
     }
 
     /// Applies a function to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape.clone(),
+        let mut out = Tensor::uninit(self.shape());
+        for (o, &v) in out.data.as_mut_slice().iter_mut().zip(self.data()) {
+            *o = f(v);
         }
+        out
     }
 
     /// Applies a function to every element in place.
     pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
-        for v in &mut self.data {
+        for v in self.data.as_mut_slice() {
             *v = f(*v);
         }
     }
@@ -309,8 +436,8 @@ impl Tensor {
     pub fn check_same_shape(&self, rhs: &Tensor) -> Result<()> {
         if self.shape != rhs.shape {
             return Err(TensorError::ShapeMismatch {
-                lhs: self.shape.clone(),
-                rhs: rhs.shape.clone(),
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
             });
         }
         Ok(())
@@ -320,9 +447,9 @@ impl Tensor {
     pub fn allclose(&self, rhs: &Tensor, tol: f32) -> bool {
         self.shape == rhs.shape
             && self
-                .data
+                .data()
                 .iter()
-                .zip(&rhs.data)
+                .zip(rhs.data())
                 .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
@@ -353,9 +480,46 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "exceeds MAX_RANK")]
+    fn excessive_rank_panics() {
+        let _ = Tensor::zeros(&[1, 1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
     fn from_vec_validates_len() {
         assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
         assert!(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).is_ok());
+        assert!(Tensor::from_vec(vec![1.0], &[1, 1, 1, 1, 1, 1, 1]).is_err());
+    }
+
+    #[test]
+    fn zeros_after_dirty_recycle() {
+        // A dropped tensor's buffer re-enters the pool; a fresh `zeros` of
+        // the same size must still be all zero.
+        let mut t = Tensor::full(&[4, 4], 3.5);
+        t.data_mut()[0] = -1.0;
+        drop(t);
+        let z = Tensor::zeros(&[4, 4]);
+        assert!(z.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reset_uninit_reuses_and_reshapes() {
+        let mut w = Tensor::empty();
+        w.reset_uninit(&[2, 3]);
+        assert_eq!(w.shape(), &[2, 3]);
+        w.data_mut().copy_from_slice(&[1.0; 6]);
+        w.reset_zeroed(&[3, 1]);
+        assert_eq!(w.shape(), &[3, 1]);
+        assert_eq!(w.data(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn copy_from_matches_source() {
+        let src = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let mut dst = Tensor::empty();
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]
@@ -413,6 +577,16 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.shape(), &[2, 2]);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_into_overwrites_dirty_workspace() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let mut out = Tensor::full(&[5, 7], -3.25); // wrong shape, dirty data
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.shape(), &[2, 2]);
+        assert_eq!(out.data(), &[58.0, 64.0, 139.0, 154.0]);
     }
 
     #[test]

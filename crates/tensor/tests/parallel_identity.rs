@@ -42,7 +42,9 @@ fn bits(t: &Tensor) -> Vec<u32> {
     t.data().iter().map(|v| v.to_bits()).collect()
 }
 
-/// Classic serial `ikj` matmul, the reference accumulation order.
+/// Classic serial `ikj` matmul, the reference accumulation order. Each
+/// step is an explicit exactly-rounded `mul_add`, matching the kernel's
+/// FMA accumulation (see the bit-identity notes in `gemm.rs`).
 fn matmul_reference(a: &Tensor, b: &Tensor) -> Vec<u32> {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let n = b.shape()[1];
@@ -51,7 +53,8 @@ fn matmul_reference(a: &Tensor, b: &Tensor) -> Vec<u32> {
         for p in 0..k {
             let av = a.data()[i * k + p];
             for j in 0..n {
-                out[i * n + j] += av * b.data()[p * n + j];
+                let o = &mut out[i * n + j];
+                *o = av.mul_add(b.data()[p * n + j], *o);
             }
         }
     }
