@@ -1,10 +1,18 @@
 //! Thread-scaling table for the parallel compute runtime: times matmul,
-//! conv2d forward/backward, the Adam step, a full ST-ResNet training step
-//! and batched region queries at One4All-ST shapes (32x32 atomic grid,
-//! K = 2 pyramid, batch 16) for `O4A_THREADS ∈ {1, 2, 4}`, prints the
-//! table (with GFLOP/s for the flop-countable kernels and a speedup vs
-//! the previously committed results, when present) and dumps it to
-//! `BENCH_kernels.json`.
+//! the f16 packed-B inference GEMM, conv2d forward/backward, the Adam
+//! step, a full ST-ResNet training step and batched region queries at
+//! One4All-ST shapes (32x32 atomic grid, K = 2 pyramid, batch 16) for
+//! `O4A_THREADS ∈ {1, 2, 4}`, prints the table (with GFLOP/s for the
+//! flop-countable kernels, the dispatched-vs-forced-scalar speedup, and a
+//! speedup vs the previously committed results, when present) and dumps it
+//! to `BENCH_kernels.json`.
+//!
+//! Each ISA-sensitive row is re-timed once under `isa::force(Scalar)` at
+//! one thread; `vs_scalar` is that time over the dispatched t1 time —
+//! measured in the same process, so machine drift cancels. Rows whose code
+//! path contains no dispatched kernel (the query batch: decomposition and
+//! signed aggregation only) share the dispatched measurement, so their
+//! `vs_scalar` is 1.000 by construction rather than re-measured noise.
 //!
 //! Requested thread counts are capped at the hardware parallelism, exactly
 //! as the runtime caps them: on a machine with fewer cores than a column,
@@ -31,7 +39,7 @@ use o4a_nn::loss::mse_loss;
 use o4a_nn::optim::{clip_grad_norm_module, Adam};
 use o4a_nn::param::Param;
 use o4a_nn::{Module, Sequential};
-use o4a_tensor::{conv2d, conv2d_backward, parallel, SeededRng, Tensor};
+use o4a_tensor::{conv2d, conv2d_backward, isa, parallel, SeededRng, Tensor};
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,6 +85,17 @@ struct Row {
     /// t1 median of this kernel in the previous `BENCH_kernels.json`, if
     /// any.
     prev_t1: Option<f64>,
+    /// t1 median with the kernel dispatch forced to the scalar tier;
+    /// equals `secs[0]` for rows with no dispatched kernel on their path.
+    scalar_t1: f64,
+}
+
+/// Whether a row's code path goes through the ISA-dispatched kernels (and
+/// so gets a real forced-scalar re-measurement for its `vs_scalar`).
+#[derive(Clone, Copy, PartialEq)]
+enum IsaPath {
+    Dispatched,
+    None,
 }
 
 fn main() {
@@ -111,6 +130,7 @@ fn main() {
         iters,
         Some(conv_flops),
         prev_t1("conv2d_fwd_b16_c16_32x32"),
+        IsaPath::Dispatched,
         || {
             black_box(conv2d(&x, &w, &bias, 1, 1).expect("conv shapes"));
         },
@@ -120,6 +140,7 @@ fn main() {
         iters,
         Some(2.0 * conv_flops),
         prev_t1("conv2d_bwd_b16_c16_32x32"),
+        IsaPath::Dispatched,
         || {
             black_box(conv2d_backward(&x, &w, &bias, 1, 1, &go).expect("conv shapes"));
         },
@@ -133,8 +154,40 @@ fn main() {
         iters,
         Some(2.0 * 256.0 * 1024.0 * 1024.0),
         prev_t1("matmul_256x1024x1024"),
+        IsaPath::Dispatched,
         || {
             black_box(a.matmul(&b_mat).expect("matmul shapes"));
+        },
+    ));
+
+    // f16 packed-storage inference GEMM at an online-serving shape: a thin
+    // activation panel (m = 16) against a large resident weight matrix, so
+    // the kernel is bound by streaming B. The f32 row is the same shape
+    // through the ordinary GEMM; the f16 row streams half the weight bytes
+    // (B held as binary16, widened to f32 strips during packing) — the
+    // storage win shows up directly as the wall-time gap between the rows.
+    let inf_a = rng.uniform_tensor(&[16, 2048], -1.0, 1.0);
+    let inf_b = rng.uniform_tensor(&[2048, 2048], -1.0, 1.0);
+    let inf_hb = inf_b.to_f16();
+    let inf_flops = 2.0 * 16.0 * 2048.0 * 2048.0;
+    rows.push(measure(
+        "matmul_f32w_16x2048x2048",
+        iters,
+        Some(inf_flops),
+        prev_t1("matmul_f32w_16x2048x2048"),
+        IsaPath::Dispatched,
+        || {
+            black_box(inf_a.matmul(&inf_b).expect("matmul shapes"));
+        },
+    ));
+    rows.push(measure(
+        "matmul_f16w_16x2048x2048",
+        iters,
+        Some(inf_flops),
+        prev_t1("matmul_f16w_16x2048x2048"),
+        IsaPath::Dispatched,
+        || {
+            black_box(inf_a.matmul_f16b(&inf_hb).expect("matmul shapes"));
         },
     ));
 
@@ -147,6 +200,7 @@ fn main() {
         iters,
         None,
         prev_t1("adam_step_1m_params"),
+        IsaPath::Dispatched,
         || {
             let mut p = Param::new(init.clone());
             let mut opt = Adam::new(1e-3);
@@ -179,6 +233,7 @@ fn main() {
         iters,
         None,
         prev_t1("train_step_stresnet_32x32"),
+        IsaPath::Dispatched,
         || {
             let pred = net.forward(&step_x);
             let (loss, grad) = mse_loss(&pred, &step_y);
@@ -206,6 +261,7 @@ fn main() {
         iters,
         None,
         prev_t1("query_many_batch"),
+        IsaPath::None,
         || {
             black_box(server.query_many(&masks));
         },
@@ -240,6 +296,7 @@ fn measure(
     iters: usize,
     flops: Option<f64>,
     prev_t1: Option<f64>,
+    isa_path: IsaPath,
     mut f: impl FnMut(),
 ) -> Row {
     let hw = parallel::hw_threads();
@@ -257,12 +314,25 @@ fn measure(
         }
         effective.push(eff);
     }
+    // Re-time t1 on the forced-scalar tier for the vs_scalar column. A row
+    // that never enters a dispatched kernel would re-run identical code, so
+    // its dispatched measurement is shared instead of re-measured.
+    let scalar_t1 = if isa_path == IsaPath::Dispatched && isa::active() != isa::Isa::Scalar {
+        parallel::set_threads(1);
+        isa::force(Some(isa::Isa::Scalar));
+        let s = time_it(iters, &mut f);
+        isa::force(None);
+        s
+    } else {
+        secs[0]
+    };
     parallel::set_threads(0);
     Row {
         name,
         secs,
         flops,
         prev_t1,
+        scalar_t1,
     }
 }
 
@@ -290,21 +360,33 @@ fn render(rows: &[Row]) -> String {
         Some(v) => format!("{v:.2}"),
         None => "-".to_string(),
     };
+    let isa_name = isa::active().name();
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:>12} {:>12} {:>12} {:>7} {:>7} {:>9} {:>8}\n",
-        "kernel", "t1 (ms)", "t2 (ms)", "t4 (ms)", "x2", "x4", "GFLOP/s", "vs_prev"
+        "{:<26} {:>7} {:>12} {:>12} {:>12} {:>7} {:>7} {:>9} {:>9} {:>8}\n",
+        "kernel",
+        "isa",
+        "t1 (ms)",
+        "t2 (ms)",
+        "t4 (ms)",
+        "x2",
+        "x4",
+        "GFLOP/s",
+        "vs_scalar",
+        "vs_prev"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<26} {:>12.3} {:>12.3} {:>12.3} {:>7.2} {:>7.2} {:>9} {:>8}\n",
+            "{:<26} {:>7} {:>12.3} {:>12.3} {:>12.3} {:>7.2} {:>7.2} {:>9} {:>9.3} {:>8}\n",
             r.name,
+            isa_name,
             r.secs[0] * 1e3,
             r.secs[1] * 1e3,
             r.secs[2] * 1e3,
             r.secs[0] / r.secs[1],
             r.secs[0] / r.secs[2],
             fmt_opt(gflops(r, 0)),
+            r.scalar_t1 / r.secs[0],
             fmt_opt(r.prev_t1.map(|p| p / r.secs[0])),
         ));
     }
@@ -314,9 +396,10 @@ fn render(rows: &[Row]) -> String {
 fn to_json(rows: &[Row], instr_ns: f64) -> String {
     let hw = parallel::hw_threads();
     let effective: Vec<String> = THREADS.iter().map(|&t| t.min(hw).to_string()).collect();
+    let isa_name = isa::active().name();
     let mut json = format!(
         "{{\n  \"threads\": [1, 2, 4],\n  \"hw_threads\": {hw},\n  \
-         \"effective_threads\": [{}],\n  \
+         \"effective_threads\": [{}],\n  \"isa\": \"{isa_name}\",\n  \
          \"instrumentation_ns_per_call\": {instr_ns:.1},\n  \"kernels\": [\n",
         effective.join(", ")
     );
@@ -326,9 +409,10 @@ fn to_json(rows: &[Row], instr_ns: f64) -> String {
     };
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_secs\": [{:.6e}, {:.6e}, {:.6e}], \
+            "    {{\"name\": \"{}\", \"isa\": \"{isa_name}\", \
+             \"median_secs\": [{:.6e}, {:.6e}, {:.6e}], \
              \"speedup_t2\": {:.3}, \"speedup_t4\": {:.3}, \
-             \"gflops_t1\": {}, \"vs_prev_t1\": {}}}{}\n",
+             \"gflops_t1\": {}, \"vs_scalar\": {:.3}, \"vs_prev_t1\": {}}}{}\n",
             r.name,
             r.secs[0],
             r.secs[1],
@@ -336,6 +420,7 @@ fn to_json(rows: &[Row], instr_ns: f64) -> String {
             r.secs[0] / r.secs[1],
             r.secs[0] / r.secs[2],
             opt(gflops(r, 0)),
+            r.scalar_t1 / r.secs[0],
             opt(r.prev_t1.map(|p| p / r.secs[0])),
             if i + 1 < rows.len() { "," } else { "" }
         ));

@@ -71,11 +71,20 @@ impl Combination {
     /// Evaluates the combination against per-layer flat frames
     /// (`frames[layer]` has `h_l * w_l` values).
     pub fn evaluate(&self, hier: &Hierarchy, frames: &[Vec<f32>]) -> f32 {
+        self.evaluate_frames(hier, &crate::frames::FrameView::F32(frames))
+    }
+
+    /// Evaluates the combination against a snapshot in either storage
+    /// precision ([`crate::frames::FrameView`]). With f32 frames this is
+    /// exactly [`Combination::evaluate`]; with f16 frames each term is
+    /// widened (losslessly) on read, so the only difference from the f32
+    /// answer is the storage narrowing bound in `o4a_tensor::half`.
+    pub fn evaluate_frames(&self, hier: &Hierarchy, frames: &crate::frames::FrameView<'_>) -> f32 {
         self.terms
             .iter()
             .map(|t| {
                 let (_, lw) = hier.layer_dims(t.cell.layer);
-                t.sign as f32 * frames[t.cell.layer][t.cell.row * lw + t.cell.col]
+                t.sign as f32 * frames.value(t.cell.layer, t.cell.row * lw + t.cell.col)
             })
             .sum()
     }

@@ -1,0 +1,179 @@
+//! Prediction-snapshot storage: full-precision and half-storage frames.
+//!
+//! The online phase keeps one flat value per grid cell per layer. In f32
+//! that snapshot dominates the region server's resident set and, for large
+//! rasters, the memory traffic of a query burst. [`FrameSet::F16`] stores
+//! the same snapshot as IEEE binary16 bit patterns — half the bytes —
+//! and widens values back to f32 *per read* during signed aggregation
+//! (widening is exact; see `o4a_tensor::half` for the narrowing bound).
+//!
+//! A query summing `T` stored terms `v_t` therefore answers within
+//! `sum_t 2^-11 |v_t| + T * 2^-25` of the f32-storage answer (each term's
+//! storage error, accumulated; plus f32 summation rounding of the
+//! perturbed terms). The end-to-end assertion lives in
+//! `crates/core/tests/half_store.rs`.
+//!
+//! [`FrameView`] is the borrowed form the evaluation paths consume, so the
+//! f32 public APIs (`predict_query` and friends) keep their `&[Vec<f32>]`
+//! signatures without copying.
+
+use o4a_tensor::half::{f16_bits_to_f32, f32_to_f16_bits};
+
+/// An owned multi-scale prediction snapshot (`frames[layer]` flat,
+/// row-major per layer), in either storage precision.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FrameSet {
+    /// Full-precision storage (the default).
+    F32(Vec<Vec<f32>>),
+    /// Half storage: IEEE binary16 bit patterns, widened per read.
+    F16(Vec<Vec<u16>>),
+}
+
+impl Default for FrameSet {
+    /// An empty f32 snapshot (no layers published).
+    fn default() -> Self {
+        FrameSet::F32(Vec::new())
+    }
+}
+
+impl FrameSet {
+    /// Narrows an f32 snapshot into half storage (round-to-nearest-even,
+    /// through the active ISA tier's converter).
+    pub fn narrow(frames: Vec<Vec<f32>>) -> Self {
+        FrameSet::F16(
+            frames
+                .iter()
+                .map(|layer| {
+                    let mut bits = vec![0u16; layer.len()];
+                    o4a_tensor::half::narrow_f16(layer, &mut bits);
+                    bits
+                })
+                .collect(),
+        )
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        match self {
+            FrameSet::F32(f) => f.len(),
+            FrameSet::F16(f) => f.len(),
+        }
+    }
+
+    /// Whether the snapshot has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.num_layers() == 0
+    }
+
+    /// Cells in one layer's frame.
+    pub fn layer_len(&self, layer: usize) -> usize {
+        match self {
+            FrameSet::F32(f) => f[layer].len(),
+            FrameSet::F16(f) => f[layer].len(),
+        }
+    }
+
+    /// One layer widened to f32 (a copy for F16, a clone for F32).
+    pub fn layer_to_f32(&self, layer: usize) -> Vec<f32> {
+        match self {
+            FrameSet::F32(f) => f[layer].clone(),
+            FrameSet::F16(f) => f[layer].iter().map(|&h| f16_bits_to_f32(h)).collect(),
+        }
+    }
+
+    /// Borrowed view for the evaluation paths.
+    pub fn view(&self) -> FrameView<'_> {
+        match self {
+            FrameSet::F32(f) => FrameView::F32(f),
+            FrameSet::F16(f) => FrameView::F16(f),
+        }
+    }
+
+    /// Bytes of frame payload held (the storage-mode win made measurable).
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            FrameSet::F32(f) => f.iter().map(|l| std::mem::size_of_val(l.as_slice())).sum(),
+            FrameSet::F16(f) => f.iter().map(|l| std::mem::size_of_val(l.as_slice())).sum(),
+        }
+    }
+}
+
+/// A borrowed prediction snapshot in either storage precision — what
+/// [`crate::combination::Combination::evaluate_frames`] and the region
+/// server's aggregation paths read from.
+#[derive(Debug, Clone, Copy)]
+pub enum FrameView<'a> {
+    /// Borrowed full-precision frames.
+    F32(&'a [Vec<f32>]),
+    /// Borrowed half-storage frames.
+    F16(&'a [Vec<u16>]),
+}
+
+impl FrameView<'_> {
+    /// The value of cell `idx` (flat, row-major) in `layer`, widened to
+    /// f32 when stored half-width.
+    #[inline]
+    pub fn value(&self, layer: usize, idx: usize) -> f32 {
+        match self {
+            FrameView::F32(f) => f[layer][idx],
+            FrameView::F16(f) => f16_bits_to_f32(f[layer][idx]),
+        }
+    }
+
+    /// Whether the snapshot has no layers.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            FrameView::F32(f) => f.is_empty(),
+            FrameView::F16(f) => f.is_empty(),
+        }
+    }
+}
+
+/// Round-trips one value through f16 storage — the exact per-value
+/// perturbation `FrameSet::narrow` applies, for tolerance computations in
+/// tests and callers that need the bound.
+pub fn f16_storage_roundtrip(v: f32) -> f32 {
+    f16_bits_to_f32(f32_to_f16_bits(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_then_view_widens_per_read() {
+        let fs = FrameSet::narrow(vec![vec![1.0, 2.5, -3.0], vec![0.125]]);
+        let v = fs.view();
+        // these values are f16-exact, so storage is lossless here
+        assert_eq!(v.value(0, 0), 1.0);
+        assert_eq!(v.value(0, 1), 2.5);
+        assert_eq!(v.value(0, 2), -3.0);
+        assert_eq!(v.value(1, 0), 0.125);
+        assert_eq!(fs.num_layers(), 2);
+        assert_eq!(fs.layer_len(0), 3);
+        assert_eq!(fs.layer_to_f32(1), vec![0.125]);
+        assert!(!fs.is_empty());
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn f16_payload_is_half_the_bytes() {
+        let frames = vec![vec![0.5f32; 1024], vec![0.25f32; 256]];
+        let f32_set = FrameSet::F32(frames.clone());
+        let f16_set = FrameSet::narrow(frames);
+        assert_eq!(f16_set.payload_bytes() * 2, f32_set.payload_bytes());
+    }
+
+    #[test]
+    fn roundtrip_matches_documented_bound() {
+        for v in [0.1f32, 123.456, -7.89, 1e-5, 65000.0] {
+            let w = f16_storage_roundtrip(v);
+            let bound = if w.abs() >= f32::from_bits(0x38800000) {
+                v.abs() * f32::from_bits(0x3a000000)
+            } else {
+                f32::from_bits(0x33000000)
+            };
+            assert!((w - v).abs() <= bound, "v={v} w={w}");
+        }
+    }
+}

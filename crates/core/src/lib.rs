@@ -35,6 +35,7 @@
 pub mod codec;
 pub mod combination;
 pub mod deploy;
+pub mod frames;
 pub mod network;
 pub mod one4all;
 pub mod server;

@@ -11,13 +11,14 @@
 //! times in the low milliseconds (Fig. 15).
 
 use crate::combination::{Combination, CombinationIndex};
+use crate::frames::{FrameSet, FrameView};
 use o4a_grid::decompose::{decompose, DecomposedGroup};
 use o4a_grid::hierarchy::{Hierarchy, LayerCell};
 use o4a_grid::mask::Mask;
 use parking_lot::{Mutex, RwLock};
 use std::borrow::Cow;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,12 +28,12 @@ use std::time::{Duration, Instant};
 fn evaluate_group(
     hier: &Hierarchy,
     index: &CombinationIndex,
-    frames: &[Vec<f32>],
+    frames: &FrameView<'_>,
     group: &DecomposedGroup,
 ) -> f32 {
     if group.cells.len() >= 2 && hier.k() == 2 {
         if let Some(comb) = index.for_multi(group.layer, &group.cells) {
-            return comb.evaluate(hier, frames);
+            return comb.evaluate_frames(hier, frames);
         }
     }
     group
@@ -41,10 +42,10 @@ fn evaluate_group(
         .map(|&(r, c)| {
             let cell = LayerCell::new(group.layer, r, c);
             match index.for_cell(cell) {
-                Some(comb) => comb.evaluate(hier, frames),
+                Some(comb) => comb.evaluate_frames(hier, frames),
                 // a missing entry can only happen on a foreign index; fall
                 // back to the direct prediction
-                None => Combination::single(cell).evaluate(hier, frames),
+                None => Combination::single(cell).evaluate_frames(hier, frames),
             }
         })
         .sum()
@@ -86,10 +87,10 @@ fn lookup_group<'a>(
     )
 }
 
-fn evaluate_plan(hier: &Hierarchy, frames: &[Vec<f32>], plan: &GroupPlan<'_>) -> f32 {
+fn evaluate_plan(hier: &Hierarchy, frames: &FrameView<'_>, plan: &GroupPlan<'_>) -> f32 {
     match plan {
-        GroupPlan::Multi(comb) => comb.evaluate(hier, frames),
-        GroupPlan::Cells(combs) => combs.iter().map(|c| c.evaluate(hier, frames)).sum(),
+        GroupPlan::Multi(comb) => comb.evaluate_frames(hier, frames),
+        GroupPlan::Cells(combs) => combs.iter().map(|c| c.evaluate_frames(hier, frames)).sum(),
     }
 }
 
@@ -122,9 +123,10 @@ pub fn predict_query(
     frames: &[Vec<f32>],
     mask: &Mask,
 ) -> f32 {
+    let view = FrameView::F32(frames);
     decompose(hier, mask)
         .iter()
-        .map(|g| evaluate_group(hier, index, frames, g))
+        .map(|g| evaluate_group(hier, index, &view, g))
         .sum()
 }
 
@@ -135,6 +137,17 @@ pub fn predict_query_decomposed(
     hier: &Hierarchy,
     index: &CombinationIndex,
     frames: &[Vec<f32>],
+    groups: &[DecomposedGroup],
+) -> f32 {
+    predict_query_decomposed_view(hier, index, &FrameView::F32(frames), groups)
+}
+
+/// [`predict_query_decomposed`] over a snapshot in either storage
+/// precision — the region server's inner loop.
+pub fn predict_query_decomposed_view(
+    hier: &Hierarchy,
+    index: &CombinationIndex,
+    frames: &FrameView<'_>,
     groups: &[DecomposedGroup],
 ) -> f32 {
     groups
@@ -226,19 +239,27 @@ impl std::error::Error for PublishError {}
 /// A shared snapshot of the latest multi-scale predictions. The model
 /// server refreshes it at preset intervals; region servers read it
 /// lock-free-ish via an `Arc` swap.
+///
+/// Snapshots default to f32 storage. [`PredictionStore::set_half_storage`]
+/// switches subsequent publishes to IEEE binary16 frames — half the
+/// resident bytes, values widened per read during aggregation, with the
+/// per-term error bound documented in [`crate::frames`].
 #[derive(Debug, Default)]
 pub struct PredictionStore {
-    frames: RwLock<Arc<Vec<Vec<f32>>>>,
+    frames: RwLock<Arc<FrameSet>>,
     /// Expected flat length per layer; `None` for an unchecked store.
     expected: Option<Vec<usize>>,
+    /// When set, publishes narrow the snapshot to f16 storage.
+    half: AtomicBool,
 }
 
 impl PredictionStore {
     /// Creates an empty store that accepts snapshots of any shape.
     pub fn new() -> Self {
         PredictionStore {
-            frames: RwLock::new(Arc::new(Vec::new())),
+            frames: RwLock::new(Arc::new(FrameSet::F32(Vec::new()))),
             expected: None,
+            half: AtomicBool::new(false),
         }
     }
 
@@ -246,9 +267,23 @@ impl PredictionStore {
     /// (one frame per layer, each with that layer's cell count).
     pub fn for_hierarchy(hier: &Hierarchy) -> Self {
         PredictionStore {
-            frames: RwLock::new(Arc::new(Vec::new())),
+            frames: RwLock::new(Arc::new(FrameSet::F32(Vec::new()))),
             expected: Some((0..hier.num_layers()).map(|l| hier.layer_len(l)).collect()),
+            half: AtomicBool::new(false),
         }
+    }
+
+    /// Switches the storage precision of *subsequent* publishes: `true`
+    /// narrows each published snapshot to f16 bit patterns (half the
+    /// payload bytes), `false` (the default) keeps f32. The currently
+    /// published snapshot is left as-is until the next publish.
+    pub fn set_half_storage(&self, on: bool) {
+        self.half.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether subsequent publishes narrow to f16 storage.
+    pub fn half_storage(&self) -> bool {
+        self.half.load(Ordering::Relaxed)
     }
 
     /// Checks a snapshot against the expected shape without publishing.
@@ -276,9 +311,16 @@ impl PredictionStore {
 
     /// Publishes a new multi-scale snapshot (`frames[layer]` flat),
     /// rejecting one whose shape does not match the store's hierarchy.
+    /// With [`PredictionStore::set_half_storage`] on, the snapshot is
+    /// narrowed to f16 storage before the swap.
     pub fn publish_checked(&self, frames: Vec<Vec<f32>>) -> Result<(), PublishError> {
         self.validate(&frames)?;
-        *self.frames.write() = Arc::new(frames);
+        let set = if self.half_storage() {
+            FrameSet::narrow(frames)
+        } else {
+            FrameSet::F32(frames)
+        };
+        *self.frames.write() = Arc::new(set);
         Ok(())
     }
 
@@ -301,8 +343,9 @@ impl PredictionStore {
         }
     }
 
-    /// Grabs the current snapshot.
-    pub fn snapshot(&self) -> Arc<Vec<Vec<f32>>> {
+    /// Grabs the current snapshot (in whichever storage precision it was
+    /// published); evaluate through [`FrameSet::view`].
+    pub fn snapshot(&self) -> Arc<FrameSet> {
         self.frames.read().clone()
     }
 
@@ -451,6 +494,10 @@ const QUERY_COST: usize = 8192;
 impl RegionServer {
     /// Creates a server over a searched index and a prediction store.
     pub fn new(index: CombinationIndex, store: Arc<PredictionStore>) -> Self {
+        // Resolve the kernel ISA dispatch now so the o4a_isa_* gauges are
+        // registered before the first scrape (and the choice is logged
+        // during server bring-up rather than mid-query).
+        let _ = o4a_tensor::isa::active();
         // Pre-register the query-path metrics so a scrape before the
         // first query already exposes the stage histograms and memo
         // counters at zero (no samples are recorded here).
@@ -519,7 +566,7 @@ impl RegionServer {
         let frames = self.store.snapshot();
         assert!(!frames.is_empty(), "no prediction snapshot published");
         let groups = self.decomposed(mask);
-        predict_query_decomposed(&self.hier, &self.index, &frames, &groups)
+        predict_query_decomposed_view(&self.hier, &self.index, &frames.view(), &groups)
     }
 
     /// Answers a query and reports the timing breakdown. The decomposition
@@ -530,6 +577,7 @@ impl RegionServer {
     pub fn query_timed(&self, mask: &Mask) -> (f32, QueryTiming) {
         let frames = self.store.snapshot();
         assert!(!frames.is_empty(), "no prediction snapshot published");
+        let view = frames.view();
         let t0 = Instant::now();
         let groups = self.decomposed(mask);
         let decompose_t = t0.elapsed();
@@ -542,7 +590,7 @@ impl RegionServer {
         let t2 = Instant::now();
         let value: f32 = plans
             .iter()
-            .map(|p| evaluate_plan(&self.hier, &frames, p))
+            .map(|p| evaluate_plan(&self.hier, &view, p))
             .sum();
         let aggregate_t = t2.elapsed();
         record_query_stages(decompose_t, lookup_t, aggregate_t);
@@ -573,11 +621,12 @@ impl RegionServer {
     pub fn query_many(&self, masks: &[Mask]) -> Vec<f32> {
         let frames = self.store.snapshot();
         assert!(!frames.is_empty(), "no prediction snapshot published");
+        let view = frames.view();
         let mut out = vec![0.0f32; masks.len()];
         let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
         o4a_tensor::parallel::run(masks.len(), QUERY_COST, |i| {
             let groups = self.decomposed(&masks[i]);
-            let v = predict_query_decomposed(&self.hier, &self.index, &frames, &groups);
+            let v = predict_query_decomposed_view(&self.hier, &self.index, &view, &groups);
             // SAFETY: task `i` writes only slot `i`; `out` outlives the
             // blocking `run` call.
             unsafe { out_ptr.slice_mut(i, 1)[0] = v };
@@ -596,6 +645,7 @@ impl RegionServer {
     pub fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
         let frames = self.store.snapshot();
         assert!(!frames.is_empty(), "no prediction snapshot published");
+        let view = frames.view();
         let mut out = vec![0.0f32; masks.len()];
         let mut dec_ns = vec![0u64; masks.len()];
         let mut idx_ns = vec![0u64; masks.len()];
@@ -615,7 +665,7 @@ impl RegionServer {
             let t2 = Instant::now();
             let v: f32 = plans
                 .iter()
-                .map(|p| evaluate_plan(&self.hier, &frames, p))
+                .map(|p| evaluate_plan(&self.hier, &view, p))
                 .sum();
             let aggregate_t = t2.elapsed();
             // Stage histograms are lock-free atomics, safe to bump from
@@ -694,10 +744,29 @@ mod tests {
         assert!(!store.is_ready());
         store.publish(vec![vec![1.0, 2.0]]);
         assert!(store.is_ready());
-        assert_eq!(store.snapshot()[0], vec![1.0, 2.0]);
+        assert_eq!(store.snapshot().layer_to_f32(0), vec![1.0, 2.0]);
         // publishing again swaps the snapshot
         store.publish(vec![vec![3.0]]);
-        assert_eq!(store.snapshot()[0], vec![3.0]);
+        assert_eq!(store.snapshot().layer_to_f32(0), vec![3.0]);
+    }
+
+    #[test]
+    fn half_storage_narrows_subsequent_publishes() {
+        let store = PredictionStore::new();
+        assert!(!store.half_storage());
+        store.publish(vec![vec![1.5, -2.25]]);
+        assert!(matches!(*store.snapshot(), FrameSet::F32(_)));
+        store.set_half_storage(true);
+        // the already-published snapshot is untouched until the next swap
+        assert!(matches!(*store.snapshot(), FrameSet::F32(_)));
+        store.publish(vec![vec![1.5, -2.25]]);
+        let snap = store.snapshot();
+        assert!(matches!(*snap, FrameSet::F16(_)));
+        // these values are f16-exact, so storage is lossless here
+        assert_eq!(snap.layer_to_f32(0), vec![1.5, -2.25]);
+        store.set_half_storage(false);
+        store.publish(vec![vec![4.0]]);
+        assert!(matches!(*store.snapshot(), FrameSet::F32(_)));
     }
 
     #[test]
@@ -747,13 +816,13 @@ mod tests {
         server.publish_slot(&flow, &cfg, 20);
         assert!(store.is_ready());
         let snap = store.snapshot();
-        assert_eq!(snap.len(), 3);
-        assert_eq!(snap[0].len(), 16);
-        assert_eq!(snap[2].len(), 1);
+        assert_eq!(snap.num_layers(), 3);
+        assert_eq!(snap.layer_len(0), 16);
+        assert_eq!(snap.layer_len(2), 1);
         // the coarsest frame is the sum of the atomic frame (aggregating
         // pyramid invariant), proving the published pyramid is coherent
-        let total: f32 = snap[0].iter().sum();
-        assert!((snap[2][0] - total).abs() < 1e-4);
+        let total: f32 = snap.layer_to_f32(0).iter().sum();
+        assert!((snap.layer_to_f32(2)[0] - total).abs() < 1e-4);
         let _ = server.model_mut();
         let _ = server.store();
     }

@@ -41,6 +41,14 @@
 //! the hardware FMA instruction, doubling the kernel's peak flops per
 //! cycle versus the separate mul + add sequence Rust would otherwise emit
 //! (fp-contraction is never implicit in Rust).
+//!
+//! **Dispatch.** The panel drives and packers in this module are the
+//! *scalar tier* of the runtime ISA dispatch ([`crate::isa`]): the public
+//! entry points ([`gemm_packed`], [`matmul_into`], …) route through the
+//! active [`crate::isa::Dispatch`] table, whose Avx2/Avx512 tiers replace
+//! the tile loop with the explicit `std::arch` micro-kernels in
+//! [`crate::simd`]. Every tier preserves the per-element accumulation
+//! chain above, so dispatch is invisible in the results.
 
 use std::cell::RefCell;
 
@@ -66,6 +74,10 @@ thread_local! {
     // Per-worker strip scratch for [`gemm_a_colpanel_overwrite`]'s
     // panel-to-strip repack (`k * MR` floats).
     static COLPANEL_STRIP_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+    // Two-strip f32 window (`2 * k * NR` floats) that [`matmul_f16b_into`]
+    // widens each pair of f16 B strips into before driving the kernel —
+    // cache-resident, so the only DRAM-sized stream stays half-width.
+    static F16_WINDOW_SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Length of the packed buffer for an `m x k` left operand.
@@ -84,7 +96,23 @@ pub(crate) fn packed_b_len(k: usize, n: usize) -> usize {
 /// transposed operand packs by swapping the strides instead of
 /// materializing the transpose. `dst` (length [`packed_a_len`]) is fully
 /// initialized: rows past `m` in the last strip are zeroed.
+///
+/// Routes through the ISA dispatch (the Avx2/Avx512 tiers use an 8x8
+/// block transpose for contiguous views); pure data movement, so the
+/// packed bytes are identical on every tier.
 pub(crate) fn pack_a_strided(
+    src: &[f32],
+    dst: &mut [f32],
+    m: usize,
+    k: usize,
+    row_stride: usize,
+    col_stride: usize,
+) {
+    (crate::isa::dispatch().pack_a)(src, dst, m, k, row_stride, col_stride);
+}
+
+/// Scalar-tier body of [`pack_a_strided`].
+pub(crate) fn pack_a_strided_scalar(
     src: &[f32],
     dst: &mut [f32],
     m: usize,
@@ -146,6 +174,43 @@ pub(crate) fn pack_b_strided(
     }
 }
 
+/// Packs one `NR`-wide column strip (first column `c0`) of a row-major
+/// `k x n` matrix, zero-padding columns past `n` — the scalar tier of the
+/// dispatched B packer used by [`matmul_into`].
+pub(crate) fn pack_b_strip_scalar(b: &[f32], strip: &mut [f32], k: usize, n: usize, c0: usize) {
+    let cols_v = NR.min(n - c0);
+    for p in 0..k {
+        let row = &mut strip[p * NR..(p + 1) * NR];
+        row[..cols_v].copy_from_slice(&b[p * n + c0..p * n + c0 + cols_v]);
+        for slot in &mut row[cols_v..] {
+            *slot = 0.0;
+        }
+    }
+}
+
+/// [`pack_b_strip_scalar`] for an f16-stored source: values are widened to
+/// f32 while packing (widening is lossless, so the packed strip is
+/// bit-identical to packing the pre-widened matrix).
+pub(crate) fn pack_b_strip_f16_scalar(
+    hb: &[u16],
+    strip: &mut [f32],
+    k: usize,
+    n: usize,
+    c0: usize,
+) {
+    let cols_v = NR.min(n - c0);
+    for p in 0..k {
+        let row = &mut strip[p * NR..(p + 1) * NR];
+        let src = &hb[p * n + c0..p * n + c0 + cols_v];
+        for (slot, &h) in row[..cols_v].iter_mut().zip(src) {
+            *slot = crate::half::f16_bits_to_f32(h);
+        }
+        for slot in &mut row[cols_v..] {
+            *slot = 0.0;
+        }
+    }
+}
+
 /// The `MR x NR` register-tiled micro-kernel: one output tile, full `k`.
 ///
 /// With `LOAD = true` the accumulator is seeded from the output's valid
@@ -157,7 +222,7 @@ pub(crate) fn pack_b_strided(
 /// module docs for why this keeps the result bit-identical to the naive
 /// loop.
 #[inline(always)]
-fn micro_tile<const LOAD: bool>(
+pub(crate) fn micro_tile<const LOAD: bool>(
     pa: &[f32],
     pb: &[f32],
     out: &mut [f32],
@@ -201,7 +266,10 @@ pub(crate) fn gemm_packed(
     k: usize,
     n: usize,
 ) {
-    gemm_packed_impl::<true>(pa, pb, out, rows, k, n);
+    debug_assert_eq!(pa.len(), packed_a_len(rows, k));
+    debug_assert_eq!(pb.len(), packed_b_len(k, n));
+    debug_assert_eq!(out.len(), rows * n);
+    (crate::isa::dispatch().gemm_panel_acc)(pa, pb, out, rows, k, n);
 }
 
 /// `out[rows x n] = A_packed[rows x k] * B_packed[k x n]`, serial.
@@ -219,7 +287,10 @@ pub(crate) fn gemm_packed_overwrite(
     k: usize,
     n: usize,
 ) {
-    gemm_packed_impl::<false>(pa, pb, out, rows, k, n);
+    debug_assert_eq!(pa.len(), packed_a_len(rows, k));
+    debug_assert_eq!(pb.len(), packed_b_len(k, n));
+    debug_assert_eq!(out.len(), rows * n);
+    (crate::isa::dispatch().gemm_panel_over)(pa, pb, out, rows, k, n);
 }
 
 fn gemm_packed_impl<const LOAD: bool>(
@@ -230,9 +301,6 @@ fn gemm_packed_impl<const LOAD: bool>(
     k: usize,
     n: usize,
 ) {
-    debug_assert_eq!(pa.len(), packed_a_len(rows, k));
-    debug_assert_eq!(pb.len(), packed_b_len(k, n));
-    debug_assert_eq!(out.len(), rows * n);
     for (sj, pb_strip) in pb.chunks_exact(k * NR).enumerate() {
         let c0 = sj * NR;
         let cols_v = NR.min(n - c0);
@@ -242,6 +310,30 @@ fn gemm_packed_impl<const LOAD: bool>(
             micro_tile::<LOAD>(pa_strip, pb_strip, out, r0 * n + c0, n, rows_v, cols_v);
         }
     }
+}
+
+/// Scalar-tier accumulating panel drive (dispatch table entry).
+pub(crate) fn gemm_panel_scalar_acc(
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_packed_impl::<true>(pa, pb, out, rows, k, n);
+}
+
+/// Scalar-tier overwriting panel drive (dispatch table entry).
+pub(crate) fn gemm_panel_scalar_over(
+    pa: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    gemm_packed_impl::<false>(pa, pb, out, rows, k, n);
 }
 
 /// `out[rows x n] = A_panel[rows x k] * B_packed[k x n]`, serial, where the
@@ -321,10 +413,25 @@ fn colpanel_repack_strip(
 }
 
 /// Drives the micro-kernel across every column strip for one packed A
-/// strip. Kept out-of-line so the tile loop compiles in the same clean
-/// context as [`gemm_packed_impl`]'s.
+/// strip, through the active dispatch tier.
 #[inline(never)]
 fn colpanel_strip_pass(
+    strip: &[f32],
+    pb: &[f32],
+    out: &mut [f32],
+    r0: usize,
+    k: usize,
+    n: usize,
+    rows_v: usize,
+) {
+    (crate::isa::dispatch().strip_pass_over)(strip, pb, out, r0, k, n, rows_v);
+}
+
+/// Scalar-tier single-strip pass (dispatch table entry). Kept out-of-line
+/// so the tile loop compiles in the same clean context as
+/// [`gemm_packed_impl`]'s.
+#[inline(never)]
+pub(crate) fn strip_pass_scalar_over(
     strip: &[f32],
     pb: &[f32],
     out: &mut [f32],
@@ -338,6 +445,92 @@ fn colpanel_strip_pass(
         let cols_v = NR.min(n - c0);
         micro_tile::<false>(strip, pb_strip, out, r0 * n + c0, n, rows_v, cols_v);
     }
+}
+
+/// Scalar-tier column-window drive (dispatch table entry): a window of
+/// one or two B strips starting at output column `c0`, across every A
+/// strip, overwrite form.
+pub(crate) fn colwindow_scalar_over(
+    pa: &[f32],
+    pbw: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    c0: usize,
+) {
+    for (sjw, pb_strip) in pbw.chunks_exact(k * NR).enumerate() {
+        let cw = c0 + sjw * NR;
+        let cols_v = NR.min(n - cw);
+        for (si, pa_strip) in pa.chunks_exact(k * MR).enumerate() {
+            let r0 = si * MR;
+            let rows_v = MR.min(rows - r0);
+            micro_tile::<false>(pa_strip, pb_strip, out, r0 * n + cw, n, rows_v, cols_v);
+        }
+    }
+}
+
+/// `out[m,n] = a[m,k] x b16[k,n]` where the right operand is stored as f16
+/// bit patterns — the streaming half-storage GEMM of the online inference
+/// path.
+///
+/// A is packed once in full (it is small on the inference path); B is then
+/// consumed one two-strip window at a time: each window is widened to f32
+/// *into a cache-resident scratch* and immediately driven through the
+/// micro-kernel, so the only DRAM-sized stream is the half-width source —
+/// roughly halving the memory traffic of the memory-bound `m << n` shape
+/// versus [`matmul_into`] on an f32 operand.
+///
+/// **Bit-identity:** widening f16 to f32 is lossless and the tile kernels
+/// accumulate each element in the same ascending-`p` `mul_add` chain, so
+/// the result equals `matmul_into(a, widen(b16))` (and therefore the naive
+/// oracle on the widened operand) bit for bit, on every dispatch tier. All
+/// rounding difference versus an f32 pipeline comes from the *storage*
+/// narrowing, bounded in [`crate::half`].
+pub(crate) fn matmul_f16b_into(
+    a: &[f32],
+    hb: &[u16],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(hb.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    let _span = o4a_obs::span!("kernel_gemm");
+    o4a_obs::counter!(
+        "o4a_kernel_gemm_flops_total",
+        "floating-point operations issued by the GEMM kernel (2*m*k*n per call)"
+    )
+    .add(2 * (m * k * n) as u64);
+    let d = crate::isa::dispatch();
+    let mut pa = crate::pool::scratch(packed_a_len(m, k));
+    (d.pack_a)(a, &mut pa, m, k, k, 1);
+    let nstrips = n.div_ceil(NR);
+    F16_WINDOW_SCRATCH.with(|cell| {
+        let mut buf = cell.borrow_mut();
+        if buf.len() < 2 * k * NR {
+            buf.resize(2 * k * NR, 0.0);
+        }
+        let buf = &mut buf[..2 * k * NR];
+        let mut sj = 0usize;
+        while sj < nstrips {
+            let w = 2.min(nstrips - sj);
+            for (j, strip) in buf[..w * k * NR].chunks_exact_mut(k * NR).enumerate() {
+                (d.pack_b_strip_f16)(hb, strip, k, n, (sj + j) * NR);
+            }
+            (d.colwindow_over)(&pa, &buf[..w * k * NR], out, m, k, n, sj * NR);
+            sj += w;
+        }
+    });
 }
 
 /// `out[m,n] += a[m,k] x b[k,n]` — the serial `ikj` reference loop.
@@ -395,19 +588,12 @@ pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: us
     }
 
     // Pool scratch has unspecified contents, so the pad lanes of the last
-    // strip are zeroed explicitly below (a fresh `vec![0.0; ..]` used to
-    // guarantee that implicitly).
+    // strip are zeroed explicitly by the strip packer (a fresh
+    // `vec![0.0; ..]` used to guarantee that implicitly).
+    let pack_b_strip = crate::isa::dispatch().pack_b_strip;
     let mut packed_b = crate::pool::scratch(packed_b_len(k, n));
     crate::parallel::par_chunks_mut(&mut packed_b, k * NR, 1, |sj, strip| {
-        let c0 = sj * NR;
-        let cols_v = NR.min(n - c0);
-        for p in 0..k {
-            let row = &mut strip[p * NR..(p + 1) * NR];
-            row[..cols_v].copy_from_slice(&b[p * n + c0..p * n + c0 + cols_v]);
-            for slot in &mut row[cols_v..] {
-                *slot = 0.0;
-            }
-        }
+        pack_b_strip(b, strip, k, n, sj * NR);
     });
 
     let packed_b = &packed_b;
@@ -540,6 +726,42 @@ mod tests {
         time("colpanel full", &mut || {
             gemm_a_colpanel_overwrite(&apanel, &pb, &mut out, m, k, n)
         });
+    }
+
+    #[test]
+    fn f16b_matmul_matches_f32_on_widened_operand() {
+        // The streaming f16 GEMM must equal the f32 GEMM run on the
+        // widened operand bit for bit, on every available dispatch tier —
+        // storage narrowing is the *only* source of error in the f16 path.
+        for (m, k, n) in [
+            (MR, 64, NR),
+            (3, 17, 2 * NR + 5),
+            (MR + 1, 33, 4 * NR), // even strip count: two-strip windows
+            (2 * MR, 40, 3 * NR), // odd strip count: trailing single strip
+            (1, 1, 1),
+            (5, 0, 7), // k == 0 must zero the output
+        ] {
+            let a = seq(m * k, 0.37);
+            let hb: Vec<u16> = seq(k * n, 0.53)
+                .iter()
+                .map(|&v| crate::half::f32_to_f16_bits(v))
+                .collect();
+            let wide: Vec<f32> = hb
+                .iter()
+                .map(|&h| crate::half::f16_bits_to_f32(h))
+                .collect();
+            let mut reference = vec![0.0f32; m * n];
+            matmul_into(&a, &wide, &mut reference, m, k, n);
+            for isa in crate::isa::available() {
+                crate::isa::force(Some(isa));
+                let mut out = vec![f32::NAN; m * n]; // overwrite form: garbage in
+                matmul_f16b_into(&a, &hb, &mut out, m, k, n);
+                crate::isa::force(None);
+                let ob: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+                let rb: Vec<u32> = reference.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(ob, rb, "f16b != widened f32 for ({m},{k},{n}) on {:?}", isa);
+            }
+        }
     }
 
     #[test]

@@ -29,8 +29,18 @@
 //! guaranteed bit-identical to the serial naive reference at any thread
 //! count (fixed chunking, disjoint outputs, single ascending k-order
 //! accumulation per element, index-ordered reductions; see
-//! [`Tensor::matmul_naive`]). The only `unsafe` in the crate is the
-//! lifetime/aliasing bookkeeping localized in [`parallel`].
+//! [`Tensor::matmul_naive`]).
+//!
+//! Hot kernels additionally dispatch at startup onto explicit-SIMD
+//! variants ([`isa`]): the CPU is probed once, a function-pointer table
+//! selects scalar / AVX2+FMA / AVX-512 micro-kernels, and every tier
+//! preserves the exact per-element accumulation chain — so the chosen ISA
+//! (overridable with `O4A_ISA=scalar|avx2|avx512`) is bit-invisible in the
+//! results. `unsafe` in the crate is confined to the lifetime/aliasing
+//! bookkeeping in [`parallel`] and the `target_feature` intrinsics in the
+//! `simd` module, each behind a safety argument tied to the dispatch
+//! tables. Half-precision *storage* (f16 weights and panels, f32 compute)
+//! for the memory-bound inference path lives in [`half`].
 //!
 //! Tensor storage and kernel scratch come from a thread-aware buffer pool
 //! ([`pool`]): dropping a tensor recycles its buffer, `_into` kernel
@@ -42,16 +52,20 @@
 
 pub mod conv;
 mod gemm;
+pub mod half;
 pub mod init;
+pub mod isa;
 pub mod ops;
 pub mod parallel;
 pub mod pool;
+mod simd;
 pub mod tensor;
 
 pub use conv::{
-    conv2d, conv2d_backward, conv2d_bwd_into, conv2d_bwd_into_cached, conv2d_into,
-    conv2d_into_caching, upsample_nearest, upsample_nearest_backward, Conv2dGrads,
+    conv2d, conv2d_backward, conv2d_bwd_into, conv2d_bwd_into_cached, conv2d_f16w_into,
+    conv2d_into, conv2d_into_caching, upsample_nearest, upsample_nearest_backward, Conv2dGrads,
 };
+pub use half::HalfTensor;
 pub use init::{glorot_uniform, he_normal, SeededRng};
 pub use ops::{adam_update_into, AdamUpdate};
 pub use tensor::Tensor;

@@ -10,6 +10,11 @@
 //! for BN-style per-channel affines, and [`adam_update_into`] for the
 //! optimizer's moment update). The allocating forms delegate to the `_into`
 //! forms, so there is exactly one code path and the results are bit-identical.
+//!
+//! The hot elementwise kernels (`add`/`sub`/`mul`/`add_relu`/`relu`, the
+//! per-channel affine, and the fused Adam sweep) route through the
+//! [`crate::isa`] dispatch table; every SIMD tier computes each lane with
+//! the exact scalar expression, so the active ISA is bit-invisible.
 
 use crate::parallel::{self, SendPtr};
 use crate::tensor::Tensor;
@@ -39,6 +44,22 @@ impl Tensor {
         Ok(())
     }
 
+    /// Shared body of the *dispatched* binary `_into` kernels: same contract
+    /// as [`Tensor::binary_into`], but the whole-slice kernel comes from the
+    /// active ISA tier's table.
+    #[inline]
+    fn binary_dispatch_into(
+        &self,
+        rhs: &Tensor,
+        out: &mut Tensor,
+        f: crate::isa::BinFn,
+    ) -> Result<()> {
+        self.check_same_shape(rhs)?;
+        out.reset_uninit(self.shape());
+        f(self.data(), rhs.data(), out.data_mut());
+        Ok(())
+    }
+
     /// Elementwise addition.
     pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
         let mut out = Tensor::empty();
@@ -48,7 +69,7 @@ impl Tensor {
 
     /// Elementwise addition into a reusable output workspace.
     pub fn add_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.binary_into(rhs, out, |a, b| a + b)
+        self.binary_dispatch_into(rhs, out, crate::isa::dispatch().add)
     }
 
     /// Elementwise subtraction.
@@ -60,7 +81,7 @@ impl Tensor {
 
     /// Elementwise subtraction into a reusable output workspace.
     pub fn sub_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.binary_into(rhs, out, |a, b| a - b)
+        self.binary_dispatch_into(rhs, out, crate::isa::dispatch().sub)
     }
 
     /// Elementwise (Hadamard) multiplication.
@@ -72,7 +93,7 @@ impl Tensor {
 
     /// Elementwise multiplication into a reusable output workspace.
     pub fn mul_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.binary_into(rhs, out, |a, b| a * b)
+        self.binary_dispatch_into(rhs, out, crate::isa::dispatch().mul)
     }
 
     /// Elementwise division.
@@ -92,16 +113,14 @@ impl Tensor {
     /// Elementwise ReLU into a reusable output workspace.
     pub fn relu_into(&self, out: &mut Tensor) {
         out.reset_uninit(self.shape());
-        for (o, &v) in out.data_mut().iter_mut().zip(self.data()) {
-            *o = v.max(0.0);
-        }
+        (crate::isa::dispatch().relu)(self.data(), out.data_mut());
     }
 
     /// Fused residual join: `out = relu(self + rhs)`, one pass over memory
     /// instead of an `add` temporary followed by a `relu`. Bit-identical to
     /// the two-step composition.
     pub fn add_relu_into(&self, rhs: &Tensor, out: &mut Tensor) -> Result<()> {
-        self.binary_into(rhs, out, |a, b| (a + b).max(0.0))
+        self.binary_dispatch_into(rhs, out, crate::isa::dispatch().add_relu)
     }
 
     /// Fused BN-style per-channel affine on a rank-4 `[n, c, h, w]` tensor:
@@ -136,13 +155,16 @@ impl Tensor {
         let src = self.data();
         let (sc, sh) = (scale.data(), shift.data());
         let dst = out.data_mut();
+        let affine = crate::isa::dispatch().affine;
         for b in 0..n {
             for ch in 0..c {
                 let off = (b * c + ch) * plane;
-                let (s, t) = (sc[ch], sh[ch]);
-                for (o, &v) in dst[off..off + plane].iter_mut().zip(&src[off..off + plane]) {
-                    *o = v * s + t;
-                }
+                affine(
+                    &src[off..off + plane],
+                    &mut dst[off..off + plane],
+                    sc[ch],
+                    sh[ch],
+                );
             }
         }
         Ok(())
@@ -369,14 +391,8 @@ pub fn adam_update_into(
     let md_ptr = SendPtr(m.data_mut().as_mut_ptr());
     let vd_ptr = SendPtr(v.data_mut().as_mut_ptr());
     let pd_ptr = SendPtr(param.data_mut().as_mut_ptr());
-    let &AdamUpdate {
-        lr,
-        beta1,
-        beta2,
-        eps,
-        bc1,
-        bc2,
-    } = hp;
+    let hp = *hp;
+    let adam = crate::isa::dispatch().adam;
     // ~12 flops per element (two EMAs, bias correction, rsqrt); small
     // tensors stay inline under the runtime's adaptive cutoff.
     parallel::par_range(len, OPT_CHUNK, 12, |r| {
@@ -385,14 +401,7 @@ pub fn adam_update_into(
         let md = unsafe { md_ptr.slice_mut(r.start, r.end - r.start) };
         let vd = unsafe { vd_ptr.slice_mut(r.start, r.end - r.start) };
         let pd = unsafe { pd_ptr.slice_mut(r.start, r.end - r.start) };
-        let g = &g[r];
-        for i in 0..g.len() {
-            md[i] = beta1 * md[i] + (1.0 - beta1) * g[i];
-            vd[i] = beta2 * vd[i] + (1.0 - beta2) * g[i] * g[i];
-            let mhat = md[i] / bc1;
-            let vhat = vd[i] / bc2;
-            pd[i] -= lr * mhat / (vhat.sqrt() + eps);
-        }
+        adam(pd, &g[r], md, vd, hp);
     });
     Ok(())
 }

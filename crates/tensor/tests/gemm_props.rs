@@ -2,9 +2,10 @@
 //! reproduce the serial naive reference (`matmul_naive`, plain `ikj` loop)
 //! **bit for bit** — across random shapes (including degenerate `(1,1,1)`
 //! and sizes that are not multiples of the `MR x NR` tile), at every
-//! thread count, and through the conv2d packed-weight lowering.
+//! thread count, through the conv2d packed-weight lowering, and on every
+//! available ISA dispatch tier (scalar / AVX2 / AVX-512).
 
-use o4a_tensor::{conv2d, conv2d_backward, parallel, SeededRng, Tensor};
+use o4a_tensor::{conv2d, conv2d_backward, isa, parallel, SeededRng, Tensor};
 use proptest::prelude::*;
 
 fn bits(t: &Tensor) -> Vec<u32> {
@@ -104,6 +105,65 @@ proptest! {
         }
         parallel::set_threads(0);
         parallel::set_hw_threads(0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every dispatch tier available on this CPU must reproduce the serial
+    /// naive oracle bit for bit — the cross-ISA identity contract behind
+    /// `O4A_ISA`. Shapes sweep the `MR`/`NR` tile residues so the masked
+    /// and zero-padded edge paths of each tier's packers run too.
+    #[test]
+    fn matmul_matches_naive_on_every_isa_tier(
+        seed in 0u64..10_000,
+        m in 1usize..26,
+        k in 1usize..40,
+        n in 1usize..40,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = rng.uniform_tensor(&[m, k], -1.0, 1.0);
+        let b = rng.uniform_tensor(&[k, n], -1.0, 1.0);
+        let naive = bits(&a.matmul_naive(&b).unwrap());
+        for tier in isa::available() {
+            isa::force(Some(tier));
+            let got = bits(&a.matmul(&b).unwrap());
+            isa::force(None);
+            prop_assert_eq!(
+                &naive,
+                &got,
+                "{} tier diverged from naive for {}x{}x{}",
+                tier.name(), m, k, n
+            );
+        }
+    }
+
+    /// The f16 packed-B GEMM equals the f32 GEMM on the widened operand
+    /// bit for bit on every tier: half storage may only change where bytes
+    /// live, never the accumulation chain.
+    #[test]
+    fn f16b_matmul_matches_widened_on_every_isa_tier(
+        seed in 0u64..10_000,
+        m in 1usize..20,
+        k in 0usize..40,
+        n in 1usize..40,
+    ) {
+        let mut rng = SeededRng::new(seed);
+        let a = rng.uniform_tensor(&[m, k], -1.0, 1.0);
+        let hb = rng.uniform_tensor(&[k, n], -1.0, 1.0).to_f16();
+        let want = bits(&a.matmul(&hb.to_tensor()).unwrap());
+        for tier in isa::available() {
+            isa::force(Some(tier));
+            let got = bits(&a.matmul_f16b(&hb).unwrap());
+            isa::force(None);
+            prop_assert_eq!(
+                &want,
+                &got,
+                "{} tier f16b GEMM diverged for {}x{}x{}",
+                tier.name(), m, k, n
+            );
+        }
     }
 }
 

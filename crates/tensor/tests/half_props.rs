@@ -1,0 +1,114 @@
+//! f16 conversion identity and error-bound contract.
+//!
+//! The dispatched converters (hardware `F16C` `vcvtph2ps`/`vcvtps2ph` on
+//! the AVX2/AVX-512 tiers) must equal the software reference in
+//! `o4a_tensor::half` **bit for bit** on every tier — widening checked
+//! exhaustively over all 2^16 f16 patterns, narrowing by proptest over the
+//! f32 space (NaNs, infinities and subnormals included). The round-trip
+//! error must stay inside the bound documented in `half`'s module docs.
+
+use o4a_tensor::half::{f16_bits_to_f32, f32_to_f16_bits, narrow_f16, widen_f16};
+use o4a_tensor::isa;
+use proptest::prelude::*;
+
+/// All 2^16 f16 bit patterns widen identically through every tier's
+/// converter and the software reference (hardware-vs-software equality on
+/// CPUs with F16C).
+#[test]
+fn widen_matches_software_exhaustively_on_every_tier() {
+    let src: Vec<u16> = (0..=u16::MAX).collect();
+    let want: Vec<u32> = src.iter().map(|&h| f16_bits_to_f32(h).to_bits()).collect();
+    for tier in isa::available() {
+        isa::force(Some(tier));
+        let mut dst = vec![0.0f32; src.len()];
+        widen_f16(&src, &mut dst);
+        isa::force(None);
+        let got: Vec<u32> = dst.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, got, "{} widen diverged from software", tier.name());
+    }
+}
+
+/// Narrowing edge cases every tier must agree on: signed zeros, signed
+/// infinities, NaN (quieted, payload truncated), the f16 subnormal range,
+/// RNE midpoints, and the overflow threshold 65520.
+#[test]
+fn narrow_edge_cases_match_on_every_tier() {
+    let src: Vec<f32> = vec![
+        0.0,
+        -0.0,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        f32::from_bits(0x7f80_0001), // signalling NaN
+        f32::MIN_POSITIVE,           // f32 smallest normal -> f16 subnormal range
+        f32::from_bits(1),           // f32 smallest subnormal -> signed zero
+        -f32::from_bits(1),
+        f32::from_bits(0x3380_0000), // 2^-24, smallest f16 subnormal
+        f32::from_bits(0x3300_0000), // 2^-25, the subnormal RNE midpoint
+        f32::from_bits(0x3880_0000), // 2^-14, smallest f16 normal
+        1.0 + f32::from_bits(0x3a00_0000), // 1 + 2^-11, normal RNE midpoint
+        65504.0,                     // f16 max
+        65519.9,                     // below overflow threshold
+        65520.0,                     // rounds to infinity
+        -65520.0,
+        1e9,
+        -1e-9,
+    ];
+    let want: Vec<u16> = src.iter().map(|&v| f32_to_f16_bits(v)).collect();
+    for tier in isa::available() {
+        isa::force(Some(tier));
+        let mut dst = vec![0u16; src.len()];
+        narrow_f16(&src, &mut dst);
+        isa::force(None);
+        assert_eq!(want, dst, "{} narrow diverged on edge cases", tier.name());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Dispatched narrowing equals the software reference bit for bit on
+    /// every tier, over arbitrary f32 bit patterns and ragged lengths
+    /// (exercising each tier's masked remainder path).
+    #[test]
+    fn narrow_matches_software(
+        raw in proptest::collection::vec(any::<u32>(), 1..257),
+    ) {
+        let src: Vec<f32> = raw.iter().map(|&b| f32::from_bits(b)).collect();
+        let want: Vec<u16> = src.iter().map(|&v| f32_to_f16_bits(v)).collect();
+        for tier in isa::available() {
+            isa::force(Some(tier));
+            let mut dst = vec![0u16; src.len()];
+            narrow_f16(&src, &mut dst);
+            isa::force(None);
+            prop_assert_eq!(&want, &dst, "{} narrow diverged", tier.name());
+        }
+    }
+
+    /// The narrow-then-widen round trip stays inside the documented bound:
+    /// relative error `<= 2^-11` in the f16 normal range, absolute error
+    /// `<= 2^-25` below it, overflow to infinity only at `|v| >= 65520`.
+    #[test]
+    fn roundtrip_error_within_documented_bound(
+        raw in proptest::collection::vec(any::<u32>(), 1..129),
+    ) {
+        for &b in &raw {
+            let v = f32::from_bits(b);
+            if !v.is_finite() {
+                continue;
+            }
+            let w = f16_bits_to_f32(f32_to_f16_bits(v));
+            if v.abs() >= 65520.0 {
+                prop_assert!(w.is_infinite(), "v={v} should overflow, got {w}");
+                continue;
+            }
+            let bound = if w.abs() >= f32::from_bits(0x3880_0000) {
+                v.abs() as f64 * (-11f64).exp2()
+            } else {
+                (-25f64).exp2()
+            };
+            let err = (w as f64 - v as f64).abs();
+            prop_assert!(err <= bound, "v={v} w={w} err={err} > bound={bound}");
+        }
+    }
+}

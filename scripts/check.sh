@@ -13,6 +13,14 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The scalar dispatch tier must stay bit-identical to the SIMD tiers on
+# every host (the O4A_ISA contract). Re-run the kernel identity proptests
+# with the env override so the resolved-at-startup path itself is pinned,
+# not just the per-test force() loops.
+echo "==> O4A_ISA=scalar kernel identity proptests"
+O4A_ISA=scalar cargo test -q --release -p o4a-tensor \
+    --test gemm_props --test into_props --test half_props
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -41,6 +49,27 @@ grep -o '"speedup_t[24]": [0-9.]*' "$KSMOKE_DIR/BENCH_kernels.json" | awk '
     { if ($2 + 0 < 1.0) { bad = 1; print "kernel speedup below 1.0: " $0 } }
     END { exit bad }
 '
+# Dispatch gate: on a host with AVX2 the runtime-dispatched matmul must
+# beat the forced-scalar tier by a clear margin (>= 1.2x) — this is the
+# whole point of the explicit-SIMD kernels, and a silently broken dispatch
+# (e.g. a detection bug resolving to scalar) would otherwise pass every
+# bit-identity test. vs_scalar is measured inside one bench process, so
+# machine drift cancels.
+if grep -q '\bavx2\b' /proc/cpuinfo 2>/dev/null; then
+    echo "==> ISA dispatch gate (AVX2 host: matmul vs_scalar >= 1.2)"
+    awk '
+        /"name": "matmul_256x1024x1024"/ {
+            match($0, /"vs_scalar": [0-9.]+/)
+            vs = substr($0, RSTART + 13, RLENGTH - 13) + 0
+        }
+        END {
+            printf "dispatched matmul vs forced-scalar: %.3fx\n", vs
+            if (vs < 1.2) { print "FAIL: dispatched matmul < 1.2x scalar"; exit 1 }
+        }
+    ' "$KSMOKE_DIR/BENCH_kernels.json"
+else
+    echo "==> ISA dispatch gate skipped (no AVX2 on this host)"
+fi
 # Observability overhead gate, two layers:
 #   1. Direct: the bench measures the exact span + FLOP-counter prologue
 #      the GEMM kernel runs per call, in the same process as the matmul
@@ -116,7 +145,8 @@ echo "==> METRICS exposition smoke"
 for metric in o4a_serve_requests_total o4a_serve_busy_total \
     o4a_serve_protocol_errors_total o4a_query_decompose_ns_bucket \
     o4a_query_lookup_ns_count o4a_query_aggregate_ns_sum \
-    o4a_decomp_cache_hits_total o4a_decomp_cache_misses_total; do
+    o4a_decomp_cache_hits_total o4a_decomp_cache_misses_total \
+    o4a_isa_active o4a_isa_feature_avx2; do
     grep -q "^$metric" "$SMOKE_DIR/metrics.prom" \
         || { echo "metrics.prom is missing $metric"; exit 1; }
 done
