@@ -79,14 +79,18 @@ impl Combination {
     /// exactly [`Combination::evaluate`]; with f16 frames each term is
     /// widened (losslessly) on read, so the only difference from the f32
     /// answer is the storage narrowing bound in `o4a_tensor::half`.
+    ///
+    /// Both entry points reduce through [`signed_sum`] over [`term_value`]
+    /// contributions — the one accumulation chain every aggregation path in
+    /// the workspace (including the ensemble planner's
+    /// `ModelCombination::evaluate`) shares, so answers stay bit-identical
+    /// across them.
     pub fn evaluate_frames(&self, hier: &Hierarchy, frames: &crate::frames::FrameView<'_>) -> f32 {
-        self.terms
-            .iter()
-            .map(|t| {
-                let (_, lw) = hier.layer_dims(t.cell.layer);
-                t.sign as f32 * frames.value(t.cell.layer, t.cell.row * lw + t.cell.col)
-            })
-            .sum()
+        signed_sum(
+            self.terms
+                .iter()
+                .map(|t| term_value(hier, frames, t.cell, t.sign)),
+        )
     }
 
     /// The net atomic coverage of the combination as a signed count per
@@ -104,6 +108,31 @@ impl Combination {
         }
         cov
     }
+}
+
+/// One signed term's contribution to a combination's value: the cell's
+/// snapshot entry (widened per read for f16 storage) with its sign
+/// applied. Every aggregation path reads terms through this helper so a
+/// term contributes the same f32 everywhere.
+#[inline]
+pub fn term_value(
+    hier: &Hierarchy,
+    frames: &crate::frames::FrameView<'_>,
+    cell: LayerCell,
+    sign: i8,
+) -> f32 {
+    let (_, lw) = hier.layer_dims(cell.layer);
+    sign as f32 * frames.value(cell.layer, cell.row * lw + cell.col)
+}
+
+/// The single signed-accumulation chain: a plain left-to-right f32 sum of
+/// term contributions, in iteration order. Keeping every evaluation path
+/// (single-model and ensemble, f32 and f16 storage, serial and parallel
+/// fan-out) on this one reduction is what makes their answers
+/// bit-comparable.
+#[inline]
+pub fn signed_sum(values: impl Iterator<Item = f32>) -> f32 {
+    values.sum()
 }
 
 /// Which combination candidates the offline search considers (Table III).

@@ -44,4 +44,7 @@ pub mod structure;
 pub use combination::{Combination, CombinationIndex, SearchStrategy, SignedCell};
 pub use network::{NetworkConfig, One4AllNet};
 pub use one4all::One4AllSt;
-pub use server::{ModelServer, PredictionStore, PublishError, QueryTiming, RegionServer};
+pub use server::{
+    DecompCache, ModelServer, PredictionStore, PublishError, QueryBackend, QueryTiming,
+    RegionServer,
+};

@@ -251,6 +251,10 @@ pub struct PredictionStore {
     expected: Option<Vec<usize>>,
     /// When set, publishes narrow the snapshot to f16 storage.
     half: AtomicBool,
+    /// Optional name (typically the member model served), included in the
+    /// publish-rejection log line so deployments with several member
+    /// stores can tell which snapshot was malformed.
+    label: Option<String>,
 }
 
 impl PredictionStore {
@@ -260,6 +264,7 @@ impl PredictionStore {
             frames: RwLock::new(Arc::new(FrameSet::F32(Vec::new()))),
             expected: None,
             half: AtomicBool::new(false),
+            label: None,
         }
     }
 
@@ -270,7 +275,24 @@ impl PredictionStore {
             frames: RwLock::new(Arc::new(FrameSet::F32(Vec::new()))),
             expected: Some((0..hier.num_layers()).map(|l| hier.layer_len(l)).collect()),
             half: AtomicBool::new(false),
+            label: None,
         }
+    }
+
+    /// [`PredictionStore::for_hierarchy`] with a label naming the store
+    /// (the member model it serves). An ensemble deployment holds one
+    /// store per member; without the label a publish-rejection log line
+    /// cannot say *which* member pushed the malformed snapshot.
+    pub fn for_hierarchy_labeled(hier: &Hierarchy, label: impl Into<String>) -> Self {
+        PredictionStore {
+            label: Some(label.into()),
+            ..Self::for_hierarchy(hier)
+        }
+    }
+
+    /// The store's label, if one was given at construction.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
     }
 
     /// Switches the storage precision of *subsequent* publishes: `true`
@@ -335,11 +357,19 @@ impl PredictionStore {
                 "malformed prediction snapshots dropped by the store"
             )
             .inc();
-            o4a_obs::error!(
-                "core",
-                "PredictionStore: dropping malformed snapshot: {}",
-                e
-            );
+            match self.label() {
+                Some(name) => o4a_obs::error!(
+                    "core",
+                    "PredictionStore[{}]: dropping malformed snapshot: {}",
+                    name,
+                    e
+                ),
+                None => o4a_obs::error!(
+                    "core",
+                    "PredictionStore: dropping malformed snapshot: {}",
+                    e
+                ),
+            }
         }
     }
 
@@ -411,7 +441,11 @@ const DECOMP_CACHE_CAP: usize = 256;
 /// entirely. Entries carry a last-use stamp from a shared clock; inserts
 /// past capacity evict the stalest entry. Hit/miss counters are surfaced
 /// through the serving layer's STATS verb.
-struct DecompCache {
+///
+/// Public so other query backends (the ensemble server) reuse the exact
+/// memo the [`RegionServer`] runs; internals stay private.
+#[derive(Debug, Default)]
+pub struct DecompCache {
     /// `(entries keyed by mask -> (groups, last-use stamp), clock)`.
     map: Mutex<(HashMap<Mask, DecompEntry>, u64)>,
     hits: AtomicU64,
@@ -422,7 +456,8 @@ struct DecompCache {
 type DecompEntry = (Arc<Vec<DecomposedGroup>>, u64);
 
 impl DecompCache {
-    fn new() -> Self {
+    /// Creates an empty memo.
+    pub fn new() -> Self {
         DecompCache {
             map: Mutex::new((HashMap::new(), 0)),
             hits: AtomicU64::new(0),
@@ -430,9 +465,17 @@ impl DecompCache {
         }
     }
 
+    /// `(hits, misses)` since the memo was created.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Returns the cached decomposition, computing (outside the lock) and
     /// inserting it on a miss.
-    fn get(&self, hier: &Hierarchy, mask: &Mask) -> Arc<Vec<DecomposedGroup>> {
+    pub fn get(&self, hier: &Hierarchy, mask: &Mask) -> Arc<Vec<DecomposedGroup>> {
         {
             let mut guard = self.map.lock();
             let (map, clock) = &mut *guard;
@@ -532,10 +575,7 @@ impl RegionServer {
     /// `(hits, misses)` of the decomposition memo since the server was
     /// created. Surfaced by the serving layer's STATS verb.
     pub fn decomp_cache_stats(&self) -> (u64, u64) {
-        (
-            self.decomp_cache.hits.load(Ordering::Relaxed),
-            self.decomp_cache.misses.load(Ordering::Relaxed),
-        )
+        self.decomp_cache.stats()
     }
 
     fn decomposed(&self, mask: &Mask) -> Arc<Vec<DecomposedGroup>> {
@@ -684,6 +724,51 @@ impl RegionServer {
             index: Duration::from_nanos(idx_ns.iter().sum()),
         };
         (out, timing)
+    }
+}
+
+/// What the serving layer needs from a query engine: the [`RegionServer`]
+/// (one model, one index) and the ensemble server (a persisted
+/// [(model, Combination)] plan over several member stores) both answer
+/// region queries as pure lookup + aggregate, so `o4a_serve` runs either
+/// behind this trait without knowing which.
+pub trait QueryBackend: Send + Sync {
+    /// The hierarchy queries are decomposed against.
+    fn hierarchy(&self) -> &Hierarchy;
+
+    /// Whether every prediction snapshot the backend answers from has been
+    /// published (the serving layer refuses traffic until then).
+    fn is_ready(&self) -> bool;
+
+    /// Answers a batch of masks against one consistent snapshot (set),
+    /// reporting the aggregate per-stage CPU time.
+    fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming);
+
+    /// `(hits, misses)` of the backend's decomposition memo.
+    fn decomp_cache_stats(&self) -> (u64, u64);
+
+    /// Revision of the active ensemble plan; `0` for a single-model
+    /// backend (reported through the STATS verb).
+    fn plan_revision(&self) -> u64 {
+        0
+    }
+}
+
+impl QueryBackend for RegionServer {
+    fn hierarchy(&self) -> &Hierarchy {
+        RegionServer::hierarchy(self)
+    }
+
+    fn is_ready(&self) -> bool {
+        self.store.is_ready()
+    }
+
+    fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
+        RegionServer::query_many_timed(self, masks)
+    }
+
+    fn decomp_cache_stats(&self) -> (u64, u64) {
+        RegionServer::decomp_cache_stats(self)
     }
 }
 
@@ -857,6 +942,37 @@ mod tests {
         let loose = PredictionStore::new();
         loose.publish_checked(vec![vec![0.0; 5]]).unwrap();
         assert!(loose.is_ready());
+    }
+
+    #[test]
+    fn labeled_store_names_itself() {
+        let hier = hier4();
+        let store = PredictionStore::for_hierarchy_labeled(&hier, "gbdt");
+        assert_eq!(store.label(), Some("gbdt"));
+        // the label changes only the log line, never the accept/reject
+        // decision: malformed snapshots are still dropped...
+        store.publish(vec![vec![1.0; 3]]);
+        assert!(!store.is_ready());
+        // ...and well-formed ones still land
+        store.publish(vec![vec![2.0; 16], vec![2.0; 4], vec![2.0; 1]]);
+        assert!(store.is_ready());
+        assert_eq!(PredictionStore::for_hierarchy(&hier).label(), None);
+    }
+
+    #[test]
+    fn region_server_is_a_query_backend() {
+        let (_, index, frames) = exact_setup();
+        let store = Arc::new(PredictionStore::new());
+        store.publish(frames);
+        let server = RegionServer::new(index, store);
+        let backend: &dyn QueryBackend = &server;
+        assert!(backend.is_ready());
+        assert_eq!(backend.plan_revision(), 0);
+        let mask = Mask::rect(4, 4, 0, 0, 2, 2);
+        let (vals, _) = backend.query_many_timed(std::slice::from_ref(&mask));
+        assert_eq!(vals, vec![server.query(&mask)]);
+        assert_eq!(backend.decomp_cache_stats().1, 1);
+        assert_eq!(backend.hierarchy().h(), 4);
     }
 
     #[test]

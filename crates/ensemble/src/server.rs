@@ -1,0 +1,604 @@
+//! The online ensemble query engine.
+//!
+//! Mirrors [`o4a_core::server::RegionServer`] exactly — hierarchical
+//! decomposition (through the same [`DecompCache`] memo), plan lookups,
+//! signed aggregation — except that lookups resolve each decomposition
+//! tile through the [`EnsemblePlan`] and each term reads from *its own
+//! member's* [`PredictionStore`] snapshot. Batch queries grab **one**
+//! snapshot per member up front, so a whole batch is answered against a
+//! consistent cross-member snapshot set even while member model servers
+//! publish concurrently.
+//!
+//! Because evaluation reduces through the same signed-accumulation chain
+//! as the single-model path (see `o4a_core::combination::signed_sum`), a
+//! plan whose entries all name one member answers queries bit-identically
+//! to that member's own `RegionServer`.
+
+use crate::plan::{EnsemblePlan, ModelCombination};
+use o4a_core::frames::{FrameSet, FrameView};
+use o4a_core::server::{DecompCache, PredictionStore, QueryBackend, QueryTiming};
+use o4a_grid::decompose::DecomposedGroup;
+use o4a_grid::hierarchy::{Hierarchy, LayerCell};
+use o4a_grid::mask::Mask;
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Same per-mask pool-cost estimate as the region server's (private)
+/// constant: keeps small batches on the caller thread where the pool
+/// wake-up would dominate.
+const QUERY_COST: usize = 8192;
+
+/// One decomposed group's resolved plan lookups, mirroring the region
+/// server's `GroupPlan`: the multi-grid entry when the coding rule
+/// applies, otherwise the member cells' combinations in cell order (a
+/// foreign plan's missing cell falls back to member 0's direct
+/// prediction).
+enum EGroupPlan<'a> {
+    Multi(&'a ModelCombination),
+    Cells(Vec<Cow<'a, ModelCombination>>),
+}
+
+fn lookup_group<'a>(plan: &'a EnsemblePlan, group: &DecomposedGroup) -> EGroupPlan<'a> {
+    if group.cells.len() >= 2 && plan.hier.k() == 2 {
+        if let Some(comb) = plan.for_multi(group.layer, &group.cells) {
+            return EGroupPlan::Multi(comb);
+        }
+    }
+    EGroupPlan::Cells(
+        group
+            .cells
+            .iter()
+            .map(|&(r, c)| {
+                let cell = LayerCell::new(group.layer, r, c);
+                match plan.for_cell(cell) {
+                    Some(comb) => Cow::Borrowed(comb),
+                    None => Cow::Owned(ModelCombination::single(0, cell)),
+                }
+            })
+            .collect(),
+    )
+}
+
+fn evaluate_plan(hier: &Hierarchy, views: &[FrameView<'_>], plan: &EGroupPlan<'_>) -> f32 {
+    match plan {
+        EGroupPlan::Multi(comb) => comb.evaluate(hier, views),
+        EGroupPlan::Cells(combs) => combs.iter().map(|c| c.evaluate(hier, views)).sum(),
+    }
+}
+
+/// Fused lookup + evaluation of one decomposed group, mirroring the region
+/// server's allocation-free hot path (the untimed query paths go through
+/// this; the timed paths materialize an [`EGroupPlan`] so the lookup and
+/// aggregation stages can be reported separately). The accumulation order
+/// is identical to `lookup_group` + `evaluate_plan`.
+fn evaluate_group(plan: &EnsemblePlan, views: &[FrameView<'_>], group: &DecomposedGroup) -> f32 {
+    if group.cells.len() >= 2 && plan.hier.k() == 2 {
+        if let Some(comb) = plan.for_multi(group.layer, &group.cells) {
+            return comb.evaluate(&plan.hier, views);
+        }
+    }
+    group
+        .cells
+        .iter()
+        .map(|&(r, c)| {
+            let cell = LayerCell::new(group.layer, r, c);
+            match plan.for_cell(cell) {
+                Some(comb) => comb.evaluate(&plan.hier, views),
+                // a missing entry can only happen on a foreign plan; fall
+                // back to member 0's direct prediction
+                None => ModelCombination::single(0, cell).evaluate(&plan.hier, views),
+            }
+        })
+        .sum()
+}
+
+/// Records one ensemble query's per-stage wall times (the ensemble
+/// namespace keeps single-model and ensemble latency distributions
+/// separable on one scrape endpoint).
+fn record_query_stages(decompose: Duration, lookup: Duration, aggregate: Duration) {
+    o4a_obs::histogram!(
+        "o4a_ensemble_decompose_ns",
+        "per-query hierarchical decomposition time in the ensemble server"
+    )
+    .record(decompose.as_nanos() as u64);
+    o4a_obs::histogram!(
+        "o4a_ensemble_lookup_ns",
+        "per-query ensemble-plan lookup time"
+    )
+    .record(lookup.as_nanos() as u64);
+    o4a_obs::histogram!(
+        "o4a_ensemble_aggregate_ns",
+        "per-query signed aggregation time over the member snapshots"
+    )
+    .record(aggregate.as_nanos() as u64);
+}
+
+/// Lowercases a member name and maps every non-`[a-z0-9_]` byte to `_` so
+/// it is a valid Prometheus metric-name suffix.
+fn sanitize_metric_suffix(name: &str) -> String {
+    name.chars()
+        .map(|c| match c.to_ascii_lowercase() {
+            c @ ('a'..='z' | '0'..='9' | '_') => c,
+            _ => '_',
+        })
+        .collect()
+}
+
+/// The online ensemble server: an [`EnsemblePlan`] over one
+/// [`PredictionStore`] per member, answering region queries as pure
+/// lookup + aggregate.
+pub struct EnsembleServer {
+    plan: EnsemblePlan,
+    stores: Vec<Arc<PredictionStore>>,
+    decomp_cache: DecompCache,
+    /// Per member: terms read from that member per query (histograms named
+    /// `o4a_ensemble_model_terms_<member>`). Per-member *time* cannot be
+    /// measured without splitting the accumulation by member, which would
+    /// change the reduction order and break bit-identity with the
+    /// single-model path — term counts are the per-member stage signal
+    /// instead.
+    model_term_hists: Vec<Arc<o4a_obs::Histogram>>,
+}
+
+impl EnsembleServer {
+    /// Creates a server over a plan and its member stores (`stores[m]`
+    /// backs member `m` of the plan).
+    ///
+    /// # Panics
+    /// Panics when the store count disagrees with the plan's member list.
+    pub fn new(plan: EnsemblePlan, stores: Vec<Arc<PredictionStore>>) -> Self {
+        assert!(!plan.members.is_empty(), "plan has no members");
+        assert_eq!(
+            plan.members.len(),
+            stores.len(),
+            "one prediction store per plan member"
+        );
+        // Resolve the kernel ISA dispatch during bring-up, same as the
+        // region server.
+        let _ = o4a_tensor::isa::active();
+        let reg = o4a_obs::global();
+        reg.gauge(
+            "o4a_ensemble_members",
+            "member models in the active ensemble plan",
+        )
+        .set(plan.members.len() as f64);
+        reg.gauge(
+            "o4a_ensemble_plan_cost",
+            "validation SSE of the active ensemble plan",
+        )
+        .set(plan.report.plan_cost);
+        reg.gauge(
+            "o4a_ensemble_plan_revision",
+            "revision of the active ensemble plan",
+        )
+        .set(plan.revision as f64);
+        let cells = plan.cells_per_model();
+        let mut model_term_hists = Vec::with_capacity(plan.members.len());
+        for (name, &count) in plan.members.iter().zip(&cells) {
+            let suffix = sanitize_metric_suffix(name);
+            reg.gauge(
+                &format!("o4a_ensemble_plan_cells_{suffix}"),
+                "single-grid plan entries reading from this member",
+            )
+            .set(count as f64);
+            model_term_hists.push(reg.histogram(
+                &format!("o4a_ensemble_model_terms_{suffix}"),
+                "combination terms served from this member per query",
+            ));
+        }
+        // Pre-register the stage histograms so a scrape before the first
+        // query already exposes them at zero.
+        let _ = o4a_obs::histogram!(
+            "o4a_ensemble_decompose_ns",
+            "per-query hierarchical decomposition time in the ensemble server"
+        );
+        let _ = o4a_obs::histogram!(
+            "o4a_ensemble_lookup_ns",
+            "per-query ensemble-plan lookup time"
+        );
+        let _ = o4a_obs::histogram!(
+            "o4a_ensemble_aggregate_ns",
+            "per-query signed aggregation time over the member snapshots"
+        );
+        EnsembleServer {
+            plan,
+            stores,
+            decomp_cache: DecompCache::new(),
+            model_term_hists,
+        }
+    }
+
+    /// The active plan.
+    pub fn plan(&self) -> &EnsemblePlan {
+        &self.plan
+    }
+
+    /// The member stores, in plan order.
+    pub fn stores(&self) -> &[Arc<PredictionStore>] {
+        &self.stores
+    }
+
+    /// The hierarchy served.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.plan.hier
+    }
+
+    /// `(hits, misses)` of the decomposition memo.
+    pub fn decomp_cache_stats(&self) -> (u64, u64) {
+        self.decomp_cache.stats()
+    }
+
+    /// Whether every member store has published a snapshot — the serving
+    /// layer admits traffic only once the *whole* ensemble is live, so a
+    /// query never mixes a real member snapshot with an empty one.
+    pub fn is_ready(&self) -> bool {
+        !self.stores.is_empty() && self.stores.iter().all(|s| s.is_ready())
+    }
+
+    /// One consistent snapshot per member, taken up front.
+    fn snapshots(&self) -> Vec<Arc<FrameSet>> {
+        let snaps: Vec<Arc<FrameSet>> = self.stores.iter().map(|s| s.snapshot()).collect();
+        assert!(
+            snaps.iter().all(|s| !s.is_empty()),
+            "an ensemble member has no published snapshot"
+        );
+        snaps
+    }
+
+    /// Bumps the per-member served-term histograms for one query's plans.
+    fn record_model_terms(&self, plans: &[EGroupPlan<'_>]) {
+        let mut counts = vec![0u64; self.stores.len()];
+        for p in plans {
+            let terms: &mut dyn Iterator<Item = &crate::plan::ModelTerm> = match p {
+                EGroupPlan::Multi(c) => &mut c.terms.iter(),
+                EGroupPlan::Cells(cs) => &mut cs.iter().flat_map(|c| c.terms.iter()),
+            };
+            for t in terms {
+                counts[t.model as usize] += 1;
+            }
+        }
+        for (hist, &n) in self.model_term_hists.iter().zip(&counts) {
+            hist.record(n);
+        }
+    }
+
+    /// Answers a region query against the latest member snapshots.
+    ///
+    /// # Panics
+    /// Panics if any member store has no published snapshot.
+    pub fn query(&self, mask: &Mask) -> f32 {
+        let snaps = self.snapshots();
+        let views: Vec<FrameView<'_>> = snaps.iter().map(|s| s.view()).collect();
+        let groups = self.decomp_cache.get(&self.plan.hier, mask);
+        groups
+            .iter()
+            .map(|g| evaluate_group(&self.plan, &views, g))
+            .sum()
+    }
+
+    /// Answers a query with the per-stage timing breakdown, mirroring
+    /// [`o4a_core::server::RegionServer::query_timed`].
+    pub fn query_timed(&self, mask: &Mask) -> (f32, QueryTiming) {
+        let snaps = self.snapshots();
+        let views: Vec<FrameView<'_>> = snaps.iter().map(|s| s.view()).collect();
+        let t0 = Instant::now();
+        let groups = self.decomp_cache.get(&self.plan.hier, mask);
+        let decompose_t = t0.elapsed();
+        let t1 = Instant::now();
+        let plans: Vec<EGroupPlan<'_>> =
+            groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
+        let lookup_t = t1.elapsed();
+        let t2 = Instant::now();
+        let value: f32 = plans
+            .iter()
+            .map(|p| evaluate_plan(&self.plan.hier, &views, p))
+            .sum();
+        let aggregate_t = t2.elapsed();
+        record_query_stages(decompose_t, lookup_t, aggregate_t);
+        self.record_model_terms(&plans);
+        (
+            value,
+            QueryTiming {
+                decompose: decompose_t,
+                index: lookup_t + aggregate_t,
+            },
+        )
+    }
+
+    /// Answers a batch of queries against one consistent snapshot per
+    /// member, fanned out across the compute pool exactly like
+    /// [`o4a_core::server::RegionServer::query_many`].
+    ///
+    /// # Panics
+    /// Panics if any member store has no published snapshot.
+    pub fn query_many(&self, masks: &[Mask]) -> Vec<f32> {
+        let snaps = self.snapshots();
+        let views: Vec<FrameView<'_>> = snaps.iter().map(|s| s.view()).collect();
+        let mut out = vec![0.0f32; masks.len()];
+        let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
+        o4a_tensor::parallel::run(masks.len(), QUERY_COST, |i| {
+            let groups = self.decomp_cache.get(&self.plan.hier, &masks[i]);
+            let v: f32 = groups
+                .iter()
+                .map(|g| evaluate_group(&self.plan, &views, g))
+                .sum();
+            // SAFETY: task `i` writes only slot `i`; `out` outlives the
+            // blocking `run` call.
+            unsafe { out_ptr.slice_mut(i, 1)[0] = v };
+        });
+        out
+    }
+
+    /// [`EnsembleServer::query_many`] with the aggregate per-stage CPU
+    /// timing, mirroring the region server's batch-timed path.
+    pub fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
+        let snaps = self.snapshots();
+        let views: Vec<FrameView<'_>> = snaps.iter().map(|s| s.view()).collect();
+        let mut out = vec![0.0f32; masks.len()];
+        let mut dec_ns = vec![0u64; masks.len()];
+        let mut idx_ns = vec![0u64; masks.len()];
+        let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
+        let dec_ptr = o4a_tensor::parallel::SendPtr(dec_ns.as_mut_ptr());
+        let idx_ptr = o4a_tensor::parallel::SendPtr(idx_ns.as_mut_ptr());
+        o4a_tensor::parallel::run(masks.len(), QUERY_COST, |i| {
+            let t0 = Instant::now();
+            let groups = self.decomp_cache.get(&self.plan.hier, &masks[i]);
+            let decompose_t = t0.elapsed();
+            let t1 = Instant::now();
+            let plans: Vec<EGroupPlan<'_>> =
+                groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
+            let lookup_t = t1.elapsed();
+            let t2 = Instant::now();
+            let v: f32 = plans
+                .iter()
+                .map(|p| evaluate_plan(&self.plan.hier, &views, p))
+                .sum();
+            let aggregate_t = t2.elapsed();
+            record_query_stages(decompose_t, lookup_t, aggregate_t);
+            self.record_model_terms(&plans);
+            // SAFETY: task `i` writes only slot `i` of each vector; all
+            // three outlive the blocking `run` call.
+            unsafe {
+                out_ptr.slice_mut(i, 1)[0] = v;
+                dec_ptr.slice_mut(i, 1)[0] = decompose_t.as_nanos() as u64;
+                idx_ptr.slice_mut(i, 1)[0] = (lookup_t + aggregate_t).as_nanos() as u64;
+            }
+        });
+        let timing = QueryTiming {
+            decompose: Duration::from_nanos(dec_ns.iter().sum()),
+            index: Duration::from_nanos(idx_ns.iter().sum()),
+        };
+        (out, timing)
+    }
+}
+
+impl QueryBackend for EnsembleServer {
+    fn hierarchy(&self) -> &Hierarchy {
+        EnsembleServer::hierarchy(self)
+    }
+
+    fn is_ready(&self) -> bool {
+        EnsembleServer::is_ready(self)
+    }
+
+    fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
+        EnsembleServer::query_many_timed(self, masks)
+    }
+
+    fn decomp_cache_stats(&self) -> (u64, u64) {
+        EnsembleServer::decomp_cache_stats(self)
+    }
+
+    fn plan_revision(&self) -> u64 {
+        self.plan.revision as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan_ensemble, MemberProfile, PlanOptions};
+    use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
+    use o4a_core::server::RegionServer;
+
+    fn hier4() -> Hierarchy {
+        Hierarchy::new(4, 4, 2, 3).unwrap()
+    }
+
+    /// An exact multi-scale pyramid frame set for the 4x4 hierarchy.
+    fn exact_frames(hier: &Hierarchy) -> Vec<Vec<f32>> {
+        let atomic: Vec<f32> = (0..16).map(|v| v as f32 + 0.25).collect();
+        let mut frames = vec![atomic.clone()];
+        for layer in 1..3 {
+            let s = hier.scale(layer);
+            let (lh, lw) = hier.layer_dims(layer);
+            let mut f = vec![0.0f32; lh * lw];
+            for r in 0..4 {
+                for c in 0..4 {
+                    f[(r / s) * lw + c / s] += atomic[r * 4 + c];
+                }
+            }
+            frames.push(f);
+        }
+        frames
+    }
+
+    fn profile(name: &str, preds: Vec<Vec<Vec<f32>>>) -> MemberProfile {
+        MemberProfile {
+            name: name.to_string(),
+            preds,
+            atomic_rmse: 0.0,
+            atomic_mape: 0.0,
+        }
+    }
+
+    fn all_rect_masks() -> Vec<Mask> {
+        let mut masks = Vec::new();
+        for r0 in 0..4 {
+            for c0 in 0..4 {
+                for r1 in (r0 + 1)..=4 {
+                    for c1 in (c0 + 1)..=4 {
+                        masks.push(Mask::rect(4, 4, r0, c0, r1, c1));
+                    }
+                }
+            }
+        }
+        masks
+    }
+
+    #[test]
+    fn single_member_is_bit_identical_to_region_server() {
+        let hier = hier4();
+        let frames = exact_frames(&hier);
+        let preds: Vec<Vec<Vec<f32>>> = frames.iter().map(|f| vec![f.clone(); 2]).collect();
+        let truths = preds.clone();
+        let index =
+            search_optimal_combinations(&hier, &preds, &truths, SearchStrategy::UnionSubtraction);
+        let plan = plan_ensemble(
+            &hier,
+            &[profile("solo", preds)],
+            &truths,
+            &PlanOptions::default(),
+        );
+        let store = Arc::new(PredictionStore::for_hierarchy(&hier));
+        store.publish(frames.clone());
+        let region = RegionServer::new(index, store.clone());
+        let ensemble = EnsembleServer::new(plan, vec![store]);
+        let masks = all_rect_masks();
+        let single = region.query_many(&masks);
+        let ens = ensemble.query_many(&masks);
+        for (i, (a, b)) in single.iter().zip(&ens).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "mask {i}: ensemble {b} != region {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_plan_reads_each_members_store() {
+        let hier = hier4();
+        // two "members" publishing constant-per-layer snapshots with
+        // different values, and a hand-built plan routing layer-0 terms to
+        // member 1 and everything else to member 0
+        let truths: Vec<Vec<Vec<f32>>> = (0..3)
+            .map(|layer| {
+                let (r, c) = hier.layer_dims(layer);
+                let s = hier.scale(layer);
+                vec![vec![(s * s) as f32; r * c]; 2]
+            })
+            .collect();
+        let p0 = truths.clone();
+        // member 1 is wrong everywhere except layer 0
+        let p1: Vec<Vec<Vec<f32>>> = truths
+            .iter()
+            .enumerate()
+            .map(|(layer, samples)| {
+                samples
+                    .iter()
+                    .map(|f| {
+                        f.iter()
+                            .map(|&v| if layer == 0 { v } else { v + 100.0 })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let plan = plan_ensemble(
+            &hier,
+            &[profile("good", p0), profile("l0-only", p1)],
+            &truths,
+            &PlanOptions::default(),
+        );
+        let s0 = Arc::new(PredictionStore::for_hierarchy(&hier));
+        let s1 = Arc::new(PredictionStore::for_hierarchy(&hier));
+        s0.publish(vec![vec![1.0; 16], vec![4.0; 4], vec![16.0; 1]]);
+        s1.publish(vec![vec![1.0; 16], vec![104.0; 4], vec![116.0; 1]]);
+        let server = EnsembleServer::new(plan, vec![s0, s1]);
+        assert!(server.is_ready());
+        // the full raster decomposes to the root grid; whichever member
+        // serves it, its combination must reproduce the snapshot sum the
+        // planner found best — both members' layer-0 frames agree, so the
+        // answer is exact iff no wrong coarse grid of member 1 is read
+        let full = server.query(&Mask::full(4, 4));
+        assert_eq!(full, 16.0);
+        let (timed, timing) = server.query_timed(&Mask::full(4, 4));
+        assert_eq!(timed, full);
+        assert!(timing.total() >= timing.decompose);
+    }
+
+    #[test]
+    fn batch_paths_agree_and_memo_counts() {
+        let hier = hier4();
+        let frames = exact_frames(&hier);
+        let preds: Vec<Vec<Vec<f32>>> = frames.iter().map(|f| vec![f.clone(); 2]).collect();
+        let plan = plan_ensemble(
+            &hier,
+            &[profile("solo", preds.clone())],
+            &preds,
+            &PlanOptions::default(),
+        );
+        let store = Arc::new(PredictionStore::for_hierarchy(&hier));
+        store.publish(frames);
+        let server = EnsembleServer::new(plan, vec![store]);
+        let masks = vec![
+            Mask::rect(4, 4, 0, 0, 2, 2),
+            Mask::rect(4, 4, 1, 1, 3, 4),
+            Mask::full(4, 4),
+        ];
+        let plain = server.query_many(&masks);
+        let (timed, _) = server.query_many_timed(&masks);
+        assert_eq!(plain, timed);
+        assert_eq!(server.decomp_cache_stats(), (3, 3));
+        let backend: &dyn QueryBackend = &server;
+        assert_eq!(backend.plan_revision(), 1);
+        assert_eq!(backend.hierarchy().w(), 4);
+    }
+
+    #[test]
+    fn not_ready_until_every_member_published() {
+        let hier = hier4();
+        let frames = exact_frames(&hier);
+        let preds: Vec<Vec<Vec<f32>>> = frames.iter().map(|f| vec![f.clone(); 2]).collect();
+        let truths = preds.clone();
+        let plan = plan_ensemble(
+            &hier,
+            &[profile("a", preds.clone()), profile("b", preds)],
+            &truths,
+            &PlanOptions::default(),
+        );
+        let s0 = Arc::new(PredictionStore::for_hierarchy(&hier));
+        let s1 = Arc::new(PredictionStore::for_hierarchy(&hier));
+        s0.publish(frames.clone());
+        let server = EnsembleServer::new(plan, vec![s0, s1.clone()]);
+        assert!(!server.is_ready(), "one member still unpublished");
+        s1.publish(frames);
+        assert!(server.is_ready());
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction store per plan member")]
+    fn store_count_mismatch_panics() {
+        let hier = hier4();
+        let frames = exact_frames(&hier);
+        let preds: Vec<Vec<Vec<f32>>> = frames.iter().map(|f| vec![f.clone(); 2]).collect();
+        let plan = plan_ensemble(
+            &hier,
+            &[profile("solo", preds.clone())],
+            &preds,
+            &PlanOptions::default(),
+        );
+        EnsembleServer::new(plan, vec![]);
+    }
+
+    #[test]
+    fn sanitizer_produces_valid_metric_suffixes() {
+        assert_eq!(sanitize_metric_suffix("M-ST-ResNet"), "m_st_resnet");
+        assert_eq!(
+            sanitize_metric_suffix("stripe0.r0-8.c0-4.a800.s42"),
+            "stripe0_r0_8_c0_4_a800_s42"
+        );
+    }
+}

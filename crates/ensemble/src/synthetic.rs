@@ -1,0 +1,273 @@
+//! Deterministic synthetic member models for tests, benches and the serve
+//! binary's `--ensemble` mode.
+//!
+//! A [`HotspotExpert`] is "perfect" inside its rectangular hotspot region
+//! and noisy everywhere else: its pyramid prediction is the ground-truth
+//! pyramid plus seeded noise on every grid whose atomic footprint leaves
+//! the region. A 2-member ensemble of complementary experts therefore has
+//! a known optimal plan (each tile goes to its owner), which is exactly
+//! what the planner tests and the ensemble serve smoke assert. The expert
+//! is stateless and fully described by its name, so serve cold-start
+//! rebuilds members from the names persisted in the `O4AENS01` artifact.
+
+use o4a_core::one4all::truth_pyramid;
+use o4a_data::features::TemporalConfig;
+use o4a_data::flow::FlowSeries;
+use o4a_grid::hierarchy::Hierarchy;
+use o4a_models::multiscale::PyramidPredictor;
+use o4a_models::predictor::TrainStats;
+
+/// A synthetic oracle-plus-noise member model, exact on one atomic-cell
+/// rectangle (`rows r0..r1`, `cols c0..c1`, half-open) and noisy outside.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotspotExpert {
+    hier: Hierarchy,
+    name: String,
+    /// Exact region in atomic cells: `(r0, c0, r1, c1)`, half-open.
+    region: (usize, usize, usize, usize),
+    /// Noise amplitude in thousandths (so the name stays integral).
+    amp_milli: u32,
+    seed: u64,
+}
+
+/// splitmix64 — the workspace's usual cheap deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+impl HotspotExpert {
+    /// Builds an expert with an explicit region, noise amplitude (in
+    /// thousandths) and seed. The identifying `label` is embedded into the
+    /// full name so [`HotspotExpert::from_name`] can reconstruct the
+    /// expert.
+    pub fn new(
+        hier: &Hierarchy,
+        label: &str,
+        region: (usize, usize, usize, usize),
+        amp_milli: u32,
+        seed: u64,
+    ) -> Self {
+        let (r0, c0, r1, c1) = region;
+        assert!(r0 <= r1 && r1 <= hier.h() && c0 <= c1 && c1 <= hier.w());
+        HotspotExpert {
+            hier: hier.clone(),
+            name: format!("{label}.r{r0}-{r1}.c{c0}-{c1}.a{amp_milli}.s{seed}"),
+            region,
+            amp_milli,
+            seed,
+        }
+    }
+
+    /// An expert exact everywhere (its region covers the whole raster).
+    pub fn covering(hier: &Hierarchy, label: &str, seed: u64) -> Self {
+        Self::new(hier, label, (0, 0, hier.h(), hier.w()), 0, seed)
+    }
+
+    /// Splits the raster into `n` vertical stripes, returning one expert
+    /// per stripe — the standard synthetic ensemble: each member dominates
+    /// its own stripe.
+    pub fn stripes(hier: &Hierarchy, n: usize, amp_milli: u32, seed: u64) -> Vec<Self> {
+        assert!(n >= 1 && n <= hier.w(), "need 1..=w stripes");
+        (0..n)
+            .map(|i| {
+                let c0 = i * hier.w() / n;
+                let c1 = (i + 1) * hier.w() / n;
+                Self::new(
+                    hier,
+                    &format!("stripe{i}"),
+                    (0, c0, hier.h(), c1),
+                    amp_milli,
+                    seed.wrapping_add(i as u64),
+                )
+            })
+            .collect()
+    }
+
+    /// Reconstructs an expert from its persisted name (the inverse of the
+    /// naming scheme in [`HotspotExpert::new`]). Returns `None` when the
+    /// name does not follow the scheme.
+    pub fn from_name(hier: &Hierarchy, name: &str) -> Option<Self> {
+        let mut parts = name.rsplitn(5, '.');
+        let seed: u64 = parts.next()?.strip_prefix('s')?.parse().ok()?;
+        let amp_milli: u32 = parts.next()?.strip_prefix('a')?.parse().ok()?;
+        let cols = parts.next()?.strip_prefix('c')?;
+        let rows = parts.next()?.strip_prefix('r')?;
+        let label = parts.next()?;
+        let (c0, c1) = cols.split_once('-')?;
+        let (r0, r1) = rows.split_once('-')?;
+        let region = (
+            r0.parse().ok()?,
+            c0.parse().ok()?,
+            r1.parse().ok()?,
+            c1.parse().ok()?,
+        );
+        if region.0 > region.2 || region.2 > hier.h() || region.1 > region.3 || region.3 > hier.w()
+        {
+            return None;
+        }
+        Some(Self::new(hier, label, region, amp_milli, seed))
+    }
+
+    /// Whether the grid's atomic footprint lies entirely inside the exact
+    /// region.
+    fn covers(&self, layer: usize, row: usize, col: usize) -> bool {
+        let cell = o4a_grid::hierarchy::LayerCell::new(layer, row, col);
+        let (r0, c0, r1, c1) = self.hier.atomic_rect(cell);
+        let (er0, ec0, er1, ec1) = self.region;
+        r0 >= er0 && c0 >= ec0 && r1 <= er1 && c1 <= ec1
+    }
+
+    /// Deterministic noise in `[-amp, amp)` for a `(layer, cell, sample)`
+    /// coordinate.
+    fn noise(&self, layer: usize, ci: usize, sample: usize) -> f32 {
+        let h = splitmix64(self.seed ^ (layer as u64) << 48 ^ (ci as u64) << 24 ^ sample as u64);
+        // map the top 24 bits to [-1, 1)
+        let unit = (h >> 40) as f32 / (1u64 << 23) as f32 - 1.0;
+        unit * self.amp_milli as f32 / 1000.0
+    }
+}
+
+impl PyramidPredictor for HotspotExpert {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn hierarchy(&self) -> &Hierarchy {
+        &self.hier
+    }
+
+    fn fit(
+        &mut self,
+        _flow: &FlowSeries,
+        _cfg: &TemporalConfig,
+        _train_targets: &[usize],
+    ) -> TrainStats {
+        TrainStats {
+            epochs: 0,
+            sec_per_epoch: 0.0,
+            final_loss: 0.0,
+            num_params: 0,
+        }
+    }
+
+    fn predict_pyramid(
+        &mut self,
+        flow: &FlowSeries,
+        _cfg: &TemporalConfig,
+        targets: &[usize],
+    ) -> Vec<Vec<Vec<f32>>> {
+        let mut pyramid = truth_pyramid(&self.hier, flow, targets);
+        for (layer, layer_preds) in pyramid.iter_mut().enumerate() {
+            let (_, cols) = self.hier.layer_dims(layer);
+            for (s, frame) in layer_preds.iter_mut().enumerate() {
+                for (ci, v) in frame.iter_mut().enumerate() {
+                    if !self.covers(layer, ci / cols, ci % cols) {
+                        *v += self.noise(layer, ci, s);
+                    }
+                }
+            }
+        }
+        pyramid
+    }
+
+    fn num_params(&mut self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier8() -> Hierarchy {
+        Hierarchy::new(8, 8, 2, 4).unwrap()
+    }
+
+    fn ramp_flow(h: usize, w: usize, t: usize) -> FlowSeries {
+        let mut flow = FlowSeries::zeros(t, h, w);
+        for ti in 0..t {
+            for r in 0..h {
+                for c in 0..w {
+                    flow.set(ti, r, c, 1.0 + ti as f32 * 0.5 + (r * w + c) as f32 * 0.25);
+                }
+            }
+        }
+        flow
+    }
+
+    fn cfg() -> TemporalConfig {
+        TemporalConfig {
+            closeness: 1,
+            period: 1,
+            trend: 1,
+            steps_per_day: 4,
+            days_per_week: 2,
+        }
+    }
+
+    #[test]
+    fn exact_inside_noisy_outside() {
+        let hier = hier8();
+        let flow = ramp_flow(8, 8, 12);
+        let mut expert = HotspotExpert::new(&hier, "left", (0, 0, 8, 4), 800, 42);
+        let preds = expert.predict_pyramid(&flow, &cfg(), &[10, 11]);
+        let truths = truth_pyramid(&hier, &flow, &[10, 11]);
+        // atomic layer: left half exact, right half perturbed somewhere
+        let mut any_noise = false;
+        for s in 0..2 {
+            for r in 0..8 {
+                for c in 0..8 {
+                    let i = r * 8 + c;
+                    if c < 4 {
+                        assert_eq!(preds[0][s][i], truths[0][s][i]);
+                    } else if preds[0][s][i] != truths[0][s][i] {
+                        any_noise = true;
+                    }
+                }
+            }
+        }
+        assert!(any_noise, "noise amplitude 0.8 must perturb something");
+        // a coarse grid straddling the boundary is noisy too
+        assert_ne!(preds[3][0][0], truths[3][0][0]);
+    }
+
+    #[test]
+    fn name_roundtrip() {
+        let hier = hier8();
+        for expert in [
+            HotspotExpert::new(&hier, "left", (0, 0, 8, 4), 800, 42),
+            HotspotExpert::covering(&hier, "all", 7),
+        ]
+        .iter()
+        .chain(HotspotExpert::stripes(&hier, 3, 250, 9).iter())
+        {
+            let rebuilt = HotspotExpert::from_name(&hier, expert.name()).expect("parses");
+            assert_eq!(&rebuilt, expert);
+        }
+        assert!(HotspotExpert::from_name(&hier, "not-a-scheme").is_none());
+        assert!(HotspotExpert::from_name(&hier, "x.r0-99.c0-8.a1.s1").is_none());
+    }
+
+    #[test]
+    fn stripes_partition_the_raster() {
+        let hier = hier8();
+        let stripes = HotspotExpert::stripes(&hier, 2, 500, 1);
+        assert_eq!(stripes[0].region, (0, 0, 8, 4));
+        assert_eq!(stripes[1].region, (0, 4, 8, 8));
+    }
+
+    #[test]
+    fn predictions_are_deterministic() {
+        let hier = hier8();
+        let flow = ramp_flow(8, 8, 12);
+        let mut a = HotspotExpert::new(&hier, "x", (0, 0, 4, 4), 300, 5);
+        let mut b = HotspotExpert::from_name(&hier, a.name().to_string().as_str()).unwrap();
+        assert_eq!(
+            a.predict_pyramid(&flow, &cfg(), &[10, 11]),
+            b.predict_pyramid(&flow, &cfg(), &[10, 11])
+        );
+    }
+}

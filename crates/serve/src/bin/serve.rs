@@ -1,7 +1,7 @@
 //! `serve` — cold-start a One4All-ST query server from on-disk artifacts
 //! and answer region queries over the `O4ARPC01` wire protocol.
 //!
-//! Two start modes:
+//! Three start modes:
 //!
 //! * **artifact mode** (`--index PATH [--model PATH]`): load a persisted
 //!   combination index via `codec::load_index` and, when given, a
@@ -13,21 +13,30 @@
 //!   persist both under `--artifacts DIR`, then cold-start from those
 //!   files exactly as artifact mode would — every run exercises the
 //!   restart path end to end.
+//! * **ensemble mode** (`--ensemble N`): run the offline ensemble
+//!   planner over `N` synthetic stripe experts, persist the resulting
+//!   `O4AENS01` plan under `--artifacts DIR`, then cold-start an
+//!   [`EnsembleServer`] from that artifact alone — member models are
+//!   rebuilt from the names persisted in the plan, and every member's
+//!   snapshot is published before the server is exposed.
 //!
 //! Usage:
 //!   cargo run -p o4a-serve --release --bin serve -- \
 //!     [--addr 127.0.0.1:7474] [--addr-file PATH] [--side 32] [--layers N] \
 //!     [--index PATH] [--model PATH] [--artifacts target/serve-artifacts] \
-//!     [--workers 2] [--window-us 500] [--queue-cap 1024] [--max-batch 256] \
-//!     [--run-secs S]
+//!     [--ensemble N] [--workers 2] [--window-us 500] [--queue-cap 1024] \
+//!     [--max-batch 256] [--run-secs S]
 
 use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
 use o4a_core::one4all::{truth_pyramid, One4AllSt};
+use o4a_core::server::QueryBackend;
 use o4a_core::server::{PredictionStore, RegionServer};
 use o4a_core::{codec, deploy};
 use o4a_data::features::TemporalConfig;
 use o4a_data::flow::FlowSeries;
 use o4a_data::synthetic::DatasetKind;
+use o4a_ensemble::{load_plan, plan_ensemble, profile_members, save_plan, PlanOptions};
+use o4a_ensemble::{EnsembleServer, HotspotExpert};
 use o4a_grid::Hierarchy;
 use o4a_models::multiscale::PyramidPredictor;
 use o4a_models::predictor::TrainConfig;
@@ -45,6 +54,7 @@ struct Args {
     index: Option<PathBuf>,
     model: Option<PathBuf>,
     artifacts: PathBuf,
+    ensemble: Option<usize>,
     workers: usize,
     window_us: u64,
     queue_cap: usize,
@@ -61,6 +71,7 @@ fn parse_args() -> Args {
         index: None,
         model: None,
         artifacts: PathBuf::from("target/serve-artifacts"),
+        ensemble: None,
         workers: 2,
         window_us: 500,
         queue_cap: 1024,
@@ -81,6 +92,7 @@ fn parse_args() -> Args {
             "--index" => args.index = Some(PathBuf::from(value("--index"))),
             "--model" => args.model = Some(PathBuf::from(value("--model"))),
             "--artifacts" => args.artifacts = PathBuf::from(value("--artifacts")),
+            "--ensemble" => args.ensemble = Some(value("--ensemble").parse().expect("--ensemble")),
             "--workers" => args.workers = value("--workers").parse().expect("--workers"),
             "--window-us" => args.window_us = value("--window-us").parse().expect("--window-us"),
             "--queue-cap" => args.queue_cap = value("--queue-cap").parse().expect("--queue-cap"),
@@ -102,9 +114,89 @@ fn synthetic_flow(side: usize) -> (FlowSeries, usize) {
     (flow, steps - 1)
 }
 
+/// Ensemble mode: offline plan build + persist, then a cold start that
+/// reads only the `O4AENS01` artifact.
+fn run_ensemble(args: &Args, n: usize) {
+    let cfg = TemporalConfig::compact();
+    let layers = args.layers.unwrap_or_else(|| {
+        Hierarchy::with_max_scale(args.side, args.side, 2, 32)
+            .expect("raster divisible by 2")
+            .num_layers()
+    });
+    let hier = Hierarchy::new(args.side, args.side, 2, layers)
+        .expect("raster must divide by the coarsest scale");
+    let (flow, slot) = synthetic_flow(args.side);
+    let plan_path = args.artifacts.join("plan.o4aens");
+
+    // --- offline phase: profile stripe experts, cost-based plan, persist ---
+    {
+        let val_slots: Vec<usize> = (flow.len_t() - 8..flow.len_t()).collect();
+        let mut experts = HotspotExpert::stripes(&hier, n, 400, 99);
+        let mut refs: Vec<&mut dyn PyramidPredictor> = experts
+            .iter_mut()
+            .map(|e| e as &mut dyn PyramidPredictor)
+            .collect();
+        let profiles = profile_members(&mut refs, &flow, &cfg, &val_slots);
+        for p in &profiles {
+            o4a_obs::info!(
+                "serve",
+                "profiled member {}: atomic rmse {:.4}",
+                p.name,
+                p.atomic_rmse
+            );
+        }
+        let truths = truth_pyramid(&hier, &flow, &val_slots);
+        let plan = plan_ensemble(&hier, &profiles, &truths, &PlanOptions::default());
+        std::fs::create_dir_all(&args.artifacts).expect("create artifact dir");
+        save_plan(&plan, &plan_path).expect("persist ensemble plan");
+        o4a_obs::info!(
+            "serve",
+            "persisted ensemble plan: {} ({} entries, {} members, cost {:.3})",
+            plan_path.display(),
+            plan.len(),
+            plan.members.len(),
+            plan.report.plan_cost
+        );
+    }
+
+    // --- cold start: the plan artifact is the only planner state read ---
+    let plan = load_plan(&plan_path).expect("cold-start plan artifact");
+    o4a_obs::info!(
+        "serve",
+        "cold-started ensemble plan from {} (revision {}, members {:?})",
+        plan_path.display(),
+        plan.revision,
+        plan.members
+    );
+    // Publish every member's snapshot BEFORE constructing the server so
+    // the backend never reports ready with a half-published ensemble.
+    let mut stores = Vec::with_capacity(plan.members.len());
+    for name in &plan.members {
+        let mut member =
+            HotspotExpert::from_name(&plan.hier, name).expect("member name encodes its config");
+        let frames: Vec<Vec<f32>> = member
+            .predict_pyramid(&flow, &cfg, &[slot])
+            .into_iter()
+            .map(|mut per_t| per_t.remove(0))
+            .collect();
+        let store = Arc::new(PredictionStore::for_hierarchy_labeled(&plan.hier, name));
+        store
+            .publish_checked(frames)
+            .expect("member snapshot must match the hierarchy");
+        stores.push(store);
+    }
+    let server = Arc::new(EnsembleServer::new(plan, stores));
+    serve_and_wait(server, args);
+}
+
 fn main() {
     let args = parse_args();
     let cfg = TemporalConfig::compact();
+
+    if let Some(n) = args.ensemble {
+        run_ensemble(&args, n);
+        return;
+    }
 
     // --- obtain artifacts (building + persisting them first if absent) ---
     let (index_path, model_path) = match &args.index {
@@ -195,10 +287,14 @@ fn main() {
         .publish_checked(frames)
         .expect("snapshot must match the hierarchy");
     let region = Arc::new(RegionServer::new(index, store));
+    serve_and_wait(region, &args);
+}
 
-    // --- serve ---
+/// Binds the server on the configured address and blocks until
+/// `--run-secs` elapses (or forever, logging periodic stats).
+fn serve_and_wait(backend: Arc<dyn QueryBackend>, args: &Args) {
     let handle = serve(
-        region,
+        backend,
         ServeConfig {
             addr: args.addr.clone(),
             workers: args.workers,

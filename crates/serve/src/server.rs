@@ -11,15 +11,19 @@
 //!   latency;
 //! * a fixed pool of **executor** threads pops jobs, coalesces everything
 //!   that arrived within the coalescing window into a single
-//!   [`RegionServer::query_many_timed`] call (one snapshot, parallel
+//!   [`QueryBackend::query_many_timed`] call (one snapshot set, parallel
 //!   fan-out across the PR-1 compute pool), and routes each slice of the
 //!   result back to its connection.
+//!
+//! The server is generic over the query engine: a single-model
+//! `RegionServer` and the ensemble server both serve behind the
+//! [`QueryBackend`] trait, so `serve` takes an `Arc<dyn QueryBackend>`.
 //!
 //! Shutdown is cooperative: a flag plus condvar wakeups; every thread is
 //! joined before [`ServerHandle::shutdown`] returns.
 
 use crate::wire::{self, HealthInfo, Request, Response, StatsSnapshot, TimingNs, TransportError};
-use o4a_core::server::RegionServer;
+use o4a_core::server::QueryBackend;
 use o4a_grid::mask::Mask;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -89,10 +93,11 @@ impl ServerStats {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             decompose_ns: self.decompose_ns.load(Ordering::Relaxed),
             index_ns: self.index_ns.load(Ordering::Relaxed),
-            // the decomposition memo lives in the RegionServer, not here;
-            // `Shared::stats_snapshot` fills these in
+            // the decomposition memo and plan revision live in the query
+            // backend, not here; `Shared::stats_snapshot` fills these in
             decomp_cache_hits: 0,
             decomp_cache_misses: 0,
+            plan_revision: 0,
         }
     }
 }
@@ -189,7 +194,7 @@ impl JobQueue {
 }
 
 struct Shared {
-    region: Arc<RegionServer>,
+    region: Arc<dyn QueryBackend>,
     queue: JobQueue,
     stats: ServerStats,
     shutdown: AtomicBool,
@@ -205,13 +210,15 @@ struct Shared {
 }
 
 impl Shared {
-    /// Serving counters merged with the region server's decomposition-memo
-    /// hit/miss counters (the STATS verb reports both).
+    /// Serving counters merged with the backend's decomposition-memo
+    /// hit/miss counters and its active plan revision (`0` for a
+    /// single-model backend).
     fn stats_snapshot(&self) -> StatsSnapshot {
         let mut s = self.stats.snapshot();
         let (hits, misses) = self.region.decomp_cache_stats();
         s.decomp_cache_hits = hits;
         s.decomp_cache_misses = misses;
+        s.plan_revision = self.region.plan_revision();
         s
     }
 }
@@ -262,8 +269,9 @@ impl ServerHandle {
     }
 }
 
-/// Starts serving `region` over TCP and returns the handle.
-pub fn serve(region: Arc<RegionServer>, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
+/// Starts serving a query backend over TCP and returns the handle
+/// (`Arc<RegionServer>` and `Arc<EnsembleServer>` both coerce).
+pub fn serve(region: Arc<dyn QueryBackend>, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener =
         TcpListener::bind(cfg.addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "bad bind addr")
@@ -372,7 +380,7 @@ fn executor_loop(shared: &Arc<Shared>) {
         .pop_batch(cfg.coalesce_window, cfg.max_batch_masks)
     {
         let all: Vec<Mask> = batch.iter().flat_map(|j| j.masks.iter().cloned()).collect();
-        if !shared.region.store().is_ready() {
+        if !shared.region.is_ready() {
             for job in &batch {
                 let _ = job
                     .reply
@@ -499,7 +507,7 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         match request {
             Request::Health => {
                 let info = HealthInfo {
-                    ready: shared.region.store().is_ready(),
+                    ready: shared.region.is_ready(),
                     h: hier.h() as u32,
                     w: hier.w() as u32,
                     layers: hier.num_layers() as u8,

@@ -206,6 +206,10 @@ pub struct StatsSnapshot {
     pub decomp_cache_hits: u64,
     /// Region-server decomposition memo misses.
     pub decomp_cache_misses: u64,
+    /// Revision of the active ensemble plan; `0` for a single-model
+    /// backend. Appended in revision 2 of the STATS payload — a revision-1
+    /// peer's payload ends before it and decodes as `0`.
+    pub plan_revision: u64,
 }
 
 /// A decoded response frame.
@@ -484,6 +488,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.index_ns,
                 s.decomp_cache_hits,
                 s.decomp_cache_misses,
+                s.plan_revision,
             ] {
                 put_u64(&mut p, v);
             }
@@ -566,6 +571,9 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
             index_ns: r.u64()?,
             decomp_cache_hits: r.u64()?,
             decomp_cache_misses: r.u64()?,
+            // revision 2 appends the plan revision; a revision-1 payload
+            // ends here and decodes it as zero
+            plan_revision: if r.remaining() == 0 { 0 } else { r.u64()? },
         }),
         Verb::MetricsResult => {
             let bytes = r.take(r.remaining())?;
@@ -752,6 +760,7 @@ mod tests {
                 index_ns: 2,
                 decomp_cache_hits: 3950,
                 decomp_cache_misses: 50,
+                plan_revision: 4,
             }),
             Response::Busy,
             Response::Error("no snapshot".into()),
@@ -800,6 +809,49 @@ mod tests {
         let frame = encode_response(&Response::Health(info));
         let payload = &frame[HEADER_LEN..HEADER_LEN + 14];
         let reframed = encode_frame(Verb::HealthOk, payload);
+        assert!(parse_response_bytes(&reframed).is_err());
+    }
+
+    #[test]
+    fn legacy_stats_payload_still_decodes() {
+        // A revision-1 STATS_RESULT frame (11 u64 fields, no plan
+        // revision), exactly as an old server would emit it.
+        let mut p = Vec::new();
+        for v in 1u64..=11 {
+            put_u64(&mut p, v);
+        }
+        let frame = encode_frame(Verb::StatsResult, &p);
+        let resp = parse_response_bytes(&frame).unwrap();
+        assert_eq!(
+            resp,
+            Response::Stats(StatsSnapshot {
+                connections: 1,
+                requests: 2,
+                masks_served: 3,
+                exec_batches: 4,
+                coalesced_masks: 5,
+                busy_rejections: 6,
+                protocol_errors: 7,
+                decompose_ns: 8,
+                index_ns: 9,
+                decomp_cache_hits: 10,
+                decomp_cache_misses: 11,
+                plan_revision: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_stats_revision_rejected() {
+        // Revision-2 body cut mid-plan-revision: neither a valid
+        // revision-1 nor revision-2 payload — must be an error.
+        let s = StatsSnapshot {
+            plan_revision: 9,
+            ..StatsSnapshot::default()
+        };
+        let frame = encode_response(&Response::Stats(s));
+        let payload = &frame[HEADER_LEN..frame.len() - 3];
+        let reframed = encode_frame(Verb::StatsResult, payload);
         assert!(parse_response_bytes(&reframed).is_err());
     }
 

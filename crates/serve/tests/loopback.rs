@@ -42,7 +42,8 @@ fn start(cfg_tweak: impl FnOnce(&mut ServeConfig)) -> (Arc<RegionServer>, Server
         ..ServeConfig::default()
     };
     cfg_tweak(&mut cfg);
-    let handle = serve(Arc::clone(&region), cfg).unwrap();
+    let backend: Arc<dyn o4a_core::server::QueryBackend> = Arc::clone(&region) as _;
+    let handle = serve(backend, cfg).unwrap();
     (region, handle)
 }
 

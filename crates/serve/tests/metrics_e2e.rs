@@ -126,7 +126,7 @@ fn metrics_scrape_is_complete_and_reconciles_with_stats() {
 
     let region = region_fixture();
     let handle = serve(
-        Arc::clone(&region),
+        Arc::clone(&region) as Arc<dyn o4a_core::server::QueryBackend>,
         ServeConfig {
             addr: "127.0.0.1:0".into(),
             ..ServeConfig::default()

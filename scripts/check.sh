@@ -26,9 +26,9 @@ cargo fmt --check
 
 # Lint the crates touched by the parallel compute runtime and the
 # serving layer.
-echo "==> cargo clippy -D warnings (tensor, nn, core, bench, serve, obs)"
+echo "==> cargo clippy -D warnings (tensor, nn, core, bench, serve, obs, ensemble)"
 cargo clippy --release -p o4a-tensor -p o4a-nn -p o4a-core -p o4a-bench \
-    -p o4a-serve -p o4a-obs --all-targets -- -D warnings
+    -p o4a-serve -p o4a-obs -p o4a-ensemble --all-targets -- -D warnings
 
 # Kernel smoke: quick bench run to a scratch path (the committed
 # BENCH_kernels.json is NOT overwritten), then require that no kernel
@@ -122,6 +122,31 @@ awk '
     }
 ' "$KSMOKE_DIR/BENCH_kernels.json"
 
+# Ensemble planner gate: the 2-model hotspot scenario must hold
+# end-to-end (routing + accuracy, run as the dedicated test binary), and
+# the quick bench must show (1) the O4AENS01 artifact round-trips
+# bit-identically, (2) ensemble validation RMSE <= the best single
+# member's, and (3) plan-resolved lookup within 5% of single-model
+# lookup (the bench gates on a single-member plan that provably serves
+# identical terms, so the ratio is pure plan-machinery overhead, and it
+# asserts bit-identity between the two backends before timing).
+echo "==> ensemble gate (2-model e2e + quick bench: codec, accuracy, overhead)"
+cargo test -q -p o4a-ensemble --test two_model_e2e
+./target/release/ensemble --quick --out "$KSMOKE_DIR/BENCH_ensemble.json" \
+    > "$KSMOKE_DIR/ensemble.log" 2>&1
+grep -q '"roundtrip_bit_identical": true' "$KSMOKE_DIR/BENCH_ensemble.json" \
+    || { echo "FAIL: O4AENS01 round-trip not bit-identical"; exit 1; }
+awk '
+    /"best_single_rmse"/  { gsub(/[^0-9.]/, "", $2); best = $2 + 0 }
+    /"ensemble_rmse"/     { gsub(/[^0-9.]/, "", $2); ens = $2 + 0 }
+    /"overhead_vs_single"/ { gsub(/[^0-9.]/, "", $2); ovh = $2 + 0 }
+    END {
+        printf "ensemble rmse %.4f vs best single %.4f, lookup overhead %.3fx\n", ens, best, ovh
+        if (ens > best) { print "FAIL: ensemble rmse worse than best single member"; exit 1 }
+        if (ovh > 1.05) { print "FAIL: plan-resolved lookup >5% over single-model"; exit 1 }
+    }
+' "$KSMOKE_DIR/BENCH_ensemble.json"
+
 # Serving smoke: cold-start a server on an ephemeral port, drive it with
 # the load generator for ~2s, and require non-zero throughput (loadgen
 # exits non-zero when no request succeeds) plus a clean server exit.
@@ -149,6 +174,29 @@ for metric in o4a_serve_requests_total o4a_serve_busy_total \
     o4a_isa_active o4a_isa_feature_avx2; do
     grep -q "^$metric" "$SMOKE_DIR/metrics.prom" \
         || { echo "metrics.prom is missing $metric"; exit 1; }
+done
+
+# Ensemble serve smoke: cold-start a 2-member ensemble from its O4AENS01
+# artifact, drive it with the load generator, and require the ensemble
+# plan gauges and stage histograms in the scrape.
+echo "==> ensemble serve smoke (serve --ensemble 2 + loadgen, ~2s)"
+./target/release/serve --ensemble 2 --addr 127.0.0.1:0 \
+    --addr-file "$SMOKE_DIR/eaddr" --side 16 \
+    --artifacts "$SMOKE_DIR/ens-artifacts" --run-secs 6 \
+    > "$SMOKE_DIR/ensemble-serve.log" 2>&1 &
+ESERVE_PID=$!
+./target/release/loadgen --addr-file "$SMOKE_DIR/eaddr" --threads 2 \
+    --secs 2 --out "$SMOKE_DIR/BENCH_eserve.json" \
+    --metrics-out "$SMOKE_DIR/emetrics.prom"
+wait "$ESERVE_PID"
+test -f "$SMOKE_DIR/ens-artifacts/plan.o4aens" \
+    || { echo "ensemble serve did not persist plan.o4aens"; exit 1; }
+for metric in o4a_ensemble_members o4a_ensemble_plan_cost \
+    o4a_ensemble_plan_revision o4a_ensemble_plan_cells_stripe0 \
+    o4a_ensemble_decompose_ns_bucket o4a_ensemble_lookup_ns_count \
+    o4a_ensemble_aggregate_ns_sum o4a_ensemble_model_terms_stripe1; do
+    grep -q "^$metric" "$SMOKE_DIR/emetrics.prom" \
+        || { echo "emetrics.prom is missing $metric"; exit 1; }
 done
 
 echo "==> all checks passed"
