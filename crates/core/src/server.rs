@@ -725,6 +725,43 @@ impl RegionServer {
         };
         (out, timing)
     }
+
+    /// Evaluates already-decomposed groups against one consistent
+    /// snapshot, returning one value per group — the shard-serving entry
+    /// point. A shard router splits a mask's decomposition by ownership,
+    /// calls this on each shard, and folds the per-group values back in
+    /// decompose order; because each group's accumulation is
+    /// self-contained (see [`evaluate_group`]) the merged sum is
+    /// bit-identical to the unsharded [`RegionServer::query`].
+    /// `QueryTiming.decompose` is zero — decomposition happened at the
+    /// router.
+    ///
+    /// # Panics
+    /// Panics if no snapshot has been published yet.
+    pub fn query_groups_timed(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, QueryTiming) {
+        let frames = self.store.snapshot();
+        assert!(!frames.is_empty(), "no prediction snapshot published");
+        let view = frames.view();
+        let t1 = Instant::now();
+        let plans: Vec<GroupPlan<'_>> = groups
+            .iter()
+            .map(|g| lookup_group(&self.hier, &self.index, g))
+            .collect();
+        let lookup_t = t1.elapsed();
+        let t2 = Instant::now();
+        let values: Vec<f32> = plans
+            .iter()
+            .map(|p| evaluate_plan(&self.hier, &view, p))
+            .collect();
+        let aggregate_t = t2.elapsed();
+        (
+            values,
+            QueryTiming {
+                decompose: Duration::ZERO,
+                index: lookup_t + aggregate_t,
+            },
+        )
+    }
 }
 
 /// What the serving layer needs from a query engine: the [`RegionServer`]
@@ -744,6 +781,16 @@ pub trait QueryBackend: Send + Sync {
     /// reporting the aggregate per-stage CPU time.
     fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming);
 
+    /// Evaluates already-decomposed groups against one consistent
+    /// snapshot, one value per group in input order — the scatter leg of
+    /// sharded serving. A router splits a mask's decomposition by shard
+    /// ownership, calls this on each shard, and folds the per-group
+    /// values back in the original decompose order; each group's
+    /// accumulation is self-contained, so the fold is bit-identical to
+    /// the unsharded answer. `QueryTiming.decompose` is zero
+    /// (decomposition happened at the router).
+    fn query_groups_timed(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, QueryTiming);
+
     /// `(hits, misses)` of the backend's decomposition memo.
     fn decomp_cache_stats(&self) -> (u64, u64);
 
@@ -751,6 +798,13 @@ pub trait QueryBackend: Send + Sync {
     /// backend (reported through the STATS verb).
     fn plan_revision(&self) -> u64 {
         0
+    }
+
+    /// Decomposed groups routed to each shard since start, in shard
+    /// order. Empty for unsharded backends; a shard router overrides
+    /// this so STATS can surface load imbalance.
+    fn shard_loads(&self) -> Vec<u64> {
+        Vec::new()
     }
 }
 
@@ -765,6 +819,10 @@ impl QueryBackend for RegionServer {
 
     fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
         RegionServer::query_many_timed(self, masks)
+    }
+
+    fn query_groups_timed(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, QueryTiming) {
+        RegionServer::query_groups_timed(self, groups)
     }
 
     fn decomp_cache_stats(&self) -> (u64, u64) {

@@ -371,6 +371,41 @@ impl EnsembleServer {
         };
         (out, timing)
     }
+
+    /// Evaluates already-decomposed groups against one consistent
+    /// snapshot per member, one value per group — the shard-serving
+    /// entry point, mirroring
+    /// [`o4a_core::server::RegionServer::query_groups_timed`]. Each
+    /// group's accumulation is self-contained, so a router folding the
+    /// per-group values back in decompose order reproduces the
+    /// unsharded [`EnsembleServer::query`] bit-identically.
+    /// `QueryTiming.decompose` is zero — decomposition happened at the
+    /// router.
+    ///
+    /// # Panics
+    /// Panics if any member store has no published snapshot.
+    pub fn query_groups_timed(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, QueryTiming) {
+        let snaps = self.snapshots();
+        let views: Vec<FrameView<'_>> = snaps.iter().map(|s| s.view()).collect();
+        let t1 = Instant::now();
+        let plans: Vec<EGroupPlan<'_>> =
+            groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
+        let lookup_t = t1.elapsed();
+        let t2 = Instant::now();
+        let values: Vec<f32> = plans
+            .iter()
+            .map(|p| evaluate_plan(&self.plan.hier, &views, p))
+            .collect();
+        let aggregate_t = t2.elapsed();
+        self.record_model_terms(&plans);
+        (
+            values,
+            QueryTiming {
+                decompose: Duration::ZERO,
+                index: lookup_t + aggregate_t,
+            },
+        )
+    }
 }
 
 impl QueryBackend for EnsembleServer {
@@ -384,6 +419,10 @@ impl QueryBackend for EnsembleServer {
 
     fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
         EnsembleServer::query_many_timed(self, masks)
+    }
+
+    fn query_groups_timed(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, QueryTiming) {
+        EnsembleServer::query_groups_timed(self, groups)
     }
 
     fn decomp_cache_stats(&self) -> (u64, u64) {

@@ -1,25 +1,55 @@
-//! `loadgen` — drive a running `serve` instance with N blocking client
-//! threads and write throughput + latency percentiles to `BENCH_serve.json`.
+//! `loadgen` — drive a running `serve` instance with N client threads and
+//! write throughput + latency percentiles to `BENCH_serve.json`.
 //!
 //! Each thread owns one connection and issues paper-style region queries
-//! (the four MAUP task mixes from `TaskSpec::standard_tasks`) back to back
-//! for `--secs` seconds, either one mask per request (`--batch 0`) or
-//! `--batch K` masks per BATCH frame. Latency percentiles come from the
-//! shared `o4a_obs::Histogram` type (the same √2-bucket estimator the
-//! server exports through `METRICS`), and per-request outcomes (ok / busy
-//! / error) are counted into the JSON report. Exits non-zero if no
-//! request succeeds, so CI can gate on "the server actually served".
+//! (the four MAUP task mixes from `TaskSpec::standard_tasks`), either one
+//! mask per request (`--batch 0`) or `--batch K` masks per BATCH frame.
+//!
+//! **Arrival process.** The default is closed-loop: every thread issues
+//! requests back to back for `--secs` seconds. `--diurnal <rps>` switches
+//! to an open-loop schedule: the run models one synthetic "day" whose
+//! aggregate arrival rate follows `rps * (1 + 0.75 sin(2πt/secs))`; each
+//! thread walks its own arrival timeline and sends immediately when it
+//! falls behind schedule (open loop — backlog is not dropped), so shed
+//! rate under the peak is visible instead of being absorbed by client
+//! pacing.
+//!
+//! **Popularity skew.** By default threads walk the query pool round
+//! robin. `--zipf <s>` draws each request's mask from a Zipf(s)
+//! distribution over pool ranks (weight `1/(i+1)^s`), concentrating
+//! traffic on a hot head of regions the way real prediction dashboards
+//! do — this is what makes the server-side decomposition memo and shard
+//! load split worth measuring.
+//!
+//! **Tail reporting.** Bucket percentiles come from the shared
+//! `o4a_obs::Histogram` (√2-geometric buckets: the reported quantile is
+//! the bucket's upper edge, at most √2 − 1 ≈ 41% above the true order
+//! statistic). For the p99.9 tail, each thread additionally keeps its
+//! top-4096 latencies exactly (a bounded min-heap reservoir); the merged
+//! reservoirs contain the true global top-4096, so the reported
+//! `p999_exact` is the *exact* order statistic whenever
+//! `ceil(0.001 * requests) <= 4096` — i.e. up to ~4.1M requests per run,
+//! far beyond a bench window. Past that the JSON flags it inexact.
+//!
+//! Per-request outcomes (ok / busy / error) are counted into the JSON
+//! report together with the shed rate `busy / (ok + busy + errors)` and,
+//! when the server runs sharded, the per-shard routed-group counts from
+//! revision-3 STATS. Exits non-zero if no request succeeds, so CI can
+//! gate on "the server actually served".
 //!
 //! Usage:
 //!   cargo run -p o4a-serve --release --bin loadgen -- \
 //!     [--addr 127.0.0.1:7474 | --addr-file PATH] [--threads 4] [--secs 2] \
-//!     [--batch 0] [--out BENCH_serve.json] [--metrics-out PATH]
+//!     [--batch 0] [--zipf S] [--diurnal RPS] [--out BENCH_serve.json] \
+//!     [--metrics-out PATH]
 
 use o4a_grid::queries::{task_queries, TaskSpec};
 use o4a_grid::Mask;
 use o4a_obs::Histogram;
 use o4a_serve::{Client, ClientConfig, ClientError};
 use o4a_tensor::SeededRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::io::Write as _;
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -27,12 +57,22 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Exact tail reservoir size per thread: the merged reservoirs contain
+/// the true global top-4096 latencies, so p99.9 is exact while
+/// `ceil(0.001 * requests) <= 4096`.
+const RESERVOIR_PER_THREAD: usize = 4096;
+
+/// Peak-to-mean swing of the diurnal arrival shape.
+const DIURNAL_AMPLITUDE: f64 = 0.75;
+
 struct Args {
     addr: Option<String>,
     addr_file: Option<PathBuf>,
     threads: usize,
     secs: f64,
     batch: usize,
+    zipf: Option<f64>,
+    diurnal: Option<f64>,
     out: PathBuf,
     metrics_out: Option<PathBuf>,
 }
@@ -44,6 +84,8 @@ fn parse_args() -> Args {
         threads: 4,
         secs: 2.0,
         batch: 0,
+        zipf: None,
+        diurnal: None,
         out: PathBuf::from("BENCH_serve.json"),
         metrics_out: None,
     };
@@ -59,6 +101,8 @@ fn parse_args() -> Args {
             "--threads" => args.threads = value("--threads").parse().expect("--threads"),
             "--secs" => args.secs = value("--secs").parse().expect("--secs"),
             "--batch" => args.batch = value("--batch").parse().expect("--batch"),
+            "--zipf" => args.zipf = Some(value("--zipf").parse().expect("--zipf")),
+            "--diurnal" => args.diurnal = Some(value("--diurnal").parse().expect("--diurnal")),
             "--out" => args.out = PathBuf::from(value("--out")),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
             other => panic!("unknown flag {other}"),
@@ -84,6 +128,21 @@ fn resolve_addr(args: &Args) -> SocketAddr {
     }
 }
 
+/// CDF over pool ranks with weight `1/(i+1)^s` — rank 0 is the hottest
+/// region. Sampling is a single `partition_point` per draw.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += 1.0 / ((i + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    for c in &mut cdf {
+        *c /= acc;
+    }
+    cdf
+}
+
 #[derive(Default)]
 struct ThreadOutcome {
     ok: u64,
@@ -91,6 +150,8 @@ struct ThreadOutcome {
     busy: u64,
     errors: u64,
     max_ns: u64,
+    /// This thread's largest `RESERVOIR_PER_THREAD` request latencies.
+    top_ns: Vec<u64>,
 }
 
 fn main() {
@@ -112,14 +173,17 @@ fn main() {
     assert!(health.ready, "server reports not ready");
     o4a_obs::info!(
         "loadgen",
-        "target {addr}: raster {}x{}, {} layers (up {}s); {} threads, {:.1}s, batch={}",
+        "target {addr}: raster {}x{}, {} layers (up {}s); {} threads, {:.1}s, batch={}, \
+         zipf={:?}, diurnal={:?}",
         health.h,
         health.w,
         health.layers,
         health.uptime_secs,
         args.threads,
         args.secs,
-        args.batch
+        args.batch,
+        args.zipf,
+        args.diurnal
     );
 
     // Shared query pool: the paper's four task mixes over the served raster.
@@ -136,9 +200,11 @@ fn main() {
     }
     assert!(!pool.is_empty(), "query pool is empty");
     let pool = Arc::new(pool);
+    let cdf = args.zipf.map(|s| Arc::new(zipf_cdf(pool.len(), s)));
 
     // All threads record request latency (ns) into one lock-free histogram;
-    // percentiles below come from its bucket estimator.
+    // bucket percentiles below come from its estimator, the exact p99.9
+    // from the per-thread reservoirs.
     let latency = Arc::new(Histogram::new());
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
@@ -147,9 +213,11 @@ fn main() {
         let handles: Vec<_> = (0..args.threads)
             .map(|tid| {
                 let pool = Arc::clone(&pool);
+                let cdf = cdf.clone();
                 let stop = Arc::clone(&stop);
                 let latency = Arc::clone(&latency);
                 let cfg = cfg.clone();
+                let args = &args;
                 s.spawn(move || {
                     let mut out = ThreadOutcome::default();
                     let mut client = match Client::connect(addr, cfg) {
@@ -159,17 +227,42 @@ fn main() {
                             return out;
                         }
                     };
+                    let mut rng = SeededRng::new(1_000 + tid as u64);
+                    let mut top: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
                     // Stagger thread start positions through the pool.
                     let mut i = tid * pool.len() / args.threads.max(1);
+                    let pick = |i: usize, rng: &mut SeededRng| match &cdf {
+                        Some(cdf) => {
+                            let u = rng.uniform(0.0, 1.0) as f64;
+                            cdf.partition_point(|&c| c < u).min(pool.len() - 1)
+                        }
+                        None => i % pool.len(),
+                    };
+                    // Open-loop arrival timeline for this thread.
+                    let mut next = started;
                     while Instant::now() < deadline && !stop.load(Ordering::Relaxed) {
+                        if let Some(rps) = args.diurnal {
+                            let now = Instant::now();
+                            if now < next {
+                                std::thread::sleep(next - now);
+                            }
+                            // Shape tracks the *scheduled* time so the
+                            // arrival process stays independent of how
+                            // slowly the server answers (open loop).
+                            let t = next.saturating_duration_since(started).as_secs_f64();
+                            let shape = 1.0
+                                + DIURNAL_AMPLITUDE * (std::f64::consts::TAU * t / args.secs).sin();
+                            let per_thread = (rps * shape / args.threads.max(1) as f64).max(1e-3);
+                            next += Duration::from_secs_f64(1.0 / per_thread);
+                        }
                         let t0 = Instant::now();
                         let result = if args.batch == 0 {
-                            let mask = &pool[i % pool.len()];
+                            let mask = &pool[pick(i, &mut rng)];
                             i += 1;
                             client.query(mask).map(|_| 1u64)
                         } else {
                             let masks: Vec<Mask> = (0..args.batch)
-                                .map(|k| pool[(i + k) % pool.len()].clone())
+                                .map(|k| pool[pick(i + k, &mut rng)].clone())
                                 .collect();
                             i += args.batch;
                             client
@@ -180,13 +273,24 @@ fn main() {
                             Ok(n) => {
                                 let ns = t0.elapsed().as_nanos() as u64;
                                 latency.record(ns);
+                                if top.len() < RESERVOIR_PER_THREAD {
+                                    top.push(Reverse(ns));
+                                } else if ns > top.peek().expect("non-empty").0 {
+                                    top.pop();
+                                    top.push(Reverse(ns));
+                                }
                                 out.max_ns = out.max_ns.max(ns);
                                 out.ok += 1;
                                 out.masks += n;
                             }
                             Err(ClientError::Busy) => {
                                 out.busy += 1;
-                                std::thread::sleep(Duration::from_micros(200));
+                                // Only the closed loop backs off; the open
+                                // loop keeps its schedule so shedding
+                                // shows up as shed rate, not lower load.
+                                if args.diurnal.is_none() {
+                                    std::thread::sleep(Duration::from_micros(200));
+                                }
                             }
                             Err(_) => {
                                 out.errors += 1;
@@ -196,6 +300,7 @@ fn main() {
                             }
                         }
                     }
+                    out.top_ns = top.into_iter().map(|r| r.0).collect();
                     out
                 })
             })
@@ -205,13 +310,21 @@ fn main() {
     let elapsed = started.elapsed();
     stop.store(true, Ordering::Relaxed);
 
-    // Aggregate. Percentiles come straight from the histogram buckets
-    // (within one √2 bucket of the exact order statistic).
+    // Aggregate. p50/p95/p99 come from the histogram buckets (each at
+    // most √2 − 1 ≈ 41% above the true order statistic); p99.9 is the
+    // exact order statistic from the merged reservoirs while its rank
+    // fits in one reservoir.
     let requests = latency.count();
     let ok: u64 = outcomes.iter().map(|o| o.ok).sum();
     let masks: u64 = outcomes.iter().map(|o| o.masks).sum();
     let busy: u64 = outcomes.iter().map(|o| o.busy).sum();
     let errors: u64 = outcomes.iter().map(|o| o.errors).sum();
+    let attempts = ok + busy + errors;
+    let shed_rate = if attempts > 0 {
+        busy as f64 / attempts as f64
+    } else {
+        0.0
+    };
     let secs = elapsed.as_secs_f64();
     let rps = requests as f64 / secs;
     let mps = masks as f64 / secs;
@@ -220,6 +333,19 @@ fn main() {
         latency.quantile(0.95) / 1_000,
         latency.quantile(0.99) / 1_000,
     );
+    let p999_bucket = latency.quantile(0.999) / 1_000;
+    let mut merged: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.top_ns.iter().copied())
+        .collect();
+    merged.sort_unstable_by(|a, b| b.cmp(a));
+    let tail_rank = (((requests as f64) * 0.001).ceil() as usize).max(1);
+    let p999_exact_valid = requests > 0 && tail_rank <= RESERVOIR_PER_THREAD;
+    let p999_exact = merged
+        .get(tail_rank.saturating_sub(1))
+        .copied()
+        .unwrap_or(0)
+        / 1_000;
     let max_us = outcomes.iter().map(|o| o.max_ns).max().unwrap_or(0) / 1_000;
 
     // Final server-side counters and metrics scrape (best effort).
@@ -241,13 +367,24 @@ fn main() {
     println!("  latency p50  {p50:>10} us",);
     println!("  latency p95  {p95:>10} us");
     println!("  latency p99  {p99:>10} us");
+    println!(
+        "  latency p99.9 {p999_exact:>9} us exact{} ({p999_bucket} us bucket estimate)",
+        if p999_exact_valid {
+            ""
+        } else {
+            " [INEXACT: rank overflows reservoir]"
+        }
+    );
     println!("  latency max  {max_us:>10} us");
-    println!("  outcomes: {ok} ok, {busy} busy, {errors} client errors");
+    println!("  outcomes: {ok} ok, {busy} busy, {errors} client errors (shed rate {shed_rate:.4})");
     if let Some(s) = &server_stats {
         println!(
             "  server: {} exec batches, {} coalesced masks, {} busy, {} protocol errors",
             s.exec_batches, s.coalesced_masks, s.busy_rejections, s.protocol_errors
         );
+        if !s.shard_loads.is_empty() {
+            println!("  shard loads (groups routed): {:?}", s.shard_loads);
+        }
     }
 
     let mut json = String::new();
@@ -255,6 +392,15 @@ fn main() {
     json.push_str("  \"bench\": \"serve_loopback\",\n");
     json.push_str(&format!("  \"threads\": {},\n", args.threads));
     json.push_str(&format!("  \"batch\": {},\n", args.batch));
+    match args.diurnal {
+        Some(rps) => json.push_str(&format!(
+            "  \"arrival\": \"diurnal_open_loop\",\n  \"target_rps\": {rps:.1},\n"
+        )),
+        None => json.push_str("  \"arrival\": \"closed_loop\",\n"),
+    }
+    if let Some(s) = args.zipf {
+        json.push_str(&format!("  \"zipf_s\": {s:.2},\n"));
+    }
     json.push_str(&format!("  \"duration_secs\": {secs:.3},\n"));
     json.push_str(&format!("  \"requests\": {requests},\n"));
     json.push_str(&format!("  \"masks\": {masks},\n"));
@@ -263,24 +409,34 @@ fn main() {
     json.push_str(&format!(
         "  \"outcomes\": {{ \"ok\": {ok}, \"busy\": {busy}, \"error\": {errors} }},\n"
     ));
+    json.push_str(&format!("  \"shed_rate\": {shed_rate:.4},\n"));
     json.push_str(&format!("  \"throughput_rps\": {rps:.1},\n"));
     json.push_str(&format!("  \"throughput_masks_per_sec\": {mps:.1},\n"));
     json.push_str(&format!(
-        "  \"latency_us\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"max\": {max_us} }}"
+        "  \"latency_us\": {{ \"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \
+         \"p999_bucket\": {p999_bucket}, \"p999_exact\": {p999_exact}, \"max\": {max_us} }},\n"
     ));
+    json.push_str(&format!("  \"p999_exact_valid\": {p999_exact_valid},\n"));
+    json.push_str(
+        "  \"estimator_note\": \"p50/p95/p99/p999_bucket are sqrt(2)-geometric bucket upper \
+         edges (at most 41% above the true order statistic); p999_exact is the true order \
+         statistic from merged per-thread top-4096 reservoirs, exact while \
+         ceil(0.001*requests) <= 4096\"",
+    );
     if let Some(s) = &server_stats {
         json.push_str(",\n");
         json.push_str(&format!(
             "  \"server\": {{ \"connections\": {}, \"requests\": {}, \"masks_served\": {}, \
              \"exec_batches\": {}, \"coalesced_masks\": {}, \"busy_rejections\": {}, \
-             \"protocol_errors\": {} }}\n",
+             \"protocol_errors\": {}, \"shard_loads\": {:?} }}\n",
             s.connections,
             s.requests,
             s.masks_served,
             s.exec_batches,
             s.coalesced_masks,
             s.busy_rejections,
-            s.protocol_errors
+            s.protocol_errors,
+            s.shard_loads
         ));
     } else {
         json.push('\n');

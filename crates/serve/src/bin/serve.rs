@@ -20,12 +20,18 @@
 //!   rebuilt from the names persisted in the plan, and every member's
 //!   snapshot is published before the server is exposed.
 //!
+//! With `--shards K` (K > 1) the backend is replicated into K shards
+//! behind a [`ShardRouter`]; before the listener opens, the router is
+//! proven bit-identical to the single backend over a sample of paper-task
+//! masks (the process panics on any divergence, so a sharded timing run
+//! implies identity held). `--loops N` runs N epoll event-loop threads.
+//!
 //! Usage:
 //!   cargo run -p o4a-serve --release --bin serve -- \
 //!     [--addr 127.0.0.1:7474] [--addr-file PATH] [--side 32] [--layers N] \
 //!     [--index PATH] [--model PATH] [--artifacts target/serve-artifacts] \
 //!     [--ensemble N] [--workers 2] [--window-us 500] [--queue-cap 1024] \
-//!     [--max-batch 256] [--run-secs S]
+//!     [--max-batch 256] [--shards 1] [--loops 1] [--run-secs S]
 
 use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
 use o4a_core::one4all::{truth_pyramid, One4AllSt};
@@ -37,10 +43,11 @@ use o4a_data::flow::FlowSeries;
 use o4a_data::synthetic::DatasetKind;
 use o4a_ensemble::{load_plan, plan_ensemble, profile_members, save_plan, PlanOptions};
 use o4a_ensemble::{EnsembleServer, HotspotExpert};
+use o4a_grid::queries::{task_queries, TaskSpec};
 use o4a_grid::Hierarchy;
 use o4a_models::multiscale::PyramidPredictor;
 use o4a_models::predictor::TrainConfig;
-use o4a_serve::{serve, ServeConfig};
+use o4a_serve::{serve, ServeConfig, ShardRouter};
 use o4a_tensor::SeededRng;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -59,6 +66,8 @@ struct Args {
     window_us: u64,
     queue_cap: usize,
     max_batch: usize,
+    shards: usize,
+    loops: usize,
     run_secs: Option<f64>,
 }
 
@@ -76,6 +85,8 @@ fn parse_args() -> Args {
         window_us: 500,
         queue_cap: 1024,
         max_batch: 256,
+        shards: 1,
+        loops: 1,
         run_secs: None,
     };
     let mut it = std::env::args().skip(1);
@@ -97,6 +108,8 @@ fn parse_args() -> Args {
             "--window-us" => args.window_us = value("--window-us").parse().expect("--window-us"),
             "--queue-cap" => args.queue_cap = value("--queue-cap").parse().expect("--queue-cap"),
             "--max-batch" => args.max_batch = value("--max-batch").parse().expect("--max-batch"),
+            "--shards" => args.shards = value("--shards").parse().expect("--shards"),
+            "--loops" => args.loops = value("--loops").parse().expect("--loops"),
             "--run-secs" => args.run_secs = Some(value("--run-secs").parse().expect("--run-secs")),
             "--synthetic" => {} // accepted for clarity; synthetic is the default without --index
             other => panic!("unknown flag {other}"),
@@ -185,8 +198,58 @@ fn run_ensemble(args: &Args, n: usize) {
             .expect("member snapshot must match the hierarchy");
         stores.push(store);
     }
-    let server = Arc::new(EnsembleServer::new(plan, stores));
-    serve_and_wait(server, args);
+    let single: Arc<dyn QueryBackend> = Arc::new(EnsembleServer::new(plan.clone(), stores.clone()));
+    let backend = sharded(single, args.shards, || {
+        Arc::new(EnsembleServer::new(plan.clone(), stores.clone())) as Arc<dyn QueryBackend>
+    });
+    serve_and_wait(backend, args);
+}
+
+/// Wraps `single` in a K-shard [`ShardRouter`] (replica backends built by
+/// `make_shard`) and proves the router bit-identical to the single
+/// backend over a sample of paper-task masks *before* any socket opens.
+///
+/// # Panics
+/// Panics on the first diverging answer — a sharded run that reaches the
+/// serving phase has therefore already proven K == 1 identity.
+fn sharded(
+    single: Arc<dyn QueryBackend>,
+    shards: usize,
+    make_shard: impl Fn() -> Arc<dyn QueryBackend>,
+) -> Arc<dyn QueryBackend> {
+    if shards <= 1 {
+        return single;
+    }
+    let router = Arc::new(ShardRouter::new(
+        (0..shards).map(|_| make_shard()).collect(),
+    ));
+    let (h, w) = {
+        let hier = single.hierarchy();
+        (hier.h(), hier.w())
+    };
+    let mut rng = SeededRng::new(41);
+    let mut masks = Vec::new();
+    for spec in TaskSpec::standard_tasks(150.0) {
+        masks.extend(task_queries(h, w, spec, false, &mut rng));
+    }
+    masks.truncate(256);
+    let (want, _) = single.query_many_timed(&masks);
+    let (got, _) = router.query_many_timed(&masks);
+    for (i, (g, r)) in got.iter().zip(&want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            r.to_bits(),
+            "K={shards} shard router diverged from the unsharded backend \
+             on sample mask {i}: {g} != {r}"
+        );
+    }
+    o4a_obs::info!(
+        "serve",
+        "K={} shard router bit-identity verified over {} sample masks",
+        shards,
+        masks.len()
+    );
+    router
 }
 
 fn main() {
@@ -286,8 +349,11 @@ fn main() {
     store
         .publish_checked(frames)
         .expect("snapshot must match the hierarchy");
-    let region = Arc::new(RegionServer::new(index, store));
-    serve_and_wait(region, &args);
+    let single: Arc<dyn QueryBackend> = Arc::new(RegionServer::new(index.clone(), store.clone()));
+    let backend = sharded(single, args.shards, || {
+        Arc::new(RegionServer::new(index.clone(), store.clone())) as Arc<dyn QueryBackend>
+    });
+    serve_and_wait(backend, &args);
 }
 
 /// Binds the server on the configured address and blocks until
@@ -301,6 +367,7 @@ fn serve_and_wait(backend: Arc<dyn QueryBackend>, args: &Args) {
             coalesce_window: Duration::from_micros(args.window_us),
             max_batch_masks: args.max_batch,
             queue_cap: args.queue_cap,
+            event_loops: args.loops,
             ..ServeConfig::default()
         },
     )
@@ -329,6 +396,9 @@ fn serve_and_wait(backend: Arc<dyn QueryBackend>, args: &Args) {
                 stats.busy_rejections,
                 stats.protocol_errors
             );
+            if !stats.shard_loads.is_empty() {
+                println!("shard loads (groups routed): {:?}", stats.shard_loads);
+            }
         }
         None => loop {
             std::thread::sleep(Duration::from_secs(60));

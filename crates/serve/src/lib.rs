@@ -8,27 +8,42 @@
 //!
 //! * [`wire`] — the `O4ARPC01` little-endian binary protocol (QUERY /
 //!   BATCH / HEALTH / STATS verbs, checksummed frames, a total decoder
-//!   that can never panic on hostile bytes);
-//! * [`server`] — a `std::net` TCP server on a fixed acceptor +
-//!   worker-thread model that **coalesces** requests arriving within a
-//!   short window into a single [`o4a_core::server::RegionServer::query_many_timed`]
-//!   call (exercising the PR-1 parallel fan-out under real traffic) and
-//!   sheds load from a **bounded admission queue** with an explicit
+//!   that can never panic on hostile bytes) plus the incremental
+//!   [`wire::FrameAssembler`] the data plane parses TCP fragments with;
+//! * [`evio`] — a minimal vendored epoll/eventfd readiness layer over
+//!   raw syscalls (no external deps): edge-triggered [`evio::Poller`],
+//!   cross-thread [`evio::WakeFd`], pooled read buffers;
+//! * [`server`] — a **nonblocking epoll event loop** data plane: N
+//!   event-loop threads own the sockets and per-connection frame
+//!   reassembly, executor threads run the query work, and requests
+//!   arriving while every executor is busy **coalesce** into a single
+//!   [`o4a_core::server::RegionServer::query_many_timed`] call
+//!   (exercising the PR-1 parallel fan-out under real traffic); load
+//!   beyond the **bounded admission queue** is shed with an explicit
 //!   `BUSY` response instead of unbounded latency;
+//! * [`router`] — [`ShardRouter`], consistent-hash scatter-gather over K
+//!   backend shards with bit-identical merges;
 //! * [`client`] — a blocking client with request framing, timeouts and
 //!   reconnect;
 //! * `serve` / `loadgen` binaries — cold-start a server from on-disk
-//!   artifacts (`codec::load_index` + `deploy::load_model`) and drive it
-//!   with N client threads, writing throughput and latency percentiles
-//!   to `BENCH_serve.json`.
+//!   artifacts (`codec::load_index` + `deploy::load_model`), optionally
+//!   sharded (`--shards K`, bit-identity proven at startup), and drive
+//!   it with N client threads (optionally Zipf-skewed and/or on a
+//!   diurnal open-loop schedule), writing throughput and latency
+//!   percentiles to `BENCH_serve.json`.
 //!
-//! See `DESIGN.md` ("Serving layer") for the wire-protocol layout table
-//! and the coalescing/backpressure semantics.
+//! See `DESIGN.md` ("Serving data plane") for the event-loop
+//! architecture, the wire-protocol layout table, the
+//! coalescing/backpressure semantics and the shard-routing exactness
+//! argument.
 
 pub mod client;
+pub mod evio;
+pub mod router;
 pub mod server;
 pub mod wire;
 
 pub use client::{Client, ClientConfig, ClientError};
+pub use router::ShardRouter;
 pub use server::{serve, ServeConfig, ServerHandle, ServerStats};
 pub use wire::{HealthInfo, Request, Response, StatsSnapshot, TimingNs, WireError};

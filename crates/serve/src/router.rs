@@ -1,0 +1,264 @@
+//! Scatter-gather shard routing for the query tier.
+//!
+//! [`ShardRouter`] partitions the grid hierarchy's decomposed-group
+//! space across K backend shards by consistent hashing and serves behind
+//! the same [`QueryBackend`] trait as an unsharded backend, so `serve`
+//! cannot tell the difference.
+//!
+//! **Why scatter-gather is exact.** Decomposition (Algorithm 1) writes a
+//! region as a disjoint union of groups, and the unsharded answer is the
+//! *sum of the groups' values in decomposition order* — each group's
+//! value (its multi-grid entry or its member cells' optimal
+//! combinations, including any coarse-minus-correction terms inside a
+//! combination) is computed entirely from that group. Nothing crosses
+//! group boundaries, so evaluating each group on whichever shard owns it
+//! and folding the partial values back **in the original decomposition
+//! order** performs bit-for-bit the same f32 additions as the unsharded
+//! path. The router therefore asserts nothing weaker than equality: K=1
+//! and K>1 produce identical bits (`tests/shard_props.rs`).
+//!
+//! Ownership is a consistent-hash ring over each group's *anchor cell*
+//! (its layer plus first — row-major smallest — cell): 32 virtual nodes
+//! per shard, FNV-1a 64 points, successor lookup. Anchoring on a cell
+//! rather than the whole group keeps assignment stable when neighboring
+//! masks decompose into overlapping group sets.
+
+use o4a_core::server::{DecompCache, QueryBackend, QueryTiming};
+use o4a_grid::decompose::DecomposedGroup;
+use o4a_grid::hierarchy::Hierarchy;
+use o4a_grid::mask::Mask;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Virtual nodes per shard on the hash ring — enough to keep the
+/// ownership split within a few percent of uniform at small K.
+const VNODES: usize = 32;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Routes decomposed groups across K [`QueryBackend`] shards and merges
+/// the partial aggregates bit-identically to an unsharded backend.
+pub struct ShardRouter {
+    shards: Vec<Arc<dyn QueryBackend>>,
+    /// Sorted (hash point, shard) ring.
+    ring: Vec<(u64, usize)>,
+    /// The router decomposes masks itself (the shards only ever see
+    /// groups), so the STATS memo counters come from here.
+    decomp_cache: DecompCache,
+    /// Groups routed to each shard since start.
+    loads: Vec<AtomicU64>,
+}
+
+impl ShardRouter {
+    /// Builds a router over `shards` (all must serve identical hierarchy
+    /// geometry).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or the hierarchies disagree on
+    /// dimensions.
+    pub fn new(shards: Vec<Arc<dyn QueryBackend>>) -> ShardRouter {
+        assert!(!shards.is_empty(), "router needs at least one shard");
+        let h0 = shards[0].hierarchy();
+        let dims = (h0.h(), h0.w(), h0.num_layers(), h0.k());
+        for s in &shards[1..] {
+            let h = s.hierarchy();
+            assert_eq!(
+                (h.h(), h.w(), h.num_layers(), h.k()),
+                dims,
+                "every shard must serve the same hierarchy geometry"
+            );
+        }
+        let mut ring = Vec::with_capacity(shards.len() * VNODES);
+        for shard in 0..shards.len() {
+            for v in 0..VNODES {
+                let mut key = [0u8; 16];
+                key[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+                key[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                ring.push((fnv1a64(&key), shard));
+            }
+        }
+        ring.sort_unstable();
+        let loads = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        ShardRouter {
+            shards,
+            ring,
+            decomp_cache: DecompCache::new(),
+            loads,
+        }
+    }
+
+    /// Number of shards behind the router.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard owns a decomposed group: successor of the anchor
+    /// cell's hash point on the ring.
+    pub fn shard_for(&self, group: &DecomposedGroup) -> usize {
+        let (r, c) = group.cells.first().copied().unwrap_or((0, 0));
+        let mut key = [0u8; 24];
+        key[..8].copy_from_slice(&(group.layer as u64).to_le_bytes());
+        key[8..16].copy_from_slice(&(r as u64).to_le_bytes());
+        key[16..].copy_from_slice(&(c as u64).to_le_bytes());
+        let h = fnv1a64(&key);
+        let idx = self.ring.partition_point(|&(p, _)| p < h);
+        self.ring[idx % self.ring.len()].1
+    }
+
+    /// Scatter: routes groups to their owners, evaluates each shard's
+    /// slice with one [`QueryBackend::query_groups_timed`] call, and
+    /// gathers the per-group values back into input order. The returned
+    /// timing's `index` is the exact sum of the shard timings.
+    fn scatter_gather(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, Duration) {
+        let k = self.shards.len();
+        let mut per_shard: Vec<Vec<DecomposedGroup>> = vec![Vec::new(); k];
+        // (shard, position in that shard's slice) per input group
+        let placement: Vec<(usize, usize)> = groups
+            .iter()
+            .map(|g| {
+                let s = self.shard_for(g);
+                per_shard[s].push(g.clone());
+                (s, per_shard[s].len() - 1)
+            })
+            .collect();
+        let mut shard_values: Vec<Vec<f32>> = Vec::with_capacity(k);
+        let mut index_total = Duration::ZERO;
+        for (s, slice) in per_shard.iter().enumerate() {
+            if slice.is_empty() {
+                shard_values.push(Vec::new());
+                continue;
+            }
+            let (vals, t) = self.shards[s].query_groups_timed(slice);
+            debug_assert_eq!(vals.len(), slice.len());
+            self.loads[s].fetch_add(slice.len() as u64, Ordering::Relaxed);
+            index_total += t.index;
+            shard_values.push(vals);
+        }
+        let gathered = placement.iter().map(|&(s, i)| shard_values[s][i]).collect();
+        (gathered, index_total)
+    }
+}
+
+impl QueryBackend for ShardRouter {
+    fn hierarchy(&self) -> &Hierarchy {
+        self.shards[0].hierarchy()
+    }
+
+    fn is_ready(&self) -> bool {
+        self.shards.iter().all(|s| s.is_ready())
+    }
+
+    fn query_many_timed(&self, masks: &[Mask]) -> (Vec<f32>, QueryTiming) {
+        let hier = self.shards[0].hierarchy();
+        let t0 = Instant::now();
+        let decomps: Vec<Arc<Vec<DecomposedGroup>>> = masks
+            .iter()
+            .map(|m| self.decomp_cache.get(hier, m))
+            .collect();
+        let decompose_t = t0.elapsed();
+        // flatten every mask's groups, remembering each mask's span
+        let mut flat: Vec<DecomposedGroup> = Vec::new();
+        let spans: Vec<std::ops::Range<usize>> = decomps
+            .iter()
+            .map(|groups| {
+                let start = flat.len();
+                flat.extend(groups.iter().cloned());
+                start..flat.len()
+            })
+            .collect();
+        let (values, index_t) = self.scatter_gather(&flat);
+        // fold each mask's per-group values in decomposition order — the
+        // exact f32 additions the unsharded path performs
+        let out: Vec<f32> = spans
+            .iter()
+            .map(|span| values[span.clone()].iter().sum())
+            .collect();
+        (
+            out,
+            QueryTiming {
+                decompose: decompose_t,
+                index: index_t,
+            },
+        )
+    }
+
+    fn query_groups_timed(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, QueryTiming) {
+        let (values, index_t) = self.scatter_gather(groups);
+        (
+            values,
+            QueryTiming {
+                decompose: Duration::ZERO,
+                index: index_t,
+            },
+        )
+    }
+
+    fn decomp_cache_stats(&self) -> (u64, u64) {
+        self.decomp_cache.stats()
+    }
+
+    fn plan_revision(&self) -> u64 {
+        self.shards[0].plan_revision()
+    }
+
+    fn shard_loads(&self) -> Vec<u64> {
+        self.loads
+            .iter()
+            .map(|l| l.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_covers_every_shard() {
+        // ownership must touch all shards for a spread of anchors
+        for k in 1..=4usize {
+            let mut owners = vec![0u64; k];
+            let ring = {
+                let mut ring = Vec::new();
+                for shard in 0..k {
+                    for v in 0..VNODES {
+                        let mut key = [0u8; 16];
+                        key[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+                        key[8..].copy_from_slice(&(v as u64).to_le_bytes());
+                        ring.push((fnv1a64(&key), shard));
+                    }
+                }
+                ring.sort_unstable();
+                ring
+            };
+            for layer in 0..3usize {
+                for r in 0..32usize {
+                    for c in 0..32usize {
+                        let mut key = [0u8; 24];
+                        key[..8].copy_from_slice(&(layer as u64).to_le_bytes());
+                        key[8..16].copy_from_slice(&(r as u64).to_le_bytes());
+                        key[16..].copy_from_slice(&(c as u64).to_le_bytes());
+                        let h = fnv1a64(&key);
+                        let idx = ring.partition_point(|&(p, _)| p < h);
+                        owners[ring[idx % ring.len()].1] += 1;
+                    }
+                }
+            }
+            assert!(
+                owners.iter().all(|&n| n > 0),
+                "K={k}: some shard owns nothing: {owners:?}"
+            );
+        }
+    }
+}

@@ -1,35 +1,52 @@
-//! The coalescing TCP query server.
+//! The nonblocking epoll query server.
 //!
 //! Thread model (fixed, no async runtime):
 //!
-//! * one **acceptor** thread polls the listener and spawns a reader
-//!   thread per connection;
-//! * each **connection** thread parses frames, answers
-//!   `HEALTH`/`STATS`/`METRICS` inline, and submits `QUERY`/`BATCH` jobs
-//!   to a **bounded admission queue** — when the queue is full the request
-//!   is shed immediately with `BUSY` instead of queuing into unbounded
-//!   latency;
-//! * a fixed pool of **executor** threads pops jobs, coalesces everything
-//!   that arrived within the coalescing window into a single
-//!   [`QueryBackend::query_many_timed`] call (one snapshot set, parallel
-//!   fan-out across the PR-1 compute pool), and routes each slice of the
-//!   result back to its connection.
+//! * N **event-loop** threads ([`ServeConfig::event_loops`]) each run an
+//!   edge-triggered [`crate::evio::Poller`]. Loop 0 owns the listener and
+//!   accepts until `WouldBlock`; every connection lives on exactly one
+//!   loop as a [`Conn`] state machine — an incremental
+//!   [`wire::FrameAssembler`] parsing `O4ARPC01` frames zero-copy out of
+//!   a pooled read buffer, an ordered response-slot window, and a write
+//!   queue with `EPOLLOUT` backpressure;
+//! * `HEALTH`/`STATS`/`METRICS` are answered inline on the loop;
+//!   `QUERY`/`BATCH` pass a **bounded admission gate** (beyond
+//!   [`ServeConfig::queue_cap`] outstanding jobs the request is shed
+//!   immediately with `BUSY`) into the loop's pending list;
+//! * pending jobs **coalesce adaptively**: while an executor slot is
+//!   free the batch is submitted immediately (an idle server answers a
+//!   lone query without waiting out a window), and while all slots are
+//!   busy arrivals accumulate until a slot frees or
+//!   [`ServeConfig::coalesce_window`] elapses — so the window is a cap
+//!   on added latency, not a tax on every request;
+//! * a fixed pool of **executor** threads pops one batch at a time,
+//!   answers it with a single [`QueryBackend::query_many_timed`] call
+//!   (one snapshot set, parallel fan-out across the PR-1 compute pool),
+//!   encodes the response frames, and hands them back to the owning
+//!   loop through a completion inbox + `eventfd` wake.
+//!
+//! Responses are paired with requests by order, so each connection keeps
+//! a seq-indexed slot window: inline answers fill their slot at parse
+//! time, query answers at completion time, and only the filled prefix is
+//! flushed — pipelined clients always read responses in request order.
 //!
 //! The server is generic over the query engine: a single-model
-//! `RegionServer` and the ensemble server both serve behind the
-//! [`QueryBackend`] trait, so `serve` takes an `Arc<dyn QueryBackend>`.
+//! `RegionServer`, the ensemble server and the sharded
+//! [`crate::router::ShardRouter`] all serve behind the [`QueryBackend`]
+//! trait, so `serve` takes an `Arc<dyn QueryBackend>`.
 //!
-//! Shutdown is cooperative: a flag plus condvar wakeups; every thread is
-//! joined before [`ServerHandle::shutdown`] returns.
+//! Shutdown is cooperative: a flag plus eventfd/condvar wakeups; every
+//! thread is joined before [`ServerHandle::shutdown`] returns.
 
-use crate::wire::{self, HealthInfo, Request, Response, StatsSnapshot, TimingNs, TransportError};
+use crate::evio::{Interest, Poller, PooledBuf, WakeFd};
+use crate::wire::{self, HealthInfo, Request, Response, StatsSnapshot, TimingNs};
 use o4a_core::server::QueryBackend;
 use o4a_grid::mask::Mask;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -41,16 +58,20 @@ pub struct ServeConfig {
     pub addr: String,
     /// Executor threads popping the admission queue.
     pub workers: usize,
-    /// How long an executor waits for more requests to coalesce after the
-    /// first one arrives.
+    /// Longest a pending job is held for coalescing while every executor
+    /// slot is busy; with a free slot jobs are submitted immediately.
     pub coalesce_window: Duration,
     /// Cap on masks folded into one `query_many` execution.
     pub max_batch_masks: usize,
-    /// Admission queue capacity in jobs; beyond it requests get `BUSY`
-    /// (`0` sheds every request — a drain mode).
+    /// Admission cap on outstanding (admitted, not yet executing) jobs;
+    /// beyond it requests get `BUSY` (`0` sheds every request — a drain
+    /// mode).
     pub queue_cap: usize,
     /// Cap on a request frame's payload bytes.
     pub max_payload: usize,
+    /// Event-loop threads. One loop saturates a single core; more loops
+    /// spread connections by accept order for multi-core hosts.
+    pub event_loops: usize,
 }
 
 impl Default for ServeConfig {
@@ -62,6 +83,7 @@ impl Default for ServeConfig {
             max_batch_masks: 256,
             queue_cap: 1024,
             max_payload: wire::DEFAULT_MAX_PAYLOAD,
+            event_loops: 1,
         }
     }
 }
@@ -93,113 +115,94 @@ impl ServerStats {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             decompose_ns: self.decompose_ns.load(Ordering::Relaxed),
             index_ns: self.index_ns.load(Ordering::Relaxed),
-            // the decomposition memo and plan revision live in the query
-            // backend, not here; `Shared::stats_snapshot` fills these in
+            // the decomposition memo, plan revision and shard loads live
+            // in the query backend, not here; `Shared::stats_snapshot`
+            // fills these in
             decomp_cache_hits: 0,
             decomp_cache_misses: 0,
             plan_revision: 0,
+            shard_loads: Vec::new(),
         }
     }
 }
 
-type JobReply = Result<(Vec<f32>, TimingNs), String>;
-
-struct Job {
+/// One admitted `QUERY`/`BATCH` request waiting for an executor.
+struct ExecJob {
+    /// Connection token on the owning loop.
+    token: u64,
+    /// Response-slot sequence number on that connection.
+    seq: u64,
     masks: Vec<Mask>,
-    reply: mpsc::SyncSender<JobReply>,
+    /// Whether to answer with `Prediction` (single) or `BatchResult`.
+    single: bool,
+    /// Parse time, for the `serve_request` latency histogram.
+    t_start: Instant,
 }
 
+/// A coalesced batch submitted by one event loop.
+struct ExecBatch {
+    loop_id: usize,
+    jobs: Vec<ExecJob>,
+}
+
+/// Encoded response frames an executor hands back to a loop: one entry
+/// per job, `(token, seq, frame)`.
+type BatchDone = Vec<(u64, u64, Vec<u8>)>;
+
+/// MPMC batch queue feeding the executor pool.
 #[derive(Default)]
-struct QueueState {
-    jobs: VecDeque<Job>,
-    shutdown: bool,
-}
-
-/// Bounded MPMC job queue with condvar-driven batch pops.
-struct JobQueue {
-    state: Mutex<QueueState>,
+struct ExecQueue {
+    state: Mutex<(VecDeque<ExecBatch>, bool)>,
     cv: Condvar,
-    cap: usize,
 }
 
-impl JobQueue {
-    fn new(cap: usize) -> Self {
-        JobQueue {
-            state: Mutex::new(QueueState::default()),
-            cv: Condvar::new(),
-            cap,
-        }
-    }
-
-    /// Admits a job, or returns it to the caller when the queue is full
-    /// (the caller sheds it with `BUSY`).
-    fn push(&self, job: Job) -> Result<(), Job> {
-        let mut st = self.state.lock().expect("queue poisoned");
-        if st.shutdown || st.jobs.len() >= self.cap {
-            return Err(job);
-        }
-        st.jobs.push_back(job);
-        drop(st);
+impl ExecQueue {
+    fn push(&self, batch: ExecBatch) {
+        self.state
+            .lock()
+            .expect("exec queue poisoned")
+            .0
+            .push_back(batch);
         self.cv.notify_one();
-        Ok(())
     }
 
-    /// Blocks for the next job, then keeps draining jobs that arrive
-    /// within `window` (up to `max_masks` total). Returns `None` on
-    /// shutdown with an empty queue.
-    fn pop_batch(&self, window: Duration, max_masks: usize) -> Option<Vec<Job>> {
-        let mut st = self.state.lock().expect("queue poisoned");
-        let first = loop {
-            if let Some(job) = st.jobs.pop_front() {
-                break job;
+    /// Blocks for the next batch; `None` on shutdown with an empty queue.
+    fn pop(&self) -> Option<ExecBatch> {
+        let mut st = self.state.lock().expect("exec queue poisoned");
+        loop {
+            if let Some(b) = st.0.pop_front() {
+                return Some(b);
             }
-            if st.shutdown {
+            if st.1 {
                 return None;
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(st, Duration::from_millis(50))
-                .expect("queue poisoned");
-            st = guard;
-        };
-        let mut total = first.masks.len();
-        let mut batch = vec![first];
-        let deadline = Instant::now() + window;
-        while total < max_masks && !st.shutdown {
-            if let Some(job) = st.jobs.pop_front() {
-                total += job.masks.len();
-                batch.push(job);
-                continue;
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
-            let (guard, timeout) = self
-                .cv
-                .wait_timeout(st, deadline - now)
-                .expect("queue poisoned");
-            st = guard;
-            if timeout.timed_out() && st.jobs.is_empty() {
-                break;
-            }
+            st = self.cv.wait(st).expect("exec queue poisoned");
         }
-        Some(batch)
     }
 
     fn shutdown(&self) {
-        self.state.lock().expect("queue poisoned").shutdown = true;
+        self.state.lock().expect("exec queue poisoned").1 = true;
         self.cv.notify_all();
     }
 }
 
+/// Per-event-loop mailbox: executors push completed batches here and
+/// kick the loop's eventfd.
+struct LoopShared {
+    wake: WakeFd,
+    completions: Mutex<Vec<BatchDone>>,
+}
+
 struct Shared {
     region: Arc<dyn QueryBackend>,
-    queue: JobQueue,
     stats: ServerStats,
     shutdown: AtomicBool,
     cfg: ServeConfig,
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    exec_queue: ExecQueue,
+    /// Jobs admitted but not yet popped by an executor (the bounded
+    /// admission gate: at `queue_cap` further queries shed with `BUSY`).
+    admitted: AtomicU64,
+    loops: Vec<Arc<LoopShared>>,
     /// Monotonic start instant (uptime reported by `HEALTH`).
     started: Instant,
     /// Start time in seconds since the Unix epoch (reported by `HEALTH`).
@@ -211,14 +214,16 @@ struct Shared {
 
 impl Shared {
     /// Serving counters merged with the backend's decomposition-memo
-    /// hit/miss counters and its active plan revision (`0` for a
-    /// single-model backend).
+    /// hit/miss counters, its active plan revision (`0` for a
+    /// single-model backend) and its per-shard load counters (empty
+    /// unsharded).
     fn stats_snapshot(&self) -> StatsSnapshot {
         let mut s = self.stats.snapshot();
         let (hits, misses) = self.region.decomp_cache_stats();
         s.decomp_cache_hits = hits;
         s.decomp_cache_misses = misses;
         s.plan_revision = self.region.plan_revision();
+        s.shard_loads = self.region.shard_loads();
         s
     }
 }
@@ -228,7 +233,7 @@ impl Shared {
 pub struct ServerHandle {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
+    loops: Vec<JoinHandle<()>>,
     executors: Vec<JoinHandle<()>>,
 }
 
@@ -243,34 +248,26 @@ impl ServerHandle {
         self.shared.stats_snapshot()
     }
 
-    /// Stops accepting, drains the threads and joins them all.
+    /// Stops accepting, closes every connection and joins all threads.
     pub fn shutdown(mut self) {
         o4a_obs::info!("serve", "shutting down"; addr = self.addr);
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.shutdown();
-        // wake the acceptor out of its poll by dialing it once
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(100));
-        if let Some(h) = self.acceptor.take() {
+        self.shared.exec_queue.shutdown();
+        for ls in &self.shared.loops {
+            ls.wake.wake();
+        }
+        for h in self.loops.drain(..) {
             let _ = h.join();
         }
         for h in self.executors.drain(..) {
-            let _ = h.join();
-        }
-        let handles: Vec<_> = self
-            .shared
-            .conn_handles
-            .lock()
-            .expect("handles poisoned")
-            .drain(..)
-            .collect();
-        for h in handles {
             let _ = h.join();
         }
     }
 }
 
 /// Starts serving a query backend over TCP and returns the handle
-/// (`Arc<RegionServer>` and `Arc<EnsembleServer>` both coerce).
+/// (`Arc<RegionServer>`, `Arc<EnsembleServer>` and `Arc<ShardRouter>`
+/// all coerce).
 pub fn serve(region: Arc<dyn QueryBackend>, cfg: ServeConfig) -> std::io::Result<ServerHandle> {
     let listener =
         TcpListener::bind(cfg.addr.to_socket_addrs()?.next().ok_or_else(|| {
@@ -279,13 +276,23 @@ pub fn serve(region: Arc<dyn QueryBackend>, cfg: ServeConfig) -> std::io::Result
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let workers = cfg.workers.max(1);
+    let n_loops = cfg.event_loops.max(1);
+    let loops: Vec<Arc<LoopShared>> = (0..n_loops)
+        .map(|_| {
+            Ok(Arc::new(LoopShared {
+                wake: WakeFd::new()?,
+                completions: Mutex::new(Vec::new()),
+            }))
+        })
+        .collect::<std::io::Result<_>>()?;
     let shared = Arc::new(Shared {
         region,
-        queue: JobQueue::new(cfg.queue_cap),
         stats: ServerStats::default(),
         shutdown: AtomicBool::new(false),
         cfg,
-        conn_handles: Mutex::new(Vec::new()),
+        exec_queue: ExecQueue::default(),
+        admitted: AtomicU64::new(0),
+        loops,
         started: Instant::now(),
         started_unix: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
@@ -296,24 +303,12 @@ pub fn serve(region: Arc<dyn QueryBackend>, cfg: ServeConfig) -> std::io::Result
     // Pre-register the serving metrics so a scrape of an idle server
     // already exposes every counter at zero (the call sites below would
     // otherwise register them lazily on first use).
-    let _ = o4a_obs::counter!(
-        "o4a_serve_connections_total",
-        "TCP connections accepted by the query server"
-    );
-    let _ = o4a_obs::counter!(
-        "o4a_serve_requests_total",
-        "well-formed request frames handled by the query server"
-    );
-    let _ = o4a_obs::counter!(
-        "o4a_serve_busy_total",
-        "requests shed with BUSY because the admission queue was full"
-    );
+    let _ = connections_counter();
+    let _ = requests_counter();
+    let _ = busy_counter();
     let _ = protocol_error_counter();
-    let _ = o4a_obs::histogram!(
-        "o4a_serve_request_ns",
-        "latency of the `serve_request` span in nanoseconds"
-    );
-    o4a_obs::info!("serve", "listening"; addr = addr, workers = workers);
+    let _ = request_ns_histogram();
+    o4a_obs::info!("serve", "listening"; addr = addr, workers = workers, loops = n_loops);
 
     let executors: Vec<JoinHandle<()>> = (0..workers)
         .map(|i| {
@@ -325,222 +320,45 @@ pub fn serve(region: Arc<dyn QueryBackend>, cfg: ServeConfig) -> std::io::Result
         })
         .collect();
 
-    let acceptor = {
-        let shared = shared.clone();
-        std::thread::Builder::new()
-            .name("o4a-acceptor".into())
-            .spawn(move || acceptor_loop(listener, &shared))
-            .expect("spawn acceptor")
-    };
+    let mut listener = Some(listener);
+    let loop_threads: Vec<JoinHandle<()>> = (0..n_loops)
+        .map(|i| {
+            let shared = shared.clone();
+            let listener = listener.take();
+            std::thread::Builder::new()
+                .name(format!("o4a-loop-{i}"))
+                .spawn(move || EventLoop::run(i, &shared, listener))
+                .expect("spawn event loop")
+        })
+        .collect();
 
     Ok(ServerHandle {
         addr,
         shared,
-        acceptor: Some(acceptor),
+        loops: loop_threads,
         executors,
     })
 }
 
-fn acceptor_loop(listener: TcpListener, shared: &Arc<Shared>) {
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                shared.stats.connections.fetch_add(1, Ordering::Relaxed);
-                o4a_obs::counter!(
-                    "o4a_serve_connections_total",
-                    "TCP connections accepted by the query server"
-                )
-                .inc();
-                let conn_shared = shared.clone();
-                let handle = std::thread::Builder::new()
-                    .name("o4a-conn".into())
-                    .spawn(move || connection_loop(stream, &conn_shared))
-                    .expect("spawn connection");
-                shared
-                    .conn_handles
-                    .lock()
-                    .expect("handles poisoned")
-                    .push(handle);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
+fn connections_counter() -> &'static o4a_obs::Counter {
+    o4a_obs::counter!(
+        "o4a_serve_connections_total",
+        "TCP connections accepted by the query server"
+    )
 }
 
-fn executor_loop(shared: &Arc<Shared>) {
-    let cfg = &shared.cfg;
-    while let Some(batch) = shared
-        .queue
-        .pop_batch(cfg.coalesce_window, cfg.max_batch_masks)
-    {
-        let all: Vec<Mask> = batch.iter().flat_map(|j| j.masks.iter().cloned()).collect();
-        if !shared.region.is_ready() {
-            for job in &batch {
-                let _ = job
-                    .reply
-                    .try_send(Err("no prediction snapshot published".into()));
-            }
-            continue;
-        }
-        let (values, timing) = shared.region.query_many_timed(&all);
-        let timing = TimingNs {
-            decompose_ns: timing.decompose.as_nanos() as u64,
-            index_ns: timing.index.as_nanos() as u64,
-        };
-        shared.stats.exec_batches.fetch_add(1, Ordering::Relaxed);
-        shared
-            .stats
-            .masks_served
-            .fetch_add(all.len() as u64, Ordering::Relaxed);
-        if batch.len() > 1 {
-            shared
-                .stats
-                .coalesced_masks
-                .fetch_add(all.len() as u64, Ordering::Relaxed);
-        }
-        shared
-            .stats
-            .decompose_ns
-            .fetch_add(timing.decompose_ns, Ordering::Relaxed);
-        shared
-            .stats
-            .index_ns
-            .fetch_add(timing.index_ns, Ordering::Relaxed);
-        let mut off = 0usize;
-        for job in &batch {
-            let slice = values[off..off + job.masks.len()].to_vec();
-            off += job.masks.len();
-            // the connection thread may have died; nothing to do then
-            let _ = job.reply.try_send(Ok((slice, timing)));
-        }
-    }
+fn requests_counter() -> &'static o4a_obs::Counter {
+    o4a_obs::counter!(
+        "o4a_serve_requests_total",
+        "well-formed request frames handled by the query server"
+    )
 }
 
-/// Read adapter that retries timeout kinds (so a frame split across slow
-/// TCP segments never desynchronizes the stream) while staying responsive
-/// to server shutdown between reads.
-struct PatientStream<'a> {
-    stream: &'a mut TcpStream,
-    shutdown: &'a AtomicBool,
-}
-
-impl Read for PatientStream<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            if self.shutdown.load(Ordering::SeqCst) {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::Interrupted,
-                    "server shutting down",
-                ));
-            }
-            match self.stream.read(buf) {
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    continue;
-                }
-                other => return other,
-            }
-        }
-    }
-}
-
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_nodelay(true);
-    let hier = shared.region.hierarchy().clone();
-    loop {
-        if shared.shutdown.load(Ordering::SeqCst) {
-            return;
-        }
-        let mut patient = PatientStream {
-            stream: &mut stream,
-            shutdown: &shared.shutdown,
-        };
-        let (verb, payload) = match wire::read_frame(&mut patient, shared.cfg.max_payload) {
-            Ok(frame) => frame,
-            Err(TransportError::Closed) => return,
-            Err(TransportError::Io(_)) => return,
-            Err(TransportError::Wire(e)) => {
-                // a malformed frame desynchronizes the stream: report and
-                // close rather than guessing where the next frame starts
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                protocol_error_counter().inc();
-                o4a_obs::warn!("serve", "closing connection on malformed frame: {}", e);
-                send(
-                    &mut stream,
-                    &Response::Error(format!("protocol error: {e}")),
-                );
-                return;
-            }
-        };
-        let request = match wire::decode_request(verb, &payload) {
-            Ok(req) => req,
-            Err(e) => {
-                shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                protocol_error_counter().inc();
-                o4a_obs::warn!("serve", "closing connection on malformed payload: {}", e);
-                send(
-                    &mut stream,
-                    &Response::Error(format!("protocol error: {e}")),
-                );
-                return;
-            }
-        };
-        shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-        o4a_obs::counter!(
-            "o4a_serve_requests_total",
-            "well-formed request frames handled by the query server"
-        )
-        .inc();
-        let req_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
-        let _req_span = o4a_obs::span!("serve_request");
-        o4a_obs::debug!("serve", "request {:?}", verb; req = req_id);
-        match request {
-            Request::Health => {
-                let info = HealthInfo {
-                    ready: shared.region.is_ready(),
-                    h: hier.h() as u32,
-                    w: hier.w() as u32,
-                    layers: hier.num_layers() as u8,
-                    uptime_secs: shared.started.elapsed().as_secs(),
-                    started_unix: shared.started_unix,
-                };
-                if !send(&mut stream, &Response::Health(info)) {
-                    return;
-                }
-            }
-            Request::Stats => {
-                if !send(&mut stream, &Response::Stats(shared.stats_snapshot())) {
-                    return;
-                }
-            }
-            Request::Metrics => {
-                let text = o4a_obs::render_prometheus();
-                if !send(&mut stream, &Response::Metrics(text)) {
-                    return;
-                }
-            }
-            Request::Query(mask) => {
-                if !handle_query(&mut stream, shared, &hier, vec![mask], true) {
-                    return;
-                }
-            }
-            Request::Batch(masks) => {
-                if !handle_query(&mut stream, shared, &hier, masks, false) {
-                    return;
-                }
-            }
-        }
-    }
+fn busy_counter() -> &'static o4a_obs::Counter {
+    o4a_obs::counter!(
+        "o4a_serve_busy_total",
+        "requests shed with BUSY because the admission queue was full"
+    )
 }
 
 /// Malformed frames / payloads received (mirrors
@@ -552,68 +370,563 @@ fn protocol_error_counter() -> &'static o4a_obs::Counter {
     )
 }
 
-/// Submits masks through the admission queue and writes the response.
-/// Returns `false` when the connection should close.
-fn handle_query(
-    stream: &mut TcpStream,
-    shared: &Arc<Shared>,
-    hier: &o4a_grid::hierarchy::Hierarchy,
-    masks: Vec<Mask>,
-    single: bool,
-) -> bool {
-    for mask in &masks {
-        if mask.h() != hier.h() || mask.w() != hier.w() {
-            // well-formed but wrong raster: answer and keep the
-            // connection usable
-            return send(
-                stream,
-                &Response::Error(format!(
-                    "mask is {}x{}, server raster is {}x{}",
-                    mask.h(),
-                    mask.w(),
-                    hier.h(),
-                    hier.w()
-                )),
-            );
-        }
-    }
-    let (tx, rx) = mpsc::sync_channel::<JobReply>(1);
-    let job = Job { masks, reply: tx };
-    if shared.queue.push(job).is_err() {
-        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-        o4a_obs::counter!(
-            "o4a_serve_busy_total",
-            "requests shed with BUSY because the admission queue was full"
-        )
-        .inc();
-        return send(stream, &Response::Busy);
-    }
-    match rx.recv() {
-        Ok(Ok((values, timing))) => {
-            let resp = if single {
-                Response::Prediction {
-                    value: values[0],
-                    timing,
-                }
-            } else {
-                Response::BatchResult { values, timing }
-            };
-            send(stream, &resp)
-        }
-        Ok(Err(msg)) => send(stream, &Response::Error(msg)),
-        // executor pool went away (shutdown mid-request)
-        Err(_) => {
-            send(stream, &Response::Error("server shutting down".into()));
-            false
-        }
+/// Parse-to-response latency, the same histogram `span!("serve_request")`
+/// recorded on the thread-per-connection server (kept name-compatible for
+/// dashboards; recorded manually because a request's life now spans the
+/// loop and executor threads).
+fn request_ns_histogram() -> &'static o4a_obs::Histogram {
+    o4a_obs::histogram!(
+        "o4a_serve_request_ns",
+        "latency of the `serve_request` span in nanoseconds"
+    )
+}
+
+fn executor_loop(shared: &Arc<Shared>) {
+    while let Some(batch) = shared.exec_queue.pop() {
+        shared
+            .admitted
+            .fetch_sub(batch.jobs.len() as u64, Ordering::Relaxed);
+        let done: BatchDone = if shared.region.is_ready() {
+            run_batch(shared, &batch)
+        } else {
+            batch
+                .jobs
+                .iter()
+                .map(|job| {
+                    let frame = wire::encode_response(&Response::Error(
+                        "no prediction snapshot published".into(),
+                    ));
+                    (job.token, job.seq, frame)
+                })
+                .collect()
+        };
+        let ls = &shared.loops[batch.loop_id];
+        ls.completions
+            .lock()
+            .expect("completions poisoned")
+            .push(done);
+        ls.wake.wake();
     }
 }
 
-/// Writes a response frame; `false` on transport failure.
-fn send(stream: &mut TcpStream, resp: &Response) -> bool {
-    let frame = wire::encode_response(resp);
-    stream
-        .write_all(&frame)
-        .and_then(|_| stream.flush())
-        .is_ok()
+/// Answers one coalesced batch with a single backend call and encodes the
+/// per-job response frames.
+fn run_batch(shared: &Arc<Shared>, batch: &ExecBatch) -> BatchDone {
+    let all: Vec<Mask> = batch
+        .jobs
+        .iter()
+        .flat_map(|j| j.masks.iter().cloned())
+        .collect();
+    let (values, timing) = shared.region.query_many_timed(&all);
+    let timing = TimingNs {
+        decompose_ns: timing.decompose.as_nanos() as u64,
+        index_ns: timing.index.as_nanos() as u64,
+    };
+    shared.stats.exec_batches.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .masks_served
+        .fetch_add(all.len() as u64, Ordering::Relaxed);
+    if batch.jobs.len() > 1 {
+        shared
+            .stats
+            .coalesced_masks
+            .fetch_add(all.len() as u64, Ordering::Relaxed);
+    }
+    shared
+        .stats
+        .decompose_ns
+        .fetch_add(timing.decompose_ns, Ordering::Relaxed);
+    shared
+        .stats
+        .index_ns
+        .fetch_add(timing.index_ns, Ordering::Relaxed);
+    let mut off = 0usize;
+    batch
+        .jobs
+        .iter()
+        .map(|job| {
+            let slice = &values[off..off + job.masks.len()];
+            off += job.masks.len();
+            let resp = if job.single {
+                Response::Prediction {
+                    value: slice[0],
+                    timing,
+                }
+            } else {
+                Response::BatchResult {
+                    values: slice.to_vec(),
+                    timing,
+                }
+            };
+            request_ns_histogram().record(job.t_start.elapsed().as_nanos() as u64);
+            (job.token, job.seq, wire::encode_response(&resp))
+        })
+        .collect()
+}
+
+/// Per-connection state machine on an event loop.
+struct Conn {
+    stream: TcpStream,
+    assembler: wire::FrameAssembler,
+    /// Encoded frames ready to write, oldest first; `wq_head` is the
+    /// write offset into the front frame.
+    wq: VecDeque<Vec<u8>>,
+    wq_head: usize,
+    /// Whether the poller registration currently includes `EPOLLOUT`.
+    want_write: bool,
+    /// Seq-indexed response slots: `slots[i]` answers request
+    /// `base_seq + i`. Only the filled prefix may be flushed, so
+    /// pipelined responses always leave in request order.
+    slots: VecDeque<Option<Vec<u8>>>,
+    base_seq: u64,
+    next_seq: u64,
+    /// Close once every slot and queued write has drained (set on
+    /// protocol error; further input is ignored).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, max_payload: usize) -> Conn {
+        Conn {
+            stream,
+            assembler: wire::FrameAssembler::new(max_payload),
+            wq: VecDeque::new(),
+            wq_head: 0,
+            want_write: false,
+            slots: VecDeque::new(),
+            base_seq: 0,
+            next_seq: 0,
+            closing: false,
+        }
+    }
+
+    /// Reserves the next response slot, returning its seq.
+    fn alloc_slot(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.slots.push_back(None);
+        seq
+    }
+
+    /// Fills a response slot and moves the completed prefix to the write
+    /// queue.
+    fn fill(&mut self, seq: u64, frame: Vec<u8>) {
+        let idx = (seq - self.base_seq) as usize;
+        if let Some(slot) = self.slots.get_mut(idx) {
+            *slot = Some(frame);
+        }
+        while matches!(self.slots.front(), Some(Some(_))) {
+            let frame = self.slots.pop_front().flatten().expect("checked Some");
+            self.base_seq += 1;
+            self.wq.push_back(frame);
+        }
+    }
+
+    /// Whether the connection has fully drained and was marked closing.
+    fn drained_for_close(&self) -> bool {
+        self.closing && self.slots.is_empty() && self.wq.is_empty()
+    }
+}
+
+/// Listener token (loop 0 only).
+const TOK_LISTENER: u64 = 0;
+/// Wake-eventfd token.
+const TOK_WAKE: u64 = 1;
+/// First connection token.
+const TOK_CONN0: u64 = 2;
+
+/// Socket read scratch per loop: one pooled buffer recycled across every
+/// read on the loop thread.
+const READ_BUF_BYTES: usize = 16 * 1024;
+
+struct EventLoop<'a> {
+    loop_id: usize,
+    shared: &'a Arc<Shared>,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// Admitted jobs waiting to be submitted as a batch.
+    pending: Vec<ExecJob>,
+    /// When the oldest pending job was admitted (coalesce deadline base).
+    pending_since: Option<Instant>,
+    /// Batches submitted to the executors and not yet completed.
+    in_flight: usize,
+    hier: o4a_grid::hierarchy::Hierarchy,
+}
+
+impl EventLoop<'_> {
+    fn run(loop_id: usize, shared: &Arc<Shared>, listener: Option<TcpListener>) {
+        let poller = match Poller::new() {
+            Ok(p) => p,
+            Err(e) => {
+                o4a_obs::warn!("serve", "epoll unavailable, loop {} down: {}", loop_id, e);
+                return;
+            }
+        };
+        let ls = &shared.loops[loop_id];
+        poller
+            .add(ls.wake.raw_fd(), TOK_WAKE, Interest::READ)
+            .expect("register wakefd");
+        if let Some(l) = &listener {
+            poller
+                .add(l.as_raw_fd(), TOK_LISTENER, Interest::READ)
+                .expect("register listener");
+        }
+        let mut el = EventLoop {
+            loop_id,
+            shared,
+            poller,
+            conns: HashMap::new(),
+            next_token: TOK_CONN0,
+            pending: Vec::new(),
+            pending_since: None,
+            in_flight: 0,
+            hier: shared.region.hierarchy().clone(),
+        };
+        let mut rbuf = PooledBuf::with_capacity(READ_BUF_BYTES);
+        let mut events = Vec::new();
+        loop {
+            let timeout = el
+                .pending_since
+                .map(|t0| shared.cfg.coalesce_window.saturating_sub(t0.elapsed()));
+            if el.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for ev in &events {
+                match ev.token {
+                    TOK_LISTENER => {
+                        if let Some(l) = &listener {
+                            el.accept_ready(l);
+                        }
+                    }
+                    TOK_WAKE => shared.loops[loop_id].wake.drain(),
+                    token => el.conn_ready(token, ev.readable, ev.writable, &mut rbuf),
+                }
+            }
+            el.drain_completions();
+            el.flush_pending();
+        }
+        // Cooperative close: dropping the map closes every socket, and
+        // dropping the listener (loop 0) makes further connects refuse.
+        el.conns.clear();
+    }
+
+    /// Accepts until the listener reports `WouldBlock` (edge-triggered).
+    fn accept_ready(&mut self, listener: &TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.shared.shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.shared
+                        .stats
+                        .connections
+                        .fetch_add(1, Ordering::Relaxed);
+                    connections_counter().inc();
+                    self.conns
+                        .insert(token, Conn::new(stream, self.shared.cfg.max_payload));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Handles readiness on a connection token.
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool, rbuf: &mut PooledBuf) {
+        let Some(mut conn) = self.conns.remove(&token) else {
+            return;
+        };
+        let mut alive = true;
+        if readable {
+            alive = self.read_ready(token, &mut conn, rbuf);
+        }
+        // flush after reads too: inline responses queued during the read
+        // would otherwise wait for an EPOLLOUT edge that never comes
+        // (the socket was writable all along)
+        if alive && (writable || !conn.wq.is_empty()) {
+            alive = self.flush_writes(token, &mut conn);
+        }
+        if alive && !conn.drained_for_close() {
+            self.conns.insert(token, conn);
+        } else {
+            self.teardown(conn);
+        }
+    }
+
+    fn teardown(&mut self, conn: Conn) {
+        let _ = self.poller.delete(conn.stream.as_raw_fd());
+        // dropping `conn` closes the socket
+    }
+
+    /// Drains the socket until `WouldBlock`/EOF, feeding every chunk to
+    /// the frame assembler. Returns `false` when the connection died.
+    fn read_ready(&mut self, token: u64, conn: &mut Conn, rbuf: &mut PooledBuf) -> bool {
+        loop {
+            if conn.closing {
+                // a protocol error desynchronized the stream: ignore
+                // further input and let the queued error frame drain
+                return true;
+            }
+            let buf = rbuf.as_mut_bytes();
+            match (&conn.stream).read(buf) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    let chunk = &buf[..n];
+                    self.process_bytes(token, conn, chunk);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Feeds one received chunk through the frame assembler and handles
+    /// every completed request in arrival order.
+    fn process_bytes(&mut self, token: u64, conn: &mut Conn, chunk: &[u8]) {
+        let mut parsed: Vec<Result<Request, wire::WireError>> = Vec::new();
+        let fed = conn.assembler.feed(chunk, |verb, payload| {
+            parsed.push(wire::decode_request(verb, payload));
+        });
+        for req in parsed {
+            if conn.closing {
+                break;
+            }
+            match req {
+                Ok(r) => self.handle_request(token, conn, r),
+                Err(e) => self.protocol_error(conn, &e),
+            }
+        }
+        if let Err(e) = fed {
+            if !conn.closing {
+                self.protocol_error(conn, &e);
+            }
+        }
+    }
+
+    /// Reports a malformed frame/payload: error response, then close once
+    /// everything queued before it has drained.
+    fn protocol_error(&mut self, conn: &mut Conn, e: &wire::WireError) {
+        self.shared
+            .stats
+            .protocol_errors
+            .fetch_add(1, Ordering::Relaxed);
+        protocol_error_counter().inc();
+        o4a_obs::warn!("serve", "closing connection on malformed input: {}", e);
+        let seq = conn.alloc_slot();
+        conn.fill(
+            seq,
+            wire::encode_response(&Response::Error(format!("protocol error: {e}"))),
+        );
+        conn.closing = true;
+    }
+
+    fn handle_request(&mut self, token: u64, conn: &mut Conn, req: Request) {
+        let t_start = Instant::now();
+        let seq = conn.alloc_slot();
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        requests_counter().inc();
+        let req_id = self.shared.next_request_id.fetch_add(1, Ordering::Relaxed);
+        let verb = match &req {
+            Request::Health => "Health",
+            Request::Stats => "Stats",
+            Request::Metrics => "Metrics",
+            Request::Query(_) => "Query",
+            Request::Batch(_) => "Batch",
+        };
+        o4a_obs::debug!("serve", "request {}", verb; req = req_id);
+        match req {
+            Request::Health => {
+                let info = HealthInfo {
+                    ready: self.shared.region.is_ready(),
+                    h: self.hier.h() as u32,
+                    w: self.hier.w() as u32,
+                    layers: self.hier.num_layers() as u8,
+                    uptime_secs: self.shared.started.elapsed().as_secs(),
+                    started_unix: self.shared.started_unix,
+                };
+                conn.fill(seq, wire::encode_response(&Response::Health(info)));
+                request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
+            }
+            Request::Stats => {
+                let snap = self.shared.stats_snapshot();
+                conn.fill(seq, wire::encode_response(&Response::Stats(snap)));
+                request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
+            }
+            Request::Metrics => {
+                let text = o4a_obs::render_prometheus();
+                conn.fill(seq, wire::encode_response(&Response::Metrics(text)));
+                request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
+            }
+            Request::Query(mask) => self.enqueue_query(token, conn, seq, vec![mask], true, t_start),
+            Request::Batch(masks) => self.enqueue_query(token, conn, seq, masks, false, t_start),
+        }
+    }
+
+    /// Admits a query into the pending list, or answers `Error`/`BUSY`
+    /// inline (wrong raster / admission gate full).
+    fn enqueue_query(
+        &mut self,
+        token: u64,
+        conn: &mut Conn,
+        seq: u64,
+        masks: Vec<Mask>,
+        single: bool,
+        t_start: Instant,
+    ) {
+        for mask in &masks {
+            if mask.h() != self.hier.h() || mask.w() != self.hier.w() {
+                // well-formed but wrong raster: answer and keep the
+                // connection usable
+                conn.fill(
+                    seq,
+                    wire::encode_response(&Response::Error(format!(
+                        "mask is {}x{}, server raster is {}x{}",
+                        mask.h(),
+                        mask.w(),
+                        self.hier.h(),
+                        self.hier.w()
+                    ))),
+                );
+                request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
+                return;
+            }
+        }
+        let cap = self.shared.cfg.queue_cap as u64;
+        if self.shared.admitted.load(Ordering::Relaxed) >= cap {
+            self.shared
+                .stats
+                .busy_rejections
+                .fetch_add(1, Ordering::Relaxed);
+            busy_counter().inc();
+            conn.fill(seq, wire::encode_response(&Response::Busy));
+            request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
+            return;
+        }
+        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        self.pending.push(ExecJob {
+            token,
+            seq,
+            masks,
+            single,
+            t_start,
+        });
+        if self.pending_since.is_none() {
+            self.pending_since = Some(Instant::now());
+        }
+    }
+
+    /// Routes completed batches back to their connections.
+    fn drain_completions(&mut self) {
+        let done: Vec<BatchDone> = {
+            let mut guard = self.shared.loops[self.loop_id]
+                .completions
+                .lock()
+                .expect("completions poisoned");
+            std::mem::take(&mut *guard)
+        };
+        for batch in done {
+            self.in_flight -= 1;
+            for (token, seq, frame) in batch {
+                // the connection may have died while its query ran
+                let Some(mut conn) = self.conns.remove(&token) else {
+                    continue;
+                };
+                conn.fill(seq, frame);
+                if self.flush_writes(token, &mut conn) && !conn.drained_for_close() {
+                    self.conns.insert(token, conn);
+                } else {
+                    self.teardown(conn);
+                }
+            }
+        }
+    }
+
+    /// Submits pending jobs: immediately while an executor slot is free,
+    /// otherwise only once the coalesce deadline has passed (so arrivals
+    /// during a busy spell merge into fewer, larger batches).
+    fn flush_pending(&mut self) {
+        let workers = self.shared.cfg.workers.max(1);
+        let deadline_passed = self
+            .pending_since
+            .is_some_and(|t0| t0.elapsed() >= self.shared.cfg.coalesce_window);
+        while !self.pending.is_empty() && (self.in_flight < workers || deadline_passed) {
+            let max_masks = self.shared.cfg.max_batch_masks.max(1);
+            let mut take = 0usize;
+            let mut total = 0usize;
+            for job in &self.pending {
+                if take > 0 && total + job.masks.len() > max_masks {
+                    break;
+                }
+                total += job.masks.len();
+                take += 1;
+            }
+            let jobs: Vec<ExecJob> = self.pending.drain(..take).collect();
+            self.shared.exec_queue.push(ExecBatch {
+                loop_id: self.loop_id,
+                jobs,
+            });
+            self.in_flight += 1;
+        }
+        if self.pending.is_empty() {
+            self.pending_since = None;
+        }
+    }
+
+    /// Writes as much of the queue as the socket accepts; arms/disarms
+    /// `EPOLLOUT` to match. Returns `false` when the connection died.
+    fn flush_writes(&mut self, token: u64, conn: &mut Conn) -> bool {
+        while let Some(front) = conn.wq.front() {
+            match (&conn.stream).write(&front[conn.wq_head..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.wq_head += n;
+                    if conn.wq_head == front.len() {
+                        conn.wq.pop_front();
+                        conn.wq_head = 0;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        let need = !conn.wq.is_empty();
+        if need != conn.want_write {
+            let interest = if need {
+                Interest::READ_WRITE
+            } else {
+                Interest::READ
+            };
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, interest)
+                .is_err()
+            {
+                return false;
+            }
+            conn.want_write = need;
+        }
+        true
+    }
 }

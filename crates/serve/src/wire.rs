@@ -38,6 +38,8 @@ pub const DEFAULT_MAX_PAYLOAD: usize = 1 << 20;
 pub const MAX_MASK_CELLS: usize = 1 << 20;
 /// Cap on masks per `BATCH` frame.
 pub const MAX_BATCH_MASKS: usize = 4096;
+/// Cap on shards a `STATS_RESULT` frame may report loads for.
+pub const MAX_SHARDS: usize = 256;
 
 /// Frame verbs (requests `0x0_`, responses `0x8_`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,7 +183,7 @@ pub struct HealthInfo {
 }
 
 /// Serving counters reported by `STATS`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Connections accepted.
     pub connections: u64,
@@ -210,6 +212,11 @@ pub struct StatsSnapshot {
     /// backend. Appended in revision 2 of the STATS payload — a revision-1
     /// peer's payload ends before it and decodes as `0`.
     pub plan_revision: u64,
+    /// Decomposed groups routed to each shard since start, in shard
+    /// order; empty for an unsharded backend. Appended in revision 3 of
+    /// the STATS payload (`u16` count + that many `u64`s) — a revision-1
+    /// or revision-2 peer's payload ends before it and decodes as empty.
+    pub shard_loads: Vec<u64>,
 }
 
 /// A decoded response frame.
@@ -387,6 +394,107 @@ pub fn decode_frame(bytes: &[u8], max_payload: usize) -> Result<(Verb, &[u8], us
 }
 
 // ---------------------------------------------------------------------------
+// incremental frame reassembly
+
+/// Incremental frame reassembly for a nonblocking byte stream.
+///
+/// TCP delivers a frame sequence in arbitrary chunks — one byte at a
+/// time, split mid-header, split mid-CRC, or several frames coalesced
+/// into one segment. The assembler consumes chunks as they arrive and
+/// yields every complete frame in order, decoding **identically to
+/// whole-buffer [`decode_frame`]**: the same header validation, the same
+/// payload CRC check, the same errors.
+///
+/// Zero-copy in the common case: when no partial frame is pending,
+/// complete frames are parsed in place out of the caller's (pooled) read
+/// buffer and the payload is handed to the sink as a borrowed slice —
+/// only a trailing partial frame is copied into the carry buffer.
+///
+/// A malformed frame desynchronizes the stream, so the first error
+/// poisons the assembler: every later [`FrameAssembler::feed`] returns
+/// the same error and the connection must close.
+#[derive(Debug)]
+pub struct FrameAssembler {
+    max_payload: usize,
+    /// Bytes of a partial frame carried over between feeds.
+    carry: Vec<u8>,
+    poisoned: Option<WireError>,
+}
+
+impl FrameAssembler {
+    /// Creates an assembler enforcing `max_payload` (same cap as
+    /// [`decode_frame`]).
+    pub fn new(max_payload: usize) -> Self {
+        FrameAssembler {
+            max_payload,
+            carry: Vec::new(),
+            poisoned: None,
+        }
+    }
+
+    /// Bytes of the pending partial frame.
+    pub fn buffered(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Whether the stream currently sits at a frame boundary (a clean EOF
+    /// here is a graceful close; mid-frame it is a truncation error).
+    pub fn at_boundary(&self) -> bool {
+        self.carry.is_empty() && self.poisoned.is_none()
+    }
+
+    /// Consumes one received chunk, invoking `sink` once per complete
+    /// frame (in arrival order) with the verb and the checksum-verified
+    /// payload. Returns the number of frames decoded, or the first wire
+    /// error — after which the assembler is poisoned.
+    pub fn feed(
+        &mut self,
+        chunk: &[u8],
+        mut sink: impl FnMut(Verb, &[u8]),
+    ) -> Result<usize, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let mut decoded = 0usize;
+        // Fast path: no partial frame pending — parse complete frames
+        // directly out of the caller's buffer, copy only the tail.
+        let from_carry = !self.carry.is_empty();
+        if from_carry {
+            self.carry.extend_from_slice(chunk);
+        }
+        let source: &[u8] = if from_carry { &self.carry } else { chunk };
+        let mut pos = 0usize;
+        let mut err = None;
+        loop {
+            match decode_frame(&source[pos..], self.max_payload) {
+                Ok((verb, payload, consumed)) => {
+                    sink(verb, payload);
+                    pos += consumed;
+                    decoded += 1;
+                }
+                Err(WireError::Truncated(_)) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        if let Some(e) = err {
+            self.poisoned = Some(e.clone());
+            // the carry is useless once poisoned
+            self.carry = Vec::new();
+            return Err(e);
+        }
+        if from_carry {
+            self.carry.drain(..pos);
+        } else {
+            self.carry.extend_from_slice(&chunk[pos..]);
+        }
+        Ok(decoded)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // request / response payloads
 
 /// Encodes a request as a complete frame.
@@ -492,6 +600,13 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             ] {
                 put_u64(&mut p, v);
             }
+            // payload revision 3: per-shard group counts appended after
+            // the revision-2 body so old decoders that stop early still
+            // work
+            put_u16(&mut p, s.shard_loads.len() as u16);
+            for &v in &s.shard_loads {
+                put_u64(&mut p, v);
+            }
             encode_frame(Verb::StatsResult, &p)
         }
         Response::Metrics(text) => encode_frame(Verb::MetricsResult, text.as_bytes()),
@@ -559,22 +674,38 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
                 started_unix,
             })
         }
-        Verb::StatsResult => Response::Stats(StatsSnapshot {
-            connections: r.u64()?,
-            requests: r.u64()?,
-            masks_served: r.u64()?,
-            exec_batches: r.u64()?,
-            coalesced_masks: r.u64()?,
-            busy_rejections: r.u64()?,
-            protocol_errors: r.u64()?,
-            decompose_ns: r.u64()?,
-            index_ns: r.u64()?,
-            decomp_cache_hits: r.u64()?,
-            decomp_cache_misses: r.u64()?,
-            // revision 2 appends the plan revision; a revision-1 payload
-            // ends here and decodes it as zero
-            plan_revision: if r.remaining() == 0 { 0 } else { r.u64()? },
-        }),
+        Verb::StatsResult => {
+            let mut s = StatsSnapshot {
+                connections: r.u64()?,
+                requests: r.u64()?,
+                masks_served: r.u64()?,
+                exec_batches: r.u64()?,
+                coalesced_masks: r.u64()?,
+                busy_rejections: r.u64()?,
+                protocol_errors: r.u64()?,
+                decompose_ns: r.u64()?,
+                index_ns: r.u64()?,
+                decomp_cache_hits: r.u64()?,
+                decomp_cache_misses: r.u64()?,
+                // revision 2 appends the plan revision; a revision-1
+                // payload ends here and decodes it as zero
+                plan_revision: 0,
+                shard_loads: Vec::new(),
+            };
+            if r.remaining() > 0 {
+                s.plan_revision = r.u64()?;
+            }
+            // revision 3 appends the per-shard group counts; a revision-2
+            // payload ends here and decodes them as empty
+            if r.remaining() > 0 {
+                let count = r.u16()? as usize;
+                if count > MAX_SHARDS {
+                    return Err(WireError::Corrupt("shard count exceeds cap"));
+                }
+                s.shard_loads = (0..count).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            }
+            Response::Stats(s)
+        }
         Verb::MetricsResult => {
             let bytes = r.take(r.remaining())?;
             let text = std::str::from_utf8(bytes)
@@ -761,6 +892,7 @@ mod tests {
                 decomp_cache_hits: 3950,
                 decomp_cache_misses: 50,
                 plan_revision: 4,
+                shard_loads: vec![1000, 2000, 900],
             }),
             Response::Busy,
             Response::Error("no snapshot".into()),
@@ -837,6 +969,7 @@ mod tests {
                 decomp_cache_hits: 10,
                 decomp_cache_misses: 11,
                 plan_revision: 0,
+                shard_loads: Vec::new(),
             })
         );
     }
@@ -845,14 +978,92 @@ mod tests {
     fn truncated_stats_revision_rejected() {
         // Revision-2 body cut mid-plan-revision: neither a valid
         // revision-1 nor revision-2 payload — must be an error.
+        let mut p = Vec::new();
+        for v in 1u64..=11 {
+            put_u64(&mut p, v);
+        }
+        put_u64(&mut p, 9); // plan revision
+        p.truncate(p.len() - 3); // cut mid-field
+        let reframed = encode_frame(Verb::StatsResult, &p);
+        assert!(parse_response_bytes(&reframed).is_err());
+    }
+
+    #[test]
+    fn revision2_stats_payload_still_decodes() {
+        // A revision-2 STATS_RESULT frame (12 u64 fields, no shard
+        // loads), exactly as a pre-sharding server would emit it.
+        let mut p = Vec::new();
+        for v in 1u64..=12 {
+            put_u64(&mut p, v);
+        }
+        let frame = encode_frame(Verb::StatsResult, &p);
+        let Response::Stats(s) = parse_response_bytes(&frame).unwrap() else {
+            panic!("expected stats response");
+        };
+        assert_eq!(s.plan_revision, 12);
+        assert!(s.shard_loads.is_empty());
+    }
+
+    #[test]
+    fn truncated_stats_shard_loads_rejected() {
+        // Revision-3 body cut mid-shard-entry (and cut mid-count): not a
+        // valid payload at any revision — must be an error.
         let s = StatsSnapshot {
-            plan_revision: 9,
+            shard_loads: vec![5, 6],
             ..StatsSnapshot::default()
         };
         let frame = encode_response(&Response::Stats(s));
-        let payload = &frame[HEADER_LEN..frame.len() - 3];
-        let reframed = encode_frame(Verb::StatsResult, payload);
-        assert!(parse_response_bytes(&reframed).is_err());
+        for cut in [3, 9, 17] {
+            let payload = &frame[HEADER_LEN..frame.len() - cut];
+            let reframed = encode_frame(Verb::StatsResult, payload);
+            assert!(
+                parse_response_bytes(&reframed).is_err(),
+                "cut of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn assembler_matches_whole_buffer_decode() {
+        // Three back-to-back frames delivered in pathological splits must
+        // come out identical to whole-buffer decode_frame.
+        let frames = [
+            encode_request(&Request::Query(sample_mask())),
+            encode_request(&Request::Health),
+            encode_request(&Request::Batch(vec![sample_mask(), Mask::full(3, 3)])),
+        ];
+        let stream: Vec<u8> = frames.concat();
+        for split in 1..stream.len() {
+            let mut asm = FrameAssembler::new(DEFAULT_MAX_PAYLOAD);
+            let mut got = Vec::new();
+            for chunk in stream.chunks(split) {
+                asm.feed(chunk, |verb, payload| {
+                    got.push(decode_request(verb, payload).unwrap());
+                })
+                .unwrap();
+            }
+            assert_eq!(got.len(), 3, "split {split}");
+            assert!(asm.at_boundary(), "split {split} left a partial frame");
+        }
+    }
+
+    #[test]
+    fn assembler_poisons_on_corruption() {
+        let mut frame = encode_request(&Request::Query(sample_mask()));
+        let last = frame.len() - 1;
+        frame[last] ^= 0x01; // payload corruption -> CRC mismatch
+        let mut asm = FrameAssembler::new(DEFAULT_MAX_PAYLOAD);
+        let err = asm
+            .feed(&frame, |_, _| panic!("must not decode"))
+            .unwrap_err();
+        assert_eq!(err, WireError::ChecksumMismatch);
+        // poisoned: even a pristine frame is rejected with the same error
+        let clean = encode_request(&Request::Health);
+        assert_eq!(
+            asm.feed(&clean, |_, _| panic!("poisoned")).unwrap_err(),
+            WireError::ChecksumMismatch
+        );
+        assert!(!asm.at_boundary());
     }
 
     #[test]

@@ -164,6 +164,42 @@ wait "$SERVE_PID"
 grep -q '"requests"' "$SMOKE_DIR/BENCH_serve.json"
 grep -q '"outcomes"' "$SMOKE_DIR/BENCH_serve.json"
 
+# Throughput gate: the epoll data plane must beat the retired
+# thread-per-connection baseline (4645.7 rps on the 1-core bench host,
+# see BENCH_serve.json history) by >= 1.5x even in this short smoke.
+awk '
+    /"throughput_rps"/ { gsub(/[^0-9.]/, "", $2); rps = $2 + 0 }
+    /"protocol_errors"/ { gsub(/[^0-9.]/, "", $2); perr = $2 + 0 }
+    END {
+        printf "serve smoke throughput %.1f rps (gate: >= %.1f)\n", rps, 4645.7 * 1.5
+        if (rps < 4645.7 * 1.5) { print "FAIL: epoll data plane slower than 1.5x the thread-per-connection baseline"; exit 1 }
+        if (perr != 0) { print "FAIL: protocol errors on a clean loadgen run"; exit 1 }
+    }
+' "$SMOKE_DIR/BENCH_serve.json"
+
+# Sharded smoke: K=2 behind the ShardRouter. The serve bin proves the
+# router bit-identical to the unsharded backend over a mask sample
+# before opening the listener (it panics otherwise), so reaching the
+# serving phase with zero protocol errors is the identity gate.
+echo "==> sharded serve smoke (serve --shards 2 + loadgen, ~2s)"
+./target/release/serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/saddr" \
+    --side 16 --artifacts "$SMOKE_DIR/artifacts" --shards 2 --run-secs 6 \
+    > "$SMOKE_DIR/sharded-serve.log" 2>&1 &
+SSERVE_PID=$!
+./target/release/loadgen --addr-file "$SMOKE_DIR/saddr" --threads 2 \
+    --secs 2 --zipf 1.1 --out "$SMOKE_DIR/BENCH_sserve.json"
+wait "$SSERVE_PID"
+grep -q 'shard router bit-identity verified' "$SMOKE_DIR/sharded-serve.log" \
+    || { echo "sharded serve never verified bit-identity"; exit 1; }
+awk '
+    /"protocol_errors"/ { gsub(/[^0-9.]/, "", $2); perr = $2 + 0 }
+    /"shard_loads"/ { loads = $0 }
+    END {
+        if (perr != 0) { print "FAIL: protocol errors on the sharded run"; exit 1 }
+        if (loads !~ /\[[0-9]+, *[0-9]+\]/) { print "FAIL: STATS did not surface two per-shard load counters: " loads; exit 1 }
+    }
+' "$SMOKE_DIR/BENCH_sserve.json"
+
 # METRICS smoke: the scrape from the live server must be a well-formed
 # exposition containing the serving counters and query-stage histograms.
 echo "==> METRICS exposition smoke"
