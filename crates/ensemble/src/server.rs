@@ -387,16 +387,51 @@ impl EnsembleServer {
     pub fn query_groups_timed(&self, groups: &[DecomposedGroup]) -> (Vec<f32>, QueryTiming) {
         let snaps = self.snapshots();
         let views: Vec<FrameView<'_>> = snaps.iter().map(|s| s.view()).collect();
+        // this runs on the caller's thread, so a sharded request's trace
+        // id (set by the executor) is visible here for stage spans
+        let tid = o4a_obs::trace::current();
         let t1 = Instant::now();
+        let t1_ns = if tid != 0 {
+            o4a_obs::trace::now_ns()
+        } else {
+            0
+        };
         let plans: Vec<EGroupPlan<'_>> =
             groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
         let lookup_t = t1.elapsed();
+        if tid != 0 {
+            o4a_obs::trace::emit(&o4a_obs::trace::SpanEvent {
+                trace_id: tid,
+                span: o4a_obs::trace::SpanKind::Lookup as u16,
+                parent: o4a_obs::trace::SpanKind::ShardScatter as u16,
+                lane: 0,
+                t_start_ns: t1_ns,
+                t_end_ns: o4a_obs::trace::now_ns(),
+                bytes: groups.len() as u64,
+            });
+        }
         let t2 = Instant::now();
+        let t2_ns = if tid != 0 {
+            o4a_obs::trace::now_ns()
+        } else {
+            0
+        };
         let values: Vec<f32> = plans
             .iter()
             .map(|p| evaluate_plan(&self.plan.hier, &views, p))
             .collect();
         let aggregate_t = t2.elapsed();
+        if tid != 0 {
+            o4a_obs::trace::emit(&o4a_obs::trace::SpanEvent {
+                trace_id: tid,
+                span: o4a_obs::trace::SpanKind::Aggregate as u16,
+                parent: o4a_obs::trace::SpanKind::ShardScatter as u16,
+                lane: 0,
+                t_start_ns: t2_ns,
+                t_end_ns: o4a_obs::trace::now_ns(),
+                bytes: groups.len() as u64,
+            });
+        }
         self.record_model_terms(&plans);
         (
             values,

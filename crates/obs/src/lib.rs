@@ -13,6 +13,11 @@
 //!   nanoseconds into a registry histogram on drop; the
 //!   `span!(debug: ...)` form compiles to a branch + no allocation when
 //!   the `Debug` level is off.
+//! * [`trace`] — a per-request flight recorder: sampled 64-bit trace
+//!   ids (`O4A_TRACE=n` traces one request in `n`), fixed-size
+//!   [`trace::SpanEvent`]s in per-thread seqlock ring buffers, drained
+//!   and rendered as `chrome://tracing` JSON. Zero allocation and one
+//!   branch per call site when sampling is off.
 //!
 //! The crate also ships [`alloc::CountingAlloc`], a counting global
 //! allocator used by allocation-budget tests across the workspace (the
@@ -28,6 +33,7 @@ pub mod alloc;
 pub mod logger;
 pub mod metrics;
 pub mod span;
+pub mod trace;
 
 pub use alloc::CountingAlloc;
 pub use logger::{max_level, set_max_level, set_sink, Level};

@@ -37,11 +37,18 @@
 //! revision-3 STATS. Exits non-zero if no request succeeds, so CI can
 //! gate on "the server actually served".
 //!
+//! **Stage breakdown.** With `--trace-sample N` (and a server started
+//! with `--trace-every`/`O4A_TRACE`), a TRACE dump is pulled mid-run and
+//! the sampled spans become per-stage p50/p99 columns in the JSON
+//! (`trace_stages`), plus the set of shard lanes seen
+//! (`trace_shards_seen`). `--trace-out PATH` additionally writes the raw
+//! Chrome trace-event JSON for `chrome://tracing` / Perfetto.
+//!
 //! Usage:
 //!   cargo run -p o4a-serve --release --bin loadgen -- \
 //!     [--addr 127.0.0.1:7474 | --addr-file PATH] [--threads 4] [--secs 2] \
 //!     [--batch 0] [--zipf S] [--diurnal RPS] [--out BENCH_serve.json] \
-//!     [--metrics-out PATH]
+//!     [--metrics-out PATH] [--trace-sample N] [--trace-out PATH]
 
 use o4a_grid::queries::{task_queries, TaskSpec};
 use o4a_grid::Mask;
@@ -49,7 +56,7 @@ use o4a_obs::Histogram;
 use o4a_serve::{Client, ClientConfig, ClientError};
 use o4a_tensor::SeededRng;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 use std::io::Write as _;
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -75,6 +82,10 @@ struct Args {
     diurnal: Option<f64>,
     out: PathBuf,
     metrics_out: Option<PathBuf>,
+    /// Expected server-side sampling interval; `> 0` pulls a TRACE dump
+    /// mid-run and reports per-stage latency columns.
+    trace_sample: u64,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +99,8 @@ fn parse_args() -> Args {
         diurnal: None,
         out: PathBuf::from("BENCH_serve.json"),
         metrics_out: None,
+        trace_sample: 0,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -105,6 +118,10 @@ fn parse_args() -> Args {
             "--diurnal" => args.diurnal = Some(value("--diurnal").parse().expect("--diurnal")),
             "--out" => args.out = PathBuf::from(value("--out")),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
+            "--trace-sample" => {
+                args.trace_sample = value("--trace-sample").parse().expect("--trace-sample")
+            }
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value("--trace-out"))),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -141,6 +158,15 @@ fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
         *c /= acc;
     }
     cdf
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn pctl(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
 }
 
 #[derive(Default)]
@@ -209,7 +235,22 @@ fn main() {
     let stop = Arc::new(AtomicBool::new(false));
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(args.secs);
-    let outcomes: Vec<ThreadOutcome> = std::thread::scope(|s| {
+    let (outcomes, trace_json): (Vec<ThreadOutcome>, Option<String>) = std::thread::scope(|s| {
+        // Mid-run TRACE pull: the flight recorder's rings hold only the
+        // newest events, so sampling while load is flowing captures a
+        // representative slice instead of the cooldown tail.
+        let trace_handle = (args.trace_sample > 0).then(|| {
+            s.spawn(move || {
+                let mid = started + Duration::from_secs_f64(args.secs / 2.0);
+                let now = Instant::now();
+                if now < mid {
+                    std::thread::sleep(mid - now);
+                }
+                Client::connect(addr, ClientConfig::default())
+                    .and_then(|mut c| c.trace())
+                    .ok()
+            })
+        });
         let handles: Vec<_> = (0..args.threads)
             .map(|tid| {
                 let pool = Arc::clone(&pool);
@@ -305,7 +346,9 @@ fn main() {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        let outcomes = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let trace_json = trace_handle.and_then(|h| h.join().unwrap());
+        (outcomes, trace_json)
     });
     let elapsed = started.elapsed();
     stop.store(true, Ordering::Relaxed);
@@ -362,6 +405,40 @@ fn main() {
         }
     }
 
+    // Per-stage breakdown from the mid-run TRACE dump: sorted dur_ns per
+    // stage name → p50/p99 columns, plus which shard lanes appeared.
+    let mut stage_durs: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+    let mut shards_seen: BTreeSet<u64> = BTreeSet::new();
+    let mut trace_events = 0usize;
+    let mut trace_dropped = 0u64;
+    if let Some(json) = &trace_json {
+        if let Some(path) = &args.trace_out {
+            std::fs::write(path, json).expect("write --trace-out");
+            println!("wrote {} (load into chrome://tracing)", path.display());
+        }
+        match o4a_obs::trace::parse_chrome_json(json) {
+            Some((events, dropped)) => {
+                trace_events = events.len();
+                trace_dropped = dropped;
+                for e in &events {
+                    stage_durs.entry(e.name.clone()).or_default().push(e.dur_ns);
+                    if e.name == "shard_scatter" {
+                        shards_seen.insert(e.tid as u64);
+                    }
+                }
+                for durs in stage_durs.values_mut() {
+                    durs.sort_unstable();
+                }
+            }
+            None => o4a_obs::warn!("loadgen", "TRACE dump did not parse as chrome trace JSON"),
+        }
+    } else if args.trace_sample > 0 {
+        o4a_obs::warn!(
+            "loadgen",
+            "--trace-sample set but the mid-run TRACE pull failed (server down or verb rejected)"
+        );
+    }
+
     println!("== loadgen: {requests} requests / {masks} masks in {secs:.2}s ==");
     println!("  throughput   {rps:>10.1} req/s   {mps:>10.1} masks/s");
     println!("  latency p50  {p50:>10} us",);
@@ -384,6 +461,20 @@ fn main() {
         );
         if !s.shard_loads.is_empty() {
             println!("  shard loads (groups routed): {:?}", s.shard_loads);
+        }
+    }
+    if !stage_durs.is_empty() {
+        println!(
+            "  trace sample: {trace_events} spans ({trace_dropped} dropped), \
+             shards seen {shards_seen:?}"
+        );
+        for (name, durs) in &stage_durs {
+            println!(
+                "    stage {name:<14} n={:<6} p50 {:>8} us  p99 {:>8} us",
+                durs.len(),
+                pctl(durs, 0.50) / 1_000,
+                pctl(durs, 0.99) / 1_000
+            );
         }
     }
 
@@ -428,7 +519,7 @@ fn main() {
         json.push_str(&format!(
             "  \"server\": {{ \"connections\": {}, \"requests\": {}, \"masks_served\": {}, \
              \"exec_batches\": {}, \"coalesced_masks\": {}, \"busy_rejections\": {}, \
-             \"protocol_errors\": {}, \"shard_loads\": {:?} }}\n",
+             \"protocol_errors\": {}, \"shard_loads\": {:?} }}",
             s.connections,
             s.requests,
             s.masks_served,
@@ -438,10 +529,36 @@ fn main() {
             s.protocol_errors,
             s.shard_loads
         ));
-    } else {
-        json.push('\n');
     }
-    json.push_str("}\n");
+    if !stage_durs.is_empty() {
+        json.push_str(",\n");
+        json.push_str(&format!(
+            "  \"trace_sample_every\": {},\n",
+            args.trace_sample
+        ));
+        json.push_str(&format!("  \"trace_spans\": {trace_events},\n"));
+        json.push_str(&format!("  \"trace_dropped\": {trace_dropped},\n"));
+        let shards: Vec<String> = shards_seen.iter().map(|s| s.to_string()).collect();
+        json.push_str(&format!(
+            "  \"trace_shards_seen\": [{}],\n",
+            shards.join(", ")
+        ));
+        json.push_str("  \"trace_stages\": {\n");
+        let stages: Vec<String> = stage_durs
+            .iter()
+            .map(|(name, durs)| {
+                format!(
+                    "    \"{name}\": {{ \"count\": {}, \"p50_us\": {}, \"p99_us\": {} }}",
+                    durs.len(),
+                    pctl(durs, 0.50) / 1_000,
+                    pctl(durs, 0.99) / 1_000
+                )
+            })
+            .collect();
+        json.push_str(&stages.join(",\n"));
+        json.push_str("\n  }");
+    }
+    json.push_str("\n}\n");
     let mut f = std::fs::File::create(&args.out).expect("create --out");
     f.write_all(json.as_bytes()).expect("write --out");
     println!("wrote {}", args.out.display());

@@ -31,7 +31,14 @@
 //!     [--addr 127.0.0.1:7474] [--addr-file PATH] [--side 32] [--layers N] \
 //!     [--index PATH] [--model PATH] [--artifacts target/serve-artifacts] \
 //!     [--ensemble N] [--workers 2] [--window-us 500] [--queue-cap 1024] \
-//!     [--max-batch 256] [--shards 1] [--loops 1] [--run-secs S]
+//!     [--max-batch 256] [--shards 1] [--loops 1] [--run-secs S] \
+//!     [--trace-every N] [--trace-slow-us US]
+//!
+//! `--trace-every N` samples every Nth query into the trace flight
+//! recorder (drained by the `TRACE` verb; equivalent to `O4A_TRACE=N`),
+//! and `--trace-slow-us US` logs a structured stage breakdown for any
+//! request slower than `US` microseconds (equivalent to
+//! `O4A_TRACE_SLOW_US=US`).
 
 use o4a_core::combination::{search_optimal_combinations, SearchStrategy};
 use o4a_core::one4all::{truth_pyramid, One4AllSt};
@@ -69,6 +76,8 @@ struct Args {
     shards: usize,
     loops: usize,
     run_secs: Option<f64>,
+    trace_every: Option<u64>,
+    trace_slow_us: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -88,6 +97,8 @@ fn parse_args() -> Args {
         shards: 1,
         loops: 1,
         run_secs: None,
+        trace_every: None,
+        trace_slow_us: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -111,6 +122,13 @@ fn parse_args() -> Args {
             "--shards" => args.shards = value("--shards").parse().expect("--shards"),
             "--loops" => args.loops = value("--loops").parse().expect("--loops"),
             "--run-secs" => args.run_secs = Some(value("--run-secs").parse().expect("--run-secs")),
+            "--trace-every" => {
+                args.trace_every = Some(value("--trace-every").parse().expect("--trace-every"))
+            }
+            "--trace-slow-us" => {
+                args.trace_slow_us =
+                    Some(value("--trace-slow-us").parse().expect("--trace-slow-us"))
+            }
             "--synthetic" => {} // accepted for clarity; synthetic is the default without --index
             other => panic!("unknown flag {other}"),
         }
@@ -254,6 +272,12 @@ fn sharded(
 
 fn main() {
     let args = parse_args();
+    if let Some(n) = args.trace_every {
+        o4a_obs::trace::set_sample_every(n);
+    }
+    if let Some(us) = args.trace_slow_us {
+        o4a_obs::trace::set_slow_threshold_us(us);
+    }
     let cfg = TemporalConfig::compact();
 
     if let Some(n) = args.ensemble {

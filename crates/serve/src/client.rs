@@ -186,6 +186,16 @@ impl Client {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Drains the server's trace flight recorder as Chrome trace-event
+    /// JSON (load into `chrome://tracing` or Perfetto). Draining resets
+    /// the rings, so back-to-back calls return disjoint events.
+    pub fn trace(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Trace)? {
+            Response::Trace(json) => Ok(json),
+            other => Err(unexpected(other)),
+        }
+    }
 }
 
 fn unexpected(resp: Response) -> ClientError {
@@ -197,5 +207,6 @@ fn unexpected(resp: Response) -> ClientError {
         Response::Health(_) => ClientError::Unexpected("health"),
         Response::Stats(_) => ClientError::Unexpected("stats"),
         Response::Metrics(_) => ClientError::Unexpected("metrics"),
+        Response::Trace(_) => ClientError::Unexpected("trace"),
     }
 }

@@ -157,10 +157,13 @@ impl Poller {
 
     /// Blocks until at least one registered fd is ready or `timeout`
     /// elapses (`None` blocks indefinitely), appending the readiness
-    /// events to `events` (which is cleared first). Sub-millisecond
-    /// timeouts round **up** to 1ms so a short coalesce deadline never
-    /// degenerates into a busy spin. EINTR retries transparently.
-    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+    /// events to `events` (which is cleared first) and returning how
+    /// many were delivered — `0` means the timeout fired (the caller's
+    /// ready-events-per-wake metric wants this distinction without
+    /// re-measuring the vec). Sub-millisecond timeouts round **up** to
+    /// 1ms so a short coalesce deadline never degenerates into a busy
+    /// spin. EINTR retries transparently.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
         events.clear();
         let ms: c_int = match timeout {
             None => -1,
@@ -192,7 +195,7 @@ impl Poller {
                 hangup: bits & (EPOLLERR | EPOLLHUP) != 0,
             });
         }
-        Ok(())
+        Ok(n)
     }
 }
 
@@ -300,14 +303,15 @@ mod tests {
         let wake = WakeFd::new().unwrap();
         poller.add(wake.raw_fd(), 7, Interest::READ).unwrap();
         let mut events = Vec::new();
-        // Nothing pending: times out empty.
-        poller
+        // Nothing pending: times out empty and reports zero ready.
+        let n = poller
             .wait(&mut events, Some(Duration::from_millis(1)))
             .unwrap();
+        assert_eq!(n, 0);
         assert!(events.is_empty());
         wake.wake();
         wake.wake();
-        poller.wait(&mut events, None).unwrap();
+        assert_eq!(poller.wait(&mut events, None).unwrap(), 1);
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].token, 7);
         assert!(events[0].readable);

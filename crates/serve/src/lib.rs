@@ -7,9 +7,10 @@
 //! in-process call. The crate gives the reproduction a service boundary:
 //!
 //! * [`wire`] — the `O4ARPC01` little-endian binary protocol (QUERY /
-//!   BATCH / HEALTH / STATS verbs, checksummed frames, a total decoder
-//!   that can never panic on hostile bytes) plus the incremental
-//!   [`wire::FrameAssembler`] the data plane parses TCP fragments with;
+//!   BATCH / HEALTH / STATS / METRICS / TRACE verbs, checksummed
+//!   frames, a total decoder that can never panic on hostile bytes)
+//!   plus the incremental [`wire::FrameAssembler`] the data plane
+//!   parses TCP fragments with;
 //! * [`evio`] — a minimal vendored epoll/eventfd readiness layer over
 //!   raw syscalls (no external deps): edge-triggered [`evio::Poller`],
 //!   cross-thread [`evio::WakeFd`], pooled read buffers;
@@ -20,7 +21,10 @@
 //!   [`o4a_core::server::RegionServer::query_many_timed`] call
 //!   (exercising the PR-1 parallel fan-out under real traffic); load
 //!   beyond the **bounded admission queue** is shed with an explicit
-//!   `BUSY` response instead of unbounded latency;
+//!   `BUSY` response instead of unbounded latency; with `O4A_TRACE`
+//!   sampling on, requests record full stage trees into the
+//!   `o4a_obs::trace` flight recorder, drained by the `TRACE` verb as
+//!   Chrome trace-event JSON;
 //! * [`router`] — [`ShardRouter`], consistent-hash scatter-gather over K
 //!   backend shards with bit-identical merges;
 //! * [`client`] — a blocking client with request framing, timeouts and

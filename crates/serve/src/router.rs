@@ -27,6 +27,7 @@ use o4a_core::server::{DecompCache, QueryBackend, QueryTiming};
 use o4a_grid::decompose::DecomposedGroup;
 use o4a_grid::hierarchy::Hierarchy;
 use o4a_grid::mask::Mask;
+use o4a_obs::trace::{self, SpanEvent, SpanKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -58,6 +59,10 @@ pub struct ShardRouter {
     decomp_cache: DecompCache,
     /// Groups routed to each shard since start.
     loads: Vec<AtomicU64>,
+    /// The same counts mirrored into the metrics registry as
+    /// `o4a_shard_routed_total{shard="i"}`, incremented in lockstep with
+    /// `loads` so METRICS reconciles with STATS `shard_loads`.
+    routed_metrics: Vec<Arc<o4a_obs::Counter>>,
 }
 
 impl ShardRouter {
@@ -90,11 +95,22 @@ impl ShardRouter {
         }
         ring.sort_unstable();
         let loads = (0..shards.len()).map(|_| AtomicU64::new(0)).collect();
+        let routed_metrics = (0..shards.len())
+            .map(|s| {
+                o4a_obs::metrics::global().labeled_counter(
+                    "o4a_shard_routed_total",
+                    "decomposed groups routed to each shard by the query router",
+                    "shard",
+                    &s.to_string(),
+                )
+            })
+            .collect();
         ShardRouter {
             shards,
             ring,
             decomp_cache: DecompCache::new(),
             loads,
+            routed_metrics,
         }
     }
 
@@ -132,6 +148,9 @@ impl ShardRouter {
                 (s, per_shard[s].len() - 1)
             })
             .collect();
+        // per-shard scatter and gather spans ride on whatever trace the
+        // executor set as current on this thread (0 = untraced)
+        let tid = trace::current();
         let mut shard_values: Vec<Vec<f32>> = Vec::with_capacity(k);
         let mut index_total = Duration::ZERO;
         for (s, slice) in per_shard.iter().enumerate() {
@@ -139,13 +158,38 @@ impl ShardRouter {
                 shard_values.push(Vec::new());
                 continue;
             }
+            let t0_ns = if tid != 0 { trace::now_ns() } else { 0 };
             let (vals, t) = self.shards[s].query_groups_timed(slice);
+            if tid != 0 {
+                trace::emit(&SpanEvent {
+                    trace_id: tid,
+                    span: SpanKind::ShardScatter as u16,
+                    parent: SpanKind::ExecBatch as u16,
+                    lane: s as u32,
+                    t_start_ns: t0_ns,
+                    t_end_ns: trace::now_ns(),
+                    bytes: slice.len() as u64,
+                });
+            }
             debug_assert_eq!(vals.len(), slice.len());
             self.loads[s].fetch_add(slice.len() as u64, Ordering::Relaxed);
+            self.routed_metrics[s].add(slice.len() as u64);
             index_total += t.index;
             shard_values.push(vals);
         }
-        let gathered = placement.iter().map(|&(s, i)| shard_values[s][i]).collect();
+        let t_gather_ns = if tid != 0 { trace::now_ns() } else { 0 };
+        let gathered: Vec<f32> = placement.iter().map(|&(s, i)| shard_values[s][i]).collect();
+        if tid != 0 {
+            trace::emit(&SpanEvent {
+                trace_id: tid,
+                span: SpanKind::Gather as u16,
+                parent: SpanKind::ExecBatch as u16,
+                lane: 0,
+                t_start_ns: t_gather_ns,
+                t_end_ns: trace::now_ns(),
+                bytes: groups.len() as u64,
+            });
+        }
         (gathered, index_total)
     }
 }

@@ -9,7 +9,7 @@
 //!   [`wire::FrameAssembler`] parsing `O4ARPC01` frames zero-copy out of
 //!   a pooled read buffer, an ordered response-slot window, and a write
 //!   queue with `EPOLLOUT` backpressure;
-//! * `HEALTH`/`STATS`/`METRICS` are answered inline on the loop;
+//! * `HEALTH`/`STATS`/`METRICS`/`TRACE` are answered inline on the loop;
 //!   `QUERY`/`BATCH` pass a **bounded admission gate** (beyond
 //!   [`ServeConfig::queue_cap`] outstanding jobs the request is shed
 //!   immediately with `BUSY`) into the loop's pending list;
@@ -37,11 +37,20 @@
 //!
 //! Shutdown is cooperative: a flag plus eventfd/condvar wakeups; every
 //! thread is joined before [`ServerHandle::shutdown`] returns.
+//!
+//! When request tracing is sampling (`O4A_TRACE=n` or `--trace-every`),
+//! `QUERY`/`BATCH` requests mint a trace id at parse and every stage —
+//! assemble, queue wait, executor batch, the backend's decompose/index
+//! split (derived from the same `QueryTiming` nanoseconds STATS
+//! accumulates, so a trace's stage sums reconcile bit-exactly with
+//! STATS), per-shard scatter, gather, write flush — lands in the
+//! `o4a_obs::trace` flight recorder, drained by the `TRACE` verb.
 
 use crate::evio::{Interest, Poller, PooledBuf, WakeFd};
 use crate::wire::{self, HealthInfo, Request, Response, StatsSnapshot, TimingNs};
 use o4a_core::server::QueryBackend;
 use o4a_grid::mask::Mask;
+use o4a_obs::trace::{self, SpanEvent, SpanKind};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -137,6 +146,10 @@ struct ExecJob {
     single: bool,
     /// Parse time, for the `serve_request` latency histogram.
     t_start: Instant,
+    /// Sampled trace id, or `0` (untraced — the common case).
+    trace_id: u64,
+    /// Parse time on the trace clock; `0` when untraced.
+    t_parse_ns: u64,
 }
 
 /// A coalesced batch submitted by one event loop.
@@ -146,8 +159,9 @@ struct ExecBatch {
 }
 
 /// Encoded response frames an executor hands back to a loop: one entry
-/// per job, `(token, seq, frame)`.
-type BatchDone = Vec<(u64, u64, Vec<u8>)>;
+/// per job, `(token, seq, frame, trace_id)` — the trace id (or `0`)
+/// rides along so the loop can emit the write-flush span.
+type BatchDone = Vec<(u64, u64, Vec<u8>, u64)>;
 
 /// MPMC batch queue feeding the executor pool.
 #[derive(Default)]
@@ -308,6 +322,9 @@ pub fn serve(region: Arc<dyn QueryBackend>, cfg: ServeConfig) -> std::io::Result
     let _ = busy_counter();
     let _ = protocol_error_counter();
     let _ = request_ns_histogram();
+    let _ = queue_depth_gauge();
+    let _ = backpressure_counter();
+    let _ = batch_masks_histogram();
     o4a_obs::info!("serve", "listening"; addr = addr, workers = workers, loops = n_loops);
 
     let executors: Vec<JoinHandle<()>> = (0..workers)
@@ -381,11 +398,36 @@ fn request_ns_histogram() -> &'static o4a_obs::Histogram {
     )
 }
 
+/// Jobs admitted but not yet popped by an executor — the live depth of
+/// the admission gate, sampled at every admit/pop.
+fn queue_depth_gauge() -> &'static o4a_obs::Gauge {
+    o4a_obs::gauge!(
+        "o4a_exec_queue_depth",
+        "queries admitted but not yet picked up by an executor"
+    )
+}
+
+/// Times the write queue outgrew the socket and `EPOLLOUT` was armed.
+fn backpressure_counter() -> &'static o4a_obs::Counter {
+    o4a_obs::counter!(
+        "o4a_serve_backpressure_total",
+        "connections that transitioned into EPOLLOUT write backpressure"
+    )
+}
+
+/// Masks per submitted executor batch (coalescing effectiveness).
+fn batch_masks_histogram() -> &'static o4a_obs::Histogram {
+    o4a_obs::histogram!(
+        "o4a_exec_batch_masks",
+        "masks folded into one executor batch submission"
+    )
+}
+
 fn executor_loop(shared: &Arc<Shared>) {
     while let Some(batch) = shared.exec_queue.pop() {
-        shared
-            .admitted
-            .fetch_sub(batch.jobs.len() as u64, Ordering::Relaxed);
+        let n = batch.jobs.len() as u64;
+        let prev = shared.admitted.fetch_sub(n, Ordering::Relaxed);
+        queue_depth_gauge().set(prev.saturating_sub(n) as f64);
         let done: BatchDone = if shared.region.is_ready() {
             run_batch(shared, &batch)
         } else {
@@ -396,7 +438,7 @@ fn executor_loop(shared: &Arc<Shared>) {
                     let frame = wire::encode_response(&Response::Error(
                         "no prediction snapshot published".into(),
                     ));
-                    (job.token, job.seq, frame)
+                    (job.token, job.seq, frame, job.trace_id)
                 })
                 .collect()
         };
@@ -417,11 +459,76 @@ fn run_batch(shared: &Arc<Shared>, batch: &ExecBatch) -> BatchDone {
         .iter()
         .flat_map(|j| j.masks.iter().cloned())
         .collect();
+    // A batch's executor-side spans are attributed to the first sampled
+    // job's trace id (an untraced batch — the common case — skips every
+    // clock read below).
+    let batch_tid = batch
+        .jobs
+        .iter()
+        .map(|j| j.trace_id)
+        .find(|&t| t != 0)
+        .unwrap_or(0);
+    let t_exec = Instant::now();
+    let t_exec_ns = if batch_tid != 0 { trace::now_ns() } else { 0 };
+    if batch_tid != 0 {
+        for job in &batch.jobs {
+            if job.trace_id != 0 {
+                trace::emit(&SpanEvent {
+                    trace_id: job.trace_id,
+                    span: SpanKind::QueueWait as u16,
+                    parent: SpanKind::Request as u16,
+                    lane: batch.loop_id as u32,
+                    t_start_ns: job.t_parse_ns,
+                    t_end_ns: t_exec_ns,
+                    bytes: job.masks.len() as u64,
+                });
+            }
+        }
+        // backends key their per-stage spans (shard scatter/gather,
+        // lookup/aggregate) off the calling thread's current trace id
+        trace::set_current(batch_tid);
+    }
     let (values, timing) = shared.region.query_many_timed(&all);
     let timing = TimingNs {
         decompose_ns: timing.decompose.as_nanos() as u64,
         index_ns: timing.index.as_nanos() as u64,
     };
+    if batch_tid != 0 {
+        trace::set_current(0);
+        let t_done_ns = trace::now_ns();
+        trace::emit(&SpanEvent {
+            trace_id: batch_tid,
+            span: SpanKind::ExecBatch as u16,
+            parent: SpanKind::Request as u16,
+            lane: batch.loop_id as u32,
+            t_start_ns: t_exec_ns,
+            t_end_ns: t_done_ns,
+            bytes: all.len() as u64,
+        });
+        // Derived stage events: their durations are the *same* u64
+        // nanosecond values added to the STATS counters below, so a
+        // drained trace's decompose/index sums reconcile bit-exactly
+        // with STATS (the measured spans above are wall-clock and
+        // include fan-out overhead the backend doesn't attribute).
+        trace::emit(&SpanEvent {
+            trace_id: batch_tid,
+            span: SpanKind::Decompose as u16,
+            parent: SpanKind::ExecBatch as u16,
+            lane: batch.loop_id as u32,
+            t_start_ns: t_exec_ns,
+            t_end_ns: t_exec_ns + timing.decompose_ns,
+            bytes: all.len() as u64,
+        });
+        trace::emit(&SpanEvent {
+            trace_id: batch_tid,
+            span: SpanKind::Index as u16,
+            parent: SpanKind::ExecBatch as u16,
+            lane: batch.loop_id as u32,
+            t_start_ns: t_exec_ns + timing.decompose_ns,
+            t_end_ns: t_exec_ns + timing.decompose_ns + timing.index_ns,
+            bytes: all.len() as u64,
+        });
+    }
     shared.stats.exec_batches.fetch_add(1, Ordering::Relaxed);
     shared
         .stats
@@ -441,6 +548,7 @@ fn run_batch(shared: &Arc<Shared>, batch: &ExecBatch) -> BatchDone {
         .stats
         .index_ns
         .fetch_add(timing.index_ns, Ordering::Relaxed);
+    let slow_ns = trace::slow_threshold_ns();
     let mut off = 0usize;
     batch
         .jobs
@@ -459,8 +567,39 @@ fn run_batch(shared: &Arc<Shared>, batch: &ExecBatch) -> BatchDone {
                     timing,
                 }
             };
-            request_ns_histogram().record(job.t_start.elapsed().as_nanos() as u64);
-            (job.token, job.seq, wire::encode_response(&resp))
+            let total_ns = job.t_start.elapsed().as_nanos() as u64;
+            if job.trace_id != 0 {
+                // root span: parse to response-encode, matching the
+                // `o4a_serve_request_ns` histogram's interval
+                trace::emit(&SpanEvent {
+                    trace_id: job.trace_id,
+                    span: SpanKind::Request as u16,
+                    parent: 0,
+                    lane: batch.loop_id as u32,
+                    t_start_ns: job.t_parse_ns,
+                    t_end_ns: trace::now_ns(),
+                    bytes: job.masks.len() as u64,
+                });
+            }
+            if slow_ns != 0 && total_ns >= slow_ns {
+                o4a_obs::warn_limited!("serve", "slow request";
+                    total_us = total_ns / 1_000,
+                    queue_us = t_exec.saturating_duration_since(job.t_start).as_micros() as u64,
+                    decompose_us = timing.decompose_ns / 1_000,
+                    index_us = timing.index_ns / 1_000,
+                    masks = job.masks.len(),
+                    batch_masks = all.len(),
+                    loop_id = batch.loop_id,
+                    trace_id = job.trace_id,
+                );
+            }
+            request_ns_histogram().record(total_ns);
+            (
+                job.token,
+                job.seq,
+                wire::encode_response(&resp),
+                job.trace_id,
+            )
         })
         .collect()
 }
@@ -584,15 +723,30 @@ impl EventLoop<'_> {
             in_flight: 0,
             hier: shared.region.hierarchy().clone(),
         };
+        // Event-loop internals as first-class metrics, one pair per loop:
+        // how long each epoll_wait blocked and how many readiness events
+        // each wake delivered (0 = coalesce-deadline timeout).
+        let epoll_wait_hist = o4a_obs::metrics::global().histogram(
+            &format!("o4a_loop{loop_id}_epoll_wait_ns"),
+            "time blocked in epoll_wait per wake on this event loop",
+        );
+        let ready_events_hist = o4a_obs::metrics::global().histogram(
+            &format!("o4a_loop{loop_id}_ready_events"),
+            "readiness events delivered per epoll wake on this event loop",
+        );
         let mut rbuf = PooledBuf::with_capacity(READ_BUF_BYTES);
         let mut events = Vec::new();
         loop {
             let timeout = el
                 .pending_since
                 .map(|t0| shared.cfg.coalesce_window.saturating_sub(t0.elapsed()));
-            if el.poller.wait(&mut events, timeout).is_err() {
-                break;
-            }
+            let t_wait = Instant::now();
+            let n_ready = match el.poller.wait(&mut events, timeout) {
+                Ok(n) => n,
+                Err(_) => break,
+            };
+            epoll_wait_hist.record(t_wait.elapsed().as_nanos() as u64);
+            ready_events_hist.record(n_ready as u64);
             if shared.shutdown.load(Ordering::SeqCst) {
                 break;
             }
@@ -704,6 +858,14 @@ impl EventLoop<'_> {
     /// Feeds one received chunk through the frame assembler and handles
     /// every completed request in arrival order.
     fn process_bytes(&mut self, token: u64, conn: &mut Conn, chunk: &[u8]) {
+        // chunk receipt time on the trace clock: the assemble span runs
+        // from here to parse completion (one clock read per chunk, and
+        // only while sampling)
+        let t_rx_ns = if trace::sampling_on() {
+            trace::now_ns()
+        } else {
+            0
+        };
         let mut parsed: Vec<Result<Request, wire::WireError>> = Vec::new();
         let fed = conn.assembler.feed(chunk, |verb, payload| {
             parsed.push(wire::decode_request(verb, payload));
@@ -713,7 +875,7 @@ impl EventLoop<'_> {
                 break;
             }
             match req {
-                Ok(r) => self.handle_request(token, conn, r),
+                Ok(r) => self.handle_request(token, conn, r, t_rx_ns),
                 Err(e) => self.protocol_error(conn, &e),
             }
         }
@@ -732,7 +894,8 @@ impl EventLoop<'_> {
             .protocol_errors
             .fetch_add(1, Ordering::Relaxed);
         protocol_error_counter().inc();
-        o4a_obs::warn!("serve", "closing connection on malformed input: {}", e);
+        // rate-limited: a garbage-spewing peer must not flood the log
+        o4a_obs::warn_limited!("serve", "closing connection on malformed input: {}", e);
         let seq = conn.alloc_slot();
         conn.fill(
             seq,
@@ -741,7 +904,7 @@ impl EventLoop<'_> {
         conn.closing = true;
     }
 
-    fn handle_request(&mut self, token: u64, conn: &mut Conn, req: Request) {
+    fn handle_request(&mut self, token: u64, conn: &mut Conn, req: Request, t_rx_ns: u64) {
         let t_start = Instant::now();
         let seq = conn.alloc_slot();
         self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -751,6 +914,7 @@ impl EventLoop<'_> {
             Request::Health => "Health",
             Request::Stats => "Stats",
             Request::Metrics => "Metrics",
+            Request::Trace => "Trace",
             Request::Query(_) => "Query",
             Request::Batch(_) => "Batch",
         };
@@ -778,13 +942,27 @@ impl EventLoop<'_> {
                 conn.fill(seq, wire::encode_response(&Response::Metrics(text)));
                 request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
             }
-            Request::Query(mask) => self.enqueue_query(token, conn, seq, vec![mask], true, t_start),
-            Request::Batch(masks) => self.enqueue_query(token, conn, seq, masks, false, t_start),
+            Request::Trace => {
+                // drain the flight recorder across every thread's ring
+                // and render it viewer-ready; answered inline like
+                // METRICS (the payload is bounded by ring capacity)
+                let (events, dropped) = trace::drain();
+                let json = trace::render_chrome_json(&events, dropped);
+                conn.fill(seq, wire::encode_response(&Response::Trace(json)));
+                request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
+            }
+            Request::Query(mask) => {
+                self.enqueue_query(token, conn, seq, vec![mask], true, t_start, t_rx_ns)
+            }
+            Request::Batch(masks) => {
+                self.enqueue_query(token, conn, seq, masks, false, t_start, t_rx_ns)
+            }
         }
     }
 
     /// Admits a query into the pending list, or answers `Error`/`BUSY`
     /// inline (wrong raster / admission gate full).
+    #[allow(clippy::too_many_arguments)]
     fn enqueue_query(
         &mut self,
         token: u64,
@@ -793,6 +971,7 @@ impl EventLoop<'_> {
         masks: Vec<Mask>,
         single: bool,
         t_start: Instant,
+        t_rx_ns: u64,
     ) {
         for mask in &masks {
             if mask.h() != self.hier.h() || mask.w() != self.hier.w() {
@@ -819,17 +998,42 @@ impl EventLoop<'_> {
                 .busy_rejections
                 .fetch_add(1, Ordering::Relaxed);
             busy_counter().inc();
+            // rate-limited: an overload sheds thousands of these a second
+            o4a_obs::warn_limited!("serve", "admission queue full, shedding with BUSY";
+                queue_cap = cap, loop_id = self.loop_id);
             conn.fill(seq, wire::encode_response(&Response::Busy));
             request_ns_histogram().record(t_start.elapsed().as_nanos() as u64);
             return;
         }
-        self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        let prev = self.shared.admitted.fetch_add(1, Ordering::Relaxed);
+        queue_depth_gauge().set((prev + 1) as f64);
+        // mint here, not at parse: only admitted queries become traces
+        let trace_id = trace::mint();
+        let t_parse_ns = if trace_id != 0 {
+            let now = trace::now_ns();
+            trace::emit(&SpanEvent {
+                trace_id,
+                span: SpanKind::Assemble as u16,
+                parent: SpanKind::Request as u16,
+                lane: self.loop_id as u32,
+                // 0 means sampling flipped on mid-chunk; degrade to an
+                // empty span instead of one starting at the epoch
+                t_start_ns: if t_rx_ns != 0 { t_rx_ns } else { now },
+                t_end_ns: now,
+                bytes: masks.len() as u64,
+            });
+            now
+        } else {
+            0
+        };
         self.pending.push(ExecJob {
             token,
             seq,
             masks,
             single,
             t_start,
+            trace_id,
+            t_parse_ns,
         });
         if self.pending_since.is_none() {
             self.pending_since = Some(Instant::now());
@@ -847,13 +1051,27 @@ impl EventLoop<'_> {
         };
         for batch in done {
             self.in_flight -= 1;
-            for (token, seq, frame) in batch {
+            for (token, seq, frame, trace_id) in batch {
                 // the connection may have died while its query ran
                 let Some(mut conn) = self.conns.remove(&token) else {
                     continue;
                 };
+                let t_fill_ns = if trace_id != 0 { trace::now_ns() } else { 0 };
+                let frame_len = frame.len() as u64;
                 conn.fill(seq, frame);
-                if self.flush_writes(token, &mut conn) && !conn.drained_for_close() {
+                let ok = self.flush_writes(token, &mut conn);
+                if trace_id != 0 {
+                    trace::emit(&SpanEvent {
+                        trace_id,
+                        span: SpanKind::WriteFlush as u16,
+                        parent: SpanKind::Request as u16,
+                        lane: self.loop_id as u32,
+                        t_start_ns: t_fill_ns,
+                        t_end_ns: trace::now_ns(),
+                        bytes: frame_len,
+                    });
+                }
+                if ok && !conn.drained_for_close() {
                     self.conns.insert(token, conn);
                 } else {
                     self.teardown(conn);
@@ -882,6 +1100,7 @@ impl EventLoop<'_> {
                 take += 1;
             }
             let jobs: Vec<ExecJob> = self.pending.drain(..take).collect();
+            batch_masks_histogram().record(total as u64);
             self.shared.exec_queue.push(ExecBatch {
                 loop_id: self.loop_id,
                 jobs,
@@ -913,6 +1132,14 @@ impl EventLoop<'_> {
         }
         let need = !conn.wq.is_empty();
         if need != conn.want_write {
+            if need {
+                // the socket stopped accepting with frames still queued:
+                // count the backpressure transition (rate-limited log —
+                // one slow reader can flap this every flush)
+                backpressure_counter().inc();
+                o4a_obs::warn_limited!("serve", "write queue backed up, arming EPOLLOUT";
+                    queued_frames = conn.wq.len(), loop_id = self.loop_id);
+            }
             let interest = if need {
                 Interest::READ_WRITE
             } else {

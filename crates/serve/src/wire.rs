@@ -10,11 +10,13 @@
 //!
 //! Request verbs: `QUERY` (one mask), `BATCH` (many masks), `HEALTH`,
 //! `STATS`, `METRICS` (full metrics registry as Prometheus text
-//! exposition). Response verbs: `PREDICTION`, `BATCH_RESULT` (values plus
-//! the decomposition/lookup timing breakdown of the executed batch),
+//! exposition), `TRACE` (drain the flight-recorder rings). Response
+//! verbs: `PREDICTION`, `BATCH_RESULT` (values plus the
+//! decomposition/lookup timing breakdown of the executed batch),
 //! `HEALTH_OK`, `STATS_RESULT`, `METRICS_RESULT` (raw UTF-8 exposition
-//! text), `BUSY` (admission queue full — the explicit load-shedding
-//! signal), `ERROR` (message).
+//! text), `TRACE_RESULT` (Chrome trace-event JSON, raw UTF-8), `BUSY`
+//! (admission queue full — the explicit load-shedding signal), `ERROR`
+//! (message).
 //!
 //! A mask travels as `h u16 | w u16 | packed bits` (row-major, LSB-first
 //! within each byte; padding bits in the last byte must be zero). The
@@ -55,6 +57,8 @@ pub enum Verb {
     Stats = 0x04,
     /// Request: full metrics registry in Prometheus text exposition.
     Metrics = 0x05,
+    /// Request: drain the trace flight recorder as Chrome trace JSON.
+    Trace = 0x06,
     /// Response to [`Verb::Query`].
     Prediction = 0x81,
     /// Response to [`Verb::Batch`].
@@ -65,6 +69,8 @@ pub enum Verb {
     StatsResult = 0x84,
     /// Response to [`Verb::Metrics`].
     MetricsResult = 0x85,
+    /// Response to [`Verb::Trace`].
+    TraceResult = 0x86,
     /// Response: admission queue full, request shed.
     Busy = 0x8E,
     /// Response: request failed with a message.
@@ -79,11 +85,13 @@ impl Verb {
             0x03 => Verb::Health,
             0x04 => Verb::Stats,
             0x05 => Verb::Metrics,
+            0x06 => Verb::Trace,
             0x81 => Verb::Prediction,
             0x82 => Verb::BatchResult,
             0x83 => Verb::HealthOk,
             0x84 => Verb::StatsResult,
             0x85 => Verb::MetricsResult,
+            0x86 => Verb::TraceResult,
             0x8E => Verb::Busy,
             0x8F => Verb::Error,
             other => return Err(WireError::UnknownVerb(other)),
@@ -146,6 +154,8 @@ pub enum Request {
     Stats,
     /// Full metrics registry (Prometheus text exposition).
     Metrics,
+    /// Drain the trace flight recorder (Chrome trace-event JSON).
+    Trace,
 }
 
 /// Aggregate timing of the executed batch a response rode in, in
@@ -242,6 +252,8 @@ pub enum Response {
     Stats(StatsSnapshot),
     /// Metrics scrape reply: Prometheus text exposition, raw UTF-8.
     Metrics(String),
+    /// Trace drain reply: Chrome trace-event JSON, raw UTF-8.
+    Trace(String),
     /// Admission queue full; retry later.
     Busy,
     /// Request failed.
@@ -516,6 +528,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Health => encode_frame(Verb::Health, &[]),
         Request::Stats => encode_frame(Verb::Stats, &[]),
         Request::Metrics => encode_frame(Verb::Metrics, &[]),
+        Request::Trace => encode_frame(Verb::Trace, &[]),
     }
 }
 
@@ -544,6 +557,7 @@ pub fn decode_request(verb: Verb, payload: &[u8]) -> Result<Request, WireError> 
         Verb::Health => Request::Health,
         Verb::Stats => Request::Stats,
         Verb::Metrics => Request::Metrics,
+        Verb::Trace => Request::Trace,
         _ => return Err(WireError::Corrupt("response verb in request frame")),
     };
     r.done()?;
@@ -610,6 +624,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             encode_frame(Verb::StatsResult, &p)
         }
         Response::Metrics(text) => encode_frame(Verb::MetricsResult, text.as_bytes()),
+        Response::Trace(json) => encode_frame(Verb::TraceResult, json.as_bytes()),
         Response::Busy => encode_frame(Verb::Busy, &[]),
         Response::Error(msg) => {
             let bytes = msg.as_bytes();
@@ -712,6 +727,13 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
                 .map_err(|_| WireError::Corrupt("metrics payload is not UTF-8"))?
                 .to_string();
             Response::Metrics(text)
+        }
+        Verb::TraceResult => {
+            let bytes = r.take(r.remaining())?;
+            let json = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Corrupt("trace payload is not UTF-8"))?
+                .to_string();
+            Response::Trace(json)
         }
         Verb::Busy => Response::Busy,
         Verb::Error => {
@@ -849,6 +871,7 @@ mod tests {
             Request::Health,
             Request::Stats,
             Request::Metrics,
+            Request::Trace,
         ] {
             let bytes = encode_request(&req);
             assert_eq!(parse_request_bytes(&bytes).unwrap(), req);
@@ -879,6 +902,7 @@ mod tests {
                 started_unix: 1_700_000_000,
             }),
             Response::Metrics("# HELP o4a_x x\n# TYPE o4a_x counter\no4a_x 1\n".into()),
+            Response::Trace("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}".into()),
             Response::Stats(StatsSnapshot {
                 connections: 3,
                 requests: 1000,
@@ -1072,6 +1096,26 @@ mod tests {
         assert_eq!(
             parse_response_bytes(&frame),
             Err(WireError::Corrupt("metrics payload is not UTF-8"))
+        );
+    }
+
+    #[test]
+    fn trace_payload_must_be_utf8() {
+        let frame = encode_frame(Verb::TraceResult, &[0xC0, 0x80]);
+        assert_eq!(
+            parse_response_bytes(&frame),
+            Err(WireError::Corrupt("trace payload is not UTF-8"))
+        );
+    }
+
+    #[test]
+    fn trace_request_rejects_payload_bytes() {
+        // TRACE carries no payload; stray bytes are corruption, not
+        // silently ignored.
+        let frame = encode_frame(Verb::Trace, &[1, 2, 3]);
+        assert_eq!(
+            parse_request_bytes(&frame),
+            Err(WireError::Corrupt("trailing bytes in payload"))
         );
     }
 
