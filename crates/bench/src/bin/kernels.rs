@@ -245,7 +245,11 @@ fn main() {
         },
     ));
 
-    // Batched region queries on a 32x32, K = 2 pyramid.
+    // Batched region queries on a 32x32, K = 2 pyramid. Two servers share
+    // one published store: the default one answers through compiled plans
+    // (arena gather — a dispatched kernel), the `O4A_COMPILED=0` one runs
+    // the interpreted lookup + `term_value` path the compiled row must be
+    // bit-identical to (asserted before any timing).
     let hier = Hierarchy::new(32, 32, 2, 6).expect("hierarchy");
     let flow = DatasetKind::TaxiNycLike.config(32, 32, 24, 1).generate();
     let slots: Vec<usize> = (16..24).collect();
@@ -253,17 +257,41 @@ fn main() {
     let index = search_optimal_combinations(&hier, &truths, &truths, SearchStrategy::Union);
     let store = Arc::new(PredictionStore::new());
     store.publish(truths.iter().map(|layer| layer[0].clone()).collect());
+    std::env::set_var("O4A_COMPILED", "0");
+    let interp_server = RegionServer::new(index.clone(), store.clone());
+    std::env::remove_var("O4A_COMPILED");
     let server = RegionServer::new(index, store);
     let mut qrng = SeededRng::new(4);
     let masks = task_queries(32, 32, TaskSpec::standard_tasks(150.0)[3], false, &mut qrng);
+    for (got, want) in server
+        .query_many(&masks)
+        .iter()
+        .zip(interp_server.query_many(&masks))
+    {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "compiled query row diverged from the interpreted row; refusing to time"
+        );
+    }
     rows.push(measure(
         "query_many_batch",
         iters,
         None,
         prev_t1("query_many_batch"),
-        IsaPath::None,
+        IsaPath::Dispatched,
         || {
             black_box(server.query_many(&masks));
+        },
+    ));
+    rows.push(measure(
+        "query_many_interpreted",
+        iters,
+        None,
+        prev_t1("query_many_interpreted"),
+        IsaPath::None,
+        || {
+            black_box(interp_server.query_many(&masks));
         },
     ));
 

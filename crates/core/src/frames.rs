@@ -1,63 +1,134 @@
-//! Prediction-snapshot storage: full-precision and half-storage frames.
+//! Prediction-snapshot storage: flat per-snapshot arenas in full- or
+//! half-precision.
 //!
-//! The online phase keeps one flat value per grid cell per layer. In f32
-//! that snapshot dominates the region server's resident set and, for large
-//! rasters, the memory traffic of a query burst. [`FrameSet::F16`] stores
-//! the same snapshot as IEEE binary16 bit patterns — half the bytes —
-//! and widens values back to f32 *per read* during signed aggregation
-//! (widening is exact; see `o4a_tensor::half` for the narrowing bound).
+//! The online phase keeps one value per grid cell per layer. A snapshot
+//! stores **all** layers in one contiguous buffer with a `bases` offset
+//! table (`bases[layer]..bases[layer + 1]` is layer `layer`, row-major),
+//! so a compiled query plan can address any term with a single `u32` flat
+//! offset — no per-term layer indirection, and the SIMD gather kernels in
+//! `o4a_tensor::gather` can stream the whole plan against one base
+//! pointer.
 //!
-//! A query summing `T` stored terms `v_t` therefore answers within
-//! `sum_t 2^-11 |v_t| + T * 2^-25` of the f32-storage answer (each term's
-//! storage error, accumulated; plus f32 summation rounding of the
-//! perturbed terms). The end-to-end assertion lives in
-//! `crates/core/tests/half_store.rs`.
+//! Half storage ([`FrameData::F16`]) keeps the same arena as IEEE binary16
+//! bit patterns — half the bytes — and widens values back to f32 *per
+//! read* during signed aggregation (widening is exact; see
+//! `o4a_tensor::half` for the narrowing bound). A query summing `T` stored
+//! terms `v_t` therefore answers within `sum_t 2^-11 |v_t| + T * 2^-25` of
+//! the f32-storage answer (each term's storage error, accumulated; plus
+//! f32 summation rounding of the perturbed terms). The end-to-end
+//! assertion lives in `crates/core/tests/half_store.rs`.
 //!
-//! [`FrameView`] is the borrowed form the evaluation paths consume, so the
-//! f32 public APIs (`predict_query` and friends) keep their `&[Vec<f32>]`
-//! signatures without copying.
+//! Every snapshot carries a [`layout_signature`] over its layer lengths.
+//! Compiled plans record the signature of the hierarchy they were built
+//! against and refuse (fall back to the interpreted path) when a snapshot
+//! disagrees — that check, plus an exact `required_len <= data.len()`
+//! comparison, is what makes the unchecked hardware gathers sound.
+//!
+//! [`FrameView`] is the borrowed form the evaluation paths consume; the
+//! legacy `FrameView::F32(&[Vec<f32>])` variant keeps the f32 public APIs
+//! (`predict_query` and friends) zero-copy over caller-owned nested
+//! buffers.
 
 use o4a_tensor::half::{f16_bits_to_f32, f32_to_f16_bits};
 
-/// An owned multi-scale prediction snapshot (`frames[layer]` flat,
-/// row-major per layer), in either storage precision.
+/// FNV-1a over the little-endian bytes of each layer length: a cheap
+/// order-sensitive fingerprint of a snapshot's layer geometry. Compiled
+/// plans match this (plus an exact length bound) before running unchecked
+/// gathers.
+pub fn layout_signature(lens: impl IntoIterator<Item = usize>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for len in lens {
+        for b in (len as u64).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// The value arena of a [`FrameSet`], in either storage precision.
 #[derive(Debug, Clone, PartialEq)]
-pub enum FrameSet {
+pub enum FrameData {
     /// Full-precision storage (the default).
-    F32(Vec<Vec<f32>>),
+    F32(Vec<f32>),
     /// Half storage: IEEE binary16 bit patterns, widened per read.
-    F16(Vec<Vec<u16>>),
+    F16(Vec<u16>),
+}
+
+/// An owned multi-scale prediction snapshot: all layers flattened into one
+/// arena, addressed through a `bases` offset table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameSet {
+    /// `bases[layer]` is the arena offset of layer `layer`'s first cell;
+    /// the final sentinel entry is the total cell count.
+    bases: Vec<u32>,
+    data: FrameData,
+    sig: u64,
 }
 
 impl Default for FrameSet {
     /// An empty f32 snapshot (no layers published).
     fn default() -> Self {
-        FrameSet::F32(Vec::new())
+        FrameSet {
+            bases: vec![0],
+            data: FrameData::F32(Vec::new()),
+            sig: layout_signature(std::iter::empty::<usize>()),
+        }
     }
 }
 
+fn build_bases(lens: impl Iterator<Item = usize> + Clone) -> Vec<u32> {
+    let total: usize = lens.clone().sum();
+    assert!(
+        total <= i32::MAX as usize,
+        "snapshot exceeds the 2^31-cell flat-offset budget ({total} cells)"
+    );
+    let mut bases = Vec::with_capacity(lens.clone().count() + 1);
+    let mut acc = 0u32;
+    bases.push(0);
+    for len in lens {
+        acc += len as u32;
+        bases.push(acc);
+    }
+    bases
+}
+
 impl FrameSet {
+    /// Packs nested per-layer f32 frames into a flat full-precision arena.
+    pub fn from_f32(frames: Vec<Vec<f32>>) -> Self {
+        let bases = build_bases(frames.iter().map(|l| l.len()));
+        let sig = layout_signature(frames.iter().map(|l| l.len()));
+        let mut data = Vec::with_capacity(*bases.last().unwrap() as usize);
+        for layer in &frames {
+            data.extend_from_slice(layer);
+        }
+        FrameSet {
+            bases,
+            data: FrameData::F32(data),
+            sig,
+        }
+    }
+
     /// Narrows an f32 snapshot into half storage (round-to-nearest-even,
     /// through the active ISA tier's converter).
     pub fn narrow(frames: Vec<Vec<f32>>) -> Self {
-        FrameSet::F16(
-            frames
-                .iter()
-                .map(|layer| {
-                    let mut bits = vec![0u16; layer.len()];
-                    o4a_tensor::half::narrow_f16(layer, &mut bits);
-                    bits
-                })
-                .collect(),
-        )
+        let bases = build_bases(frames.iter().map(|l| l.len()));
+        let sig = layout_signature(frames.iter().map(|l| l.len()));
+        let mut data = vec![0u16; *bases.last().unwrap() as usize];
+        for (layer, frame) in frames.iter().enumerate() {
+            let start = bases[layer] as usize;
+            o4a_tensor::half::narrow_f16(frame, &mut data[start..start + frame.len()]);
+        }
+        FrameSet {
+            bases,
+            data: FrameData::F16(data),
+            sig,
+        }
     }
 
     /// Number of layers.
     pub fn num_layers(&self) -> usize {
-        match self {
-            FrameSet::F32(f) => f.len(),
-            FrameSet::F16(f) => f.len(),
-        }
+        self.bases.len() - 1
     }
 
     /// Whether the snapshot has no layers.
@@ -65,48 +136,85 @@ impl FrameSet {
         self.num_layers() == 0
     }
 
-    /// Cells in one layer's frame.
-    pub fn layer_len(&self, layer: usize) -> usize {
-        match self {
-            FrameSet::F32(f) => f[layer].len(),
-            FrameSet::F16(f) => f[layer].len(),
-        }
+    /// Whether the arena holds half-width bit patterns.
+    pub fn is_half(&self) -> bool {
+        matches!(self.data, FrameData::F16(_))
     }
 
-    /// One layer widened to f32 (a copy for F16, a clone for F32).
+    /// Cells in one layer's frame.
+    pub fn layer_len(&self, layer: usize) -> usize {
+        (self.bases[layer + 1] - self.bases[layer]) as usize
+    }
+
+    /// One layer widened to f32 (a copy either way).
     pub fn layer_to_f32(&self, layer: usize) -> Vec<f32> {
-        match self {
-            FrameSet::F32(f) => f[layer].clone(),
-            FrameSet::F16(f) => f[layer].iter().map(|&h| f16_bits_to_f32(h)).collect(),
+        let (s, e) = (self.bases[layer] as usize, self.bases[layer + 1] as usize);
+        match &self.data {
+            FrameData::F32(d) => d[s..e].to_vec(),
+            FrameData::F16(d) => d[s..e].iter().map(|&h| f16_bits_to_f32(h)).collect(),
         }
     }
 
     /// Borrowed view for the evaluation paths.
     pub fn view(&self) -> FrameView<'_> {
-        match self {
-            FrameSet::F32(f) => FrameView::F32(f),
-            FrameSet::F16(f) => FrameView::F16(f),
+        match &self.data {
+            FrameData::F32(d) => FrameView::FlatF32 {
+                data: d,
+                bases: &self.bases,
+            },
+            FrameData::F16(d) => FrameView::FlatF16 {
+                data: d,
+                bases: &self.bases,
+            },
         }
+    }
+
+    /// The [`layout_signature`] of this snapshot's layer geometry.
+    pub fn layout_sig(&self) -> u64 {
+        self.sig
+    }
+
+    /// The value arena (all layers, `bases`-addressed).
+    pub fn data(&self) -> &FrameData {
+        &self.data
+    }
+
+    /// The layer offset table (`num_layers + 1` entries, sentinel last).
+    pub fn bases(&self) -> &[u32] {
+        &self.bases
     }
 
     /// Bytes of frame payload held (the storage-mode win made measurable).
     pub fn payload_bytes(&self) -> usize {
-        match self {
-            FrameSet::F32(f) => f.iter().map(|l| std::mem::size_of_val(l.as_slice())).sum(),
-            FrameSet::F16(f) => f.iter().map(|l| std::mem::size_of_val(l.as_slice())).sum(),
+        match &self.data {
+            FrameData::F32(d) => std::mem::size_of_val(d.as_slice()),
+            FrameData::F16(d) => std::mem::size_of_val(d.as_slice()),
         }
     }
 }
 
-/// A borrowed prediction snapshot in either storage precision — what
+/// A borrowed prediction snapshot — what
 /// [`crate::combination::Combination::evaluate_frames`] and the region
 /// server's aggregation paths read from.
 #[derive(Debug, Clone, Copy)]
 pub enum FrameView<'a> {
-    /// Borrowed full-precision frames.
+    /// Borrowed nested full-precision frames (caller-owned `Vec<Vec<f32>>`
+    /// entering through the public f32 APIs).
     F32(&'a [Vec<f32>]),
-    /// Borrowed half-storage frames.
-    F16(&'a [Vec<u16>]),
+    /// A [`FrameSet`] f32 arena.
+    FlatF32 {
+        /// The value arena.
+        data: &'a [f32],
+        /// Layer offset table (sentinel-terminated).
+        bases: &'a [u32],
+    },
+    /// A [`FrameSet`] half-storage arena.
+    FlatF16 {
+        /// The half-width bit-pattern arena.
+        data: &'a [u16],
+        /// Layer offset table (sentinel-terminated).
+        bases: &'a [u32],
+    },
 }
 
 impl FrameView<'_> {
@@ -116,7 +224,10 @@ impl FrameView<'_> {
     pub fn value(&self, layer: usize, idx: usize) -> f32 {
         match self {
             FrameView::F32(f) => f[layer][idx],
-            FrameView::F16(f) => f16_bits_to_f32(f[layer][idx]),
+            FrameView::FlatF32 { data, bases } => data[bases[layer] as usize + idx],
+            FrameView::FlatF16 { data, bases } => {
+                f16_bits_to_f32(data[bases[layer] as usize + idx])
+            }
         }
     }
 
@@ -124,7 +235,7 @@ impl FrameView<'_> {
     pub fn is_empty(&self) -> bool {
         match self {
             FrameView::F32(f) => f.is_empty(),
-            FrameView::F16(f) => f.is_empty(),
+            FrameView::FlatF32 { bases, .. } | FrameView::FlatF16 { bases, .. } => bases.len() <= 1,
         }
     }
 }
@@ -154,14 +265,49 @@ mod tests {
         assert_eq!(fs.layer_to_f32(1), vec![0.125]);
         assert!(!fs.is_empty());
         assert!(!v.is_empty());
+        assert!(fs.is_half());
     }
 
     #[test]
     fn f16_payload_is_half_the_bytes() {
         let frames = vec![vec![0.5f32; 1024], vec![0.25f32; 256]];
-        let f32_set = FrameSet::F32(frames.clone());
+        let f32_set = FrameSet::from_f32(frames.clone());
         let f16_set = FrameSet::narrow(frames);
         assert_eq!(f16_set.payload_bytes() * 2, f32_set.payload_bytes());
+        assert!(!f32_set.is_half());
+    }
+
+    #[test]
+    fn flat_arena_matches_nested_addressing() {
+        let frames = vec![vec![1.0f32, 2.0, 3.0, 4.0], vec![10.0, 20.0], vec![100.0]];
+        let fs = FrameSet::from_f32(frames.clone());
+        assert_eq!(fs.bases(), &[0, 4, 6, 7]);
+        let flat = fs.view();
+        let nested = FrameView::F32(&frames);
+        for (layer, frame) in frames.iter().enumerate() {
+            assert_eq!(fs.layer_len(layer), frame.len());
+            for idx in 0..frame.len() {
+                assert_eq!(
+                    flat.value(layer, idx).to_bits(),
+                    nested.value(layer, idx).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layout_signature_is_order_sensitive_and_layer_count_aware() {
+        let a = layout_signature([4usize, 2]);
+        let b = layout_signature([2usize, 4]);
+        let c = layout_signature([4usize, 2, 0]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        let fs = FrameSet::from_f32(vec![vec![0.0; 4], vec![0.0; 2]]);
+        assert_eq!(fs.layout_sig(), a);
+        assert_eq!(
+            FrameSet::default().layout_sig(),
+            layout_signature(std::iter::empty::<usize>())
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod codec;
 pub mod combination;
+pub mod compiled;
 pub mod deploy;
 pub mod frames;
 pub mod network;

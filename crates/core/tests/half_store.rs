@@ -5,7 +5,7 @@
 //! *bit-identical* to the f32 answer over pre-roundtripped frames (per-read
 //! widening is exact, so both paths add the same f32 sequence).
 
-use o4a_core::frames::{f16_storage_roundtrip, FrameSet};
+use o4a_core::frames::f16_storage_roundtrip;
 use o4a_core::server::RegionServer;
 use o4a_core::{
     combination::search_optimal_combinations, CombinationIndex, PredictionStore, SearchStrategy,
@@ -103,7 +103,7 @@ fn half_storage_queries_stay_within_documented_bound() {
 
     store.set_half_storage(true);
     store.publish(frames.clone());
-    assert!(matches!(*store.snapshot(), FrameSet::F16(_)));
+    assert!(store.snapshot().is_half());
     let half: Vec<f32> = masks.iter().map(|m| server.query(m)).collect();
 
     store.set_half_storage(false);

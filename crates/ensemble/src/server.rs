@@ -15,12 +15,14 @@
 //! to that member's own `RegionServer`.
 
 use crate::plan::{EnsemblePlan, ModelCombination};
+use o4a_core::compiled::{with_scratch, CompiledPlan, PlanBuilder, PlanCache};
 use o4a_core::frames::{FrameSet, FrameView};
 use o4a_core::server::{DecompCache, PredictionStore, QueryBackend, QueryTiming};
 use o4a_grid::decompose::DecomposedGroup;
 use o4a_grid::hierarchy::{Hierarchy, LayerCell};
 use o4a_grid::mask::Mask;
 use std::borrow::Cow;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -93,6 +95,48 @@ fn evaluate_group(plan: &EnsemblePlan, views: &[FrameView<'_>], group: &Decompos
         .sum()
 }
 
+/// Compiles a decomposition against an [`EnsemblePlan`], mirroring
+/// [`evaluate_group`]'s branch structure exactly — the multi-grid entry
+/// when the coding rule applies, otherwise the member cells' combinations
+/// in cell order, with member 0's direct prediction for cells a foreign
+/// plan is missing. Each term's arena segment carries its `ModelTerm`
+/// member, so execution gathers from the right member store.
+pub fn compile_egroups(plan: &EnsemblePlan, groups: &[DecomposedGroup]) -> CompiledPlan {
+    let hier = &plan.hier;
+    let mut b = PlanBuilder::new(hier);
+    for group in groups {
+        if group.cells.len() >= 2 && hier.k() == 2 {
+            if let Some(comb) = plan.for_multi(group.layer, &group.cells) {
+                for t in &comb.terms {
+                    b.push_term(t.cell, t.sign, t.model);
+                }
+                b.end_run();
+                b.end_group(true);
+                continue;
+            }
+        }
+        for &(r, c) in &group.cells {
+            let cell = LayerCell::new(group.layer, r, c);
+            match plan.for_cell(cell) {
+                Some(comb) => {
+                    for t in &comb.terms {
+                        b.push_term(t.cell, t.sign, t.model);
+                    }
+                }
+                None => {
+                    let single = ModelCombination::single(0, cell);
+                    for t in &single.terms {
+                        b.push_term(t.cell, t.sign, t.model);
+                    }
+                }
+            }
+            b.end_run();
+        }
+        b.end_group(false);
+    }
+    b.finish()
+}
+
 /// Records one ensemble query's per-stage wall times (the ensemble
 /// namespace keeps single-model and ensemble latency distributions
 /// separable on one scrape endpoint).
@@ -132,6 +176,9 @@ pub struct EnsembleServer {
     plan: EnsemblePlan,
     stores: Vec<Arc<PredictionStore>>,
     decomp_cache: DecompCache,
+    plan_cache: PlanCache,
+    compiled_terms: AtomicU64,
+    compiled_enabled: bool,
     /// Per member: terms read from that member per query (histograms named
     /// `o4a_ensemble_model_terms_<member>`). Per-member *time* cannot be
     /// measured without splitting the accumulation by member, which would
@@ -205,6 +252,9 @@ impl EnsembleServer {
             plan,
             stores,
             decomp_cache: DecompCache::new(),
+            plan_cache: PlanCache::new(),
+            compiled_terms: AtomicU64::new(0),
+            compiled_enabled: std::env::var("O4A_COMPILED").map_or(true, |v| v != "0"),
             model_term_hists,
         }
     }
@@ -229,6 +279,16 @@ impl EnsembleServer {
         self.decomp_cache.stats()
     }
 
+    /// `(hits, misses, evictions)` of the compiled-plan cache.
+    pub fn plan_cache_stats(&self) -> (u64, u64, u64) {
+        self.plan_cache.stats()
+    }
+
+    /// Total terms answered through the compiled path since start.
+    pub fn compiled_terms(&self) -> u64 {
+        self.compiled_terms.load(Ordering::Relaxed)
+    }
+
     /// Whether every member store has published a snapshot — the serving
     /// layer admits traffic only once the *whole* ensemble is live, so a
     /// query never mixes a real member snapshot with an empty one.
@@ -244,6 +304,108 @@ impl EnsembleServer {
             "an ensemble member has no published snapshot"
         );
         snaps
+    }
+
+    /// Cached (or freshly compiled) plan for one decomposition, keyed
+    /// under the ensemble plan's revision — a plan swap bumps the
+    /// revision, so a stale compiled plan can never be served.
+    fn compiled_plan(&self, mask: Option<&Mask>, groups: &[DecomposedGroup]) -> Arc<CompiledPlan> {
+        let epoch = self.plan.revision as u64;
+        match mask {
+            Some(m) => self
+                .plan_cache
+                .get_or_compile_mask(m, epoch, || compile_egroups(&self.plan, groups)),
+            None => self
+                .plan_cache
+                .get_or_compile_groups(groups, epoch, || compile_egroups(&self.plan, groups)),
+        }
+    }
+
+    /// Bumps the compiled-terms counters after a successful compiled
+    /// execution.
+    fn note_compiled(&self, plan: &CompiledPlan) {
+        self.compiled_terms
+            .fetch_add(plan.num_terms() as u64, Ordering::Relaxed);
+        o4a_obs::histogram!(
+            "o4a_compiled_terms",
+            "resolved terms per compiled query execution"
+        )
+        .record(plan.num_terms() as u64);
+    }
+
+    /// The per-member served-term histogram samples a compiled execution
+    /// contributes — precomputed per plan, identical to what
+    /// [`EnsembleServer::record_model_terms`] counts on the interpreted
+    /// path.
+    fn record_model_terms_compiled(&self, plan: &CompiledPlan) {
+        let mt = plan.member_terms();
+        for (i, hist) in self.model_term_hists.iter().enumerate() {
+            hist.record(mt.get(i).map_or(0, |&n| n as u64));
+        }
+    }
+
+    /// Answers one decomposed query against the member snapshots without
+    /// stage timing: the compiled path when enabled and layout-matched,
+    /// the interpreter otherwise — bit-identical either way.
+    fn answer_value(
+        &self,
+        mask: Option<&Mask>,
+        groups: &[DecomposedGroup],
+        snaps: &[Arc<FrameSet>],
+        views: &[FrameView<'_>],
+    ) -> f32 {
+        if self.compiled_enabled {
+            let plan = self.compiled_plan(mask, groups);
+            let refs: Vec<&FrameSet> = snaps.iter().map(|s| &**s).collect();
+            if let Some(v) = with_scratch(|s| plan.execute_sum(&refs, s)) {
+                self.note_compiled(&plan);
+                return v;
+            }
+        }
+        groups
+            .iter()
+            .map(|g| evaluate_group(&self.plan, views, g))
+            .sum()
+    }
+
+    /// [`EnsembleServer::answer_value`] with `(value, lookup, aggregate)`
+    /// stage durations; also samples the per-member term histograms (the
+    /// timed paths' contract).
+    fn answer_timed(
+        &self,
+        mask: Option<&Mask>,
+        groups: &[DecomposedGroup],
+        snaps: &[Arc<FrameSet>],
+        views: &[FrameView<'_>],
+    ) -> (f32, Duration, Duration) {
+        let mut lookup_acc = Duration::ZERO;
+        if self.compiled_enabled {
+            let t1 = Instant::now();
+            let plan = self.compiled_plan(mask, groups);
+            lookup_acc += t1.elapsed();
+            let t2 = Instant::now();
+            let refs: Vec<&FrameSet> = snaps.iter().map(|s| &**s).collect();
+            if let Some(v) = with_scratch(|s| plan.execute_sum(&refs, s)) {
+                self.note_compiled(&plan);
+                self.record_model_terms_compiled(&plan);
+                return (v, lookup_acc, t2.elapsed());
+            }
+            // a member snapshot's layout drifted from the hierarchy: the
+            // failed attempt counts toward lookup, then interpret
+            lookup_acc += t2.elapsed();
+        }
+        let t1 = Instant::now();
+        let plans: Vec<EGroupPlan<'_>> =
+            groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
+        lookup_acc += t1.elapsed();
+        let t2 = Instant::now();
+        let v: f32 = plans
+            .iter()
+            .map(|p| evaluate_plan(&self.plan.hier, views, p))
+            .sum();
+        let aggregate_t = t2.elapsed();
+        self.record_model_terms(&plans);
+        (v, lookup_acc, aggregate_t)
     }
 
     /// Bumps the per-member served-term histograms for one query's plans.
@@ -271,10 +433,7 @@ impl EnsembleServer {
         let snaps = self.snapshots();
         let views: Vec<FrameView<'_>> = snaps.iter().map(|s| s.view()).collect();
         let groups = self.decomp_cache.get(&self.plan.hier, mask);
-        groups
-            .iter()
-            .map(|g| evaluate_group(&self.plan, &views, g))
-            .sum()
+        self.answer_value(Some(mask), &groups, &snaps, &views)
     }
 
     /// Answers a query with the per-stage timing breakdown, mirroring
@@ -285,18 +444,8 @@ impl EnsembleServer {
         let t0 = Instant::now();
         let groups = self.decomp_cache.get(&self.plan.hier, mask);
         let decompose_t = t0.elapsed();
-        let t1 = Instant::now();
-        let plans: Vec<EGroupPlan<'_>> =
-            groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
-        let lookup_t = t1.elapsed();
-        let t2 = Instant::now();
-        let value: f32 = plans
-            .iter()
-            .map(|p| evaluate_plan(&self.plan.hier, &views, p))
-            .sum();
-        let aggregate_t = t2.elapsed();
+        let (value, lookup_t, aggregate_t) = self.answer_timed(Some(mask), &groups, &snaps, &views);
         record_query_stages(decompose_t, lookup_t, aggregate_t);
-        self.record_model_terms(&plans);
         (
             value,
             QueryTiming {
@@ -319,10 +468,7 @@ impl EnsembleServer {
         let out_ptr = o4a_tensor::parallel::SendPtr(out.as_mut_ptr());
         o4a_tensor::parallel::run(masks.len(), QUERY_COST, |i| {
             let groups = self.decomp_cache.get(&self.plan.hier, &masks[i]);
-            let v: f32 = groups
-                .iter()
-                .map(|g| evaluate_group(&self.plan, &views, g))
-                .sum();
+            let v = self.answer_value(Some(&masks[i]), &groups, &snaps, &views);
             // SAFETY: task `i` writes only slot `i`; `out` outlives the
             // blocking `run` call.
             unsafe { out_ptr.slice_mut(i, 1)[0] = v };
@@ -345,18 +491,9 @@ impl EnsembleServer {
             let t0 = Instant::now();
             let groups = self.decomp_cache.get(&self.plan.hier, &masks[i]);
             let decompose_t = t0.elapsed();
-            let t1 = Instant::now();
-            let plans: Vec<EGroupPlan<'_>> =
-                groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
-            let lookup_t = t1.elapsed();
-            let t2 = Instant::now();
-            let v: f32 = plans
-                .iter()
-                .map(|p| evaluate_plan(&self.plan.hier, &views, p))
-                .sum();
-            let aggregate_t = t2.elapsed();
+            let (v, lookup_t, aggregate_t) =
+                self.answer_timed(Some(&masks[i]), &groups, &snaps, &views);
             record_query_stages(decompose_t, lookup_t, aggregate_t);
-            self.record_model_terms(&plans);
             // SAFETY: task `i` writes only slot `i` of each vector; all
             // three outlive the blocking `run` call.
             unsafe {
@@ -396,8 +533,30 @@ impl EnsembleServer {
         } else {
             0
         };
-        let plans: Vec<EGroupPlan<'_>> =
-            groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
+        // lookup stage: per-group plan-cache get-or-compile on the
+        // compiled path — a shard's slice is a batch-dependent
+        // concatenation whose whole-slice key would almost never repeat,
+        // while individual groups recur across batches — per-group plan
+        // lookups on the interpreted one
+        let compiled: Option<Vec<Arc<CompiledPlan>>> = if self.compiled_enabled {
+            let epoch = self.plan.revision as u64;
+            Some(
+                groups
+                    .iter()
+                    .map(|g| {
+                        let one = std::slice::from_ref(g);
+                        self.plan_cache
+                            .get_or_compile_groups(one, epoch, || compile_egroups(&self.plan, one))
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        let mut plans: Vec<EGroupPlan<'_>> = Vec::new();
+        if compiled.is_none() {
+            plans = groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
+        }
         let lookup_t = t1.elapsed();
         if tid != 0 {
             o4a_obs::trace::emit(&o4a_obs::trace::SpanEvent {
@@ -416,10 +575,55 @@ impl EnsembleServer {
         } else {
             0
         };
-        let values: Vec<f32> = plans
-            .iter()
-            .map(|p| evaluate_plan(&self.plan.hier, &views, p))
-            .collect();
+        let mut values: Option<Vec<f32>> = None;
+        if let Some(cplans) = &compiled {
+            let refs: Vec<&FrameSet> = snaps.iter().map(|s| &**s).collect();
+            let mut out = Vec::with_capacity(cplans.len());
+            let mut terms = 0u64;
+            let mut counts = vec![0u64; self.stores.len()];
+            let ok = with_scratch(|s| {
+                for plan in cplans {
+                    match plan.execute_one(&refs, s) {
+                        Some(v) => {
+                            out.push(v);
+                            terms += plan.num_terms() as u64;
+                            for (i, &n) in plan.member_terms().iter().enumerate() {
+                                counts[i] += n as u64;
+                            }
+                        }
+                        None => return false,
+                    }
+                }
+                true
+            });
+            if ok {
+                // mirror the interpreted slice accounting: one
+                // compiled-terms sample and one per-member sample per call
+                self.compiled_terms.fetch_add(terms, Ordering::Relaxed);
+                o4a_obs::histogram!(
+                    "o4a_compiled_terms",
+                    "resolved terms per compiled query execution"
+                )
+                .record(terms);
+                for (hist, &n) in self.model_term_hists.iter().zip(&counts) {
+                    hist.record(n);
+                }
+                values = Some(out);
+            }
+        }
+        let values: Vec<f32> = values.unwrap_or_else(|| {
+            // interpreted fallback (compiled disabled, or a member
+            // snapshot's layout drifted from the hierarchy)
+            if plans.is_empty() && !groups.is_empty() {
+                plans = groups.iter().map(|g| lookup_group(&self.plan, g)).collect();
+            }
+            let out = plans
+                .iter()
+                .map(|p| evaluate_plan(&self.plan.hier, &views, p))
+                .collect();
+            self.record_model_terms(&plans);
+            out
+        });
         let aggregate_t = t2.elapsed();
         if tid != 0 {
             o4a_obs::trace::emit(&o4a_obs::trace::SpanEvent {
@@ -432,7 +636,6 @@ impl EnsembleServer {
                 bytes: groups.len() as u64,
             });
         }
-        self.record_model_terms(&plans);
         (
             values,
             QueryTiming {
@@ -466,6 +669,14 @@ impl QueryBackend for EnsembleServer {
 
     fn plan_revision(&self) -> u64 {
         self.plan.revision as u64
+    }
+
+    fn plan_cache_stats(&self) -> (u64, u64, u64) {
+        EnsembleServer::plan_cache_stats(self)
+    }
+
+    fn compiled_terms(&self) -> u64 {
+        EnsembleServer::compiled_terms(self)
     }
 }
 

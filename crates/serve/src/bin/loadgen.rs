@@ -19,7 +19,11 @@
 //! distribution over pool ranks (weight `1/(i+1)^s`), concentrating
 //! traffic on a hot head of regions the way real prediction dashboards
 //! do — this is what makes the server-side decomposition memo and shard
-//! load split worth measuring.
+//! load split worth measuring. `--hot-masks N` bounds the working set to
+//! the first N pool masks, so the server's decomposition memo and
+//! compiled-plan cache converge to a steady hit rate (reported in the
+//! JSON as `decomp_cache_hit_rate` / `plan_cache_hit_rate` from the
+//! final revision-4 STATS snapshot).
 //!
 //! **Tail reporting.** Bucket percentiles come from the shared
 //! `o4a_obs::Histogram` (√2-geometric buckets: the reported quantile is
@@ -47,8 +51,9 @@
 //! Usage:
 //!   cargo run -p o4a-serve --release --bin loadgen -- \
 //!     [--addr 127.0.0.1:7474 | --addr-file PATH] [--threads 4] [--secs 2] \
-//!     [--batch 0] [--zipf S] [--diurnal RPS] [--out BENCH_serve.json] \
-//!     [--metrics-out PATH] [--trace-sample N] [--trace-out PATH]
+//!     [--batch 0] [--zipf S] [--hot-masks N] [--diurnal RPS] \
+//!     [--out BENCH_serve.json] [--metrics-out PATH] [--trace-sample N] \
+//!     [--trace-out PATH]
 
 use o4a_grid::queries::{task_queries, TaskSpec};
 use o4a_grid::Mask;
@@ -79,6 +84,9 @@ struct Args {
     secs: f64,
     batch: usize,
     zipf: Option<f64>,
+    /// Bound the query pool to its first N masks — a fixed hot working
+    /// set that the server-side caches can fully absorb.
+    hot_masks: Option<usize>,
     diurnal: Option<f64>,
     out: PathBuf,
     metrics_out: Option<PathBuf>,
@@ -96,6 +104,7 @@ fn parse_args() -> Args {
         secs: 2.0,
         batch: 0,
         zipf: None,
+        hot_masks: None,
         diurnal: None,
         out: PathBuf::from("BENCH_serve.json"),
         metrics_out: None,
@@ -115,6 +124,9 @@ fn parse_args() -> Args {
             "--secs" => args.secs = value("--secs").parse().expect("--secs"),
             "--batch" => args.batch = value("--batch").parse().expect("--batch"),
             "--zipf" => args.zipf = Some(value("--zipf").parse().expect("--zipf")),
+            "--hot-masks" => {
+                args.hot_masks = Some(value("--hot-masks").parse().expect("--hot-masks"))
+            }
             "--diurnal" => args.diurnal = Some(value("--diurnal").parse().expect("--diurnal")),
             "--out" => args.out = PathBuf::from(value("--out")),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
@@ -225,6 +237,15 @@ fn main() {
         ));
     }
     assert!(!pool.is_empty(), "query pool is empty");
+    if let Some(n) = args.hot_masks {
+        assert!(n > 0, "--hot-masks must be positive");
+        pool.truncate(n);
+        o4a_obs::info!(
+            "loadgen",
+            "hot working set: {} masks (pool truncated)",
+            pool.len()
+        );
+    }
     let pool = Arc::new(pool);
     let cdf = args.zipf.map(|s| Arc::new(zipf_cdf(pool.len(), s)));
 
@@ -454,13 +475,53 @@ fn main() {
     );
     println!("  latency max  {max_us:>10} us");
     println!("  outcomes: {ok} ok, {busy} busy, {errors} client errors (shed rate {shed_rate:.4})");
+    // Cache hit rates and shard balance from the final revision-4 STATS
+    // snapshot (0.0 hit rate from a pre-revision-4 server decodes the
+    // counters as zero).
+    let hit_rate = |hits: u64, misses: u64| {
+        let total = hits + misses;
+        if total > 0 {
+            hits as f64 / total as f64
+        } else {
+            0.0
+        }
+    };
+    let decomp_hit_rate = server_stats
+        .as_ref()
+        .map(|s| hit_rate(s.decomp_cache_hits, s.decomp_cache_misses));
+    let plan_hit_rate = server_stats
+        .as_ref()
+        .map(|s| hit_rate(s.plan_cache_hits, s.plan_cache_misses));
+    let shard_balance_ratio = server_stats.as_ref().and_then(|s| {
+        let max = s.shard_loads.iter().copied().max()?;
+        let min = s.shard_loads.iter().copied().min()?;
+        (min > 0).then(|| max as f64 / min as f64)
+    });
     if let Some(s) = &server_stats {
         println!(
             "  server: {} exec batches, {} coalesced masks, {} busy, {} protocol errors",
             s.exec_batches, s.coalesced_masks, s.busy_rejections, s.protocol_errors
         );
+        println!(
+            "  server caches: decomp {}/{} ({:.3} hit rate), plan {}/{} ({:.3} hit rate, \
+             {} evictions), {} compiled terms",
+            s.decomp_cache_hits,
+            s.decomp_cache_hits + s.decomp_cache_misses,
+            decomp_hit_rate.unwrap_or(0.0),
+            s.plan_cache_hits,
+            s.plan_cache_hits + s.plan_cache_misses,
+            plan_hit_rate.unwrap_or(0.0),
+            s.plan_cache_evictions,
+            s.compiled_terms
+        );
         if !s.shard_loads.is_empty() {
-            println!("  shard loads (groups routed): {:?}", s.shard_loads);
+            println!(
+                "  shard loads (groups routed): {:?} (max/min ratio {})",
+                s.shard_loads,
+                shard_balance_ratio
+                    .map(|r| format!("{r:.2}"))
+                    .unwrap_or_else(|| "inf".into())
+            );
         }
     }
     if !stage_durs.is_empty() {
@@ -492,6 +553,9 @@ fn main() {
     if let Some(s) = args.zipf {
         json.push_str(&format!("  \"zipf_s\": {s:.2},\n"));
     }
+    if let Some(n) = args.hot_masks {
+        json.push_str(&format!("  \"hot_masks\": {n},\n"));
+    }
     json.push_str(&format!("  \"duration_secs\": {secs:.3},\n"));
     json.push_str(&format!("  \"requests\": {requests},\n"));
     json.push_str(&format!("  \"masks\": {masks},\n"));
@@ -519,7 +583,7 @@ fn main() {
         json.push_str(&format!(
             "  \"server\": {{ \"connections\": {}, \"requests\": {}, \"masks_served\": {}, \
              \"exec_batches\": {}, \"coalesced_masks\": {}, \"busy_rejections\": {}, \
-             \"protocol_errors\": {}, \"shard_loads\": {:?} }}",
+             \"protocol_errors\": {}, \"shard_loads\": {:?} }},\n",
             s.connections,
             s.requests,
             s.masks_served,
@@ -529,6 +593,24 @@ fn main() {
             s.protocol_errors,
             s.shard_loads
         ));
+        json.push_str(&format!(
+            "  \"decomp_cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4} }},\n",
+            s.decomp_cache_hits,
+            s.decomp_cache_misses,
+            decomp_hit_rate.unwrap_or(0.0)
+        ));
+        json.push_str(&format!(
+            "  \"plan_cache\": {{ \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"hit_rate\": {:.4}, \"compiled_terms\": {} }}",
+            s.plan_cache_hits,
+            s.plan_cache_misses,
+            s.plan_cache_evictions,
+            plan_hit_rate.unwrap_or(0.0),
+            s.compiled_terms
+        ));
+        if let Some(r) = shard_balance_ratio {
+            json.push_str(&format!(",\n  \"shard_balance_ratio\": {r:.3}"));
+        }
     }
     if !stage_durs.is_empty() {
         json.push_str(",\n");

@@ -124,13 +124,17 @@ impl ServerStats {
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             decompose_ns: self.decompose_ns.load(Ordering::Relaxed),
             index_ns: self.index_ns.load(Ordering::Relaxed),
-            // the decomposition memo, plan revision and shard loads live
-            // in the query backend, not here; `Shared::stats_snapshot`
-            // fills these in
+            // the decomposition memo, plan revision, shard loads and
+            // plan-cache counters live in the query backend, not here;
+            // `Shared::stats_snapshot` fills these in
             decomp_cache_hits: 0,
             decomp_cache_misses: 0,
             plan_revision: 0,
             shard_loads: Vec::new(),
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_evictions: 0,
+            compiled_terms: 0,
         }
     }
 }
@@ -229,8 +233,8 @@ struct Shared {
 impl Shared {
     /// Serving counters merged with the backend's decomposition-memo
     /// hit/miss counters, its active plan revision (`0` for a
-    /// single-model backend) and its per-shard load counters (empty
-    /// unsharded).
+    /// single-model backend), its per-shard load counters (empty
+    /// unsharded) and its compiled-plan cache counters.
     fn stats_snapshot(&self) -> StatsSnapshot {
         let mut s = self.stats.snapshot();
         let (hits, misses) = self.region.decomp_cache_stats();
@@ -238,6 +242,11 @@ impl Shared {
         s.decomp_cache_misses = misses;
         s.plan_revision = self.region.plan_revision();
         s.shard_loads = self.region.shard_loads();
+        let (ph, pm, pe) = self.region.plan_cache_stats();
+        s.plan_cache_hits = ph;
+        s.plan_cache_misses = pm;
+        s.plan_cache_evictions = pe;
+        s.compiled_terms = self.region.compiled_terms();
         s
     }
 }

@@ -227,6 +227,17 @@ pub struct StatsSnapshot {
     /// the STATS payload (`u16` count + that many `u64`s) — a revision-1
     /// or revision-2 peer's payload ends before it and decodes as empty.
     pub shard_loads: Vec<u64>,
+    /// Compiled-plan cache hits. Appended (with the three fields below)
+    /// in revision 4 of the STATS payload — an older peer's payload ends
+    /// before it and decodes as `0`.
+    pub plan_cache_hits: u64,
+    /// Compiled-plan cache misses (each miss compiles a plan). Revision 4.
+    pub plan_cache_misses: u64,
+    /// Compiled plans evicted from the cache under LRU pressure.
+    /// Revision 4.
+    pub plan_cache_evictions: u64,
+    /// Total index terms executed through compiled plans. Revision 4.
+    pub compiled_terms: u64,
 }
 
 /// A decoded response frame.
@@ -621,6 +632,17 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             for &v in &s.shard_loads {
                 put_u64(&mut p, v);
             }
+            // payload revision 4: compiled-plan cache counters appended
+            // after the revision-3 body so old decoders that stop early
+            // still work
+            for v in [
+                s.plan_cache_hits,
+                s.plan_cache_misses,
+                s.plan_cache_evictions,
+                s.compiled_terms,
+            ] {
+                put_u64(&mut p, v);
+            }
             encode_frame(Verb::StatsResult, &p)
         }
         Response::Metrics(text) => encode_frame(Verb::MetricsResult, text.as_bytes()),
@@ -706,6 +728,10 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
                 // payload ends here and decodes it as zero
                 plan_revision: 0,
                 shard_loads: Vec::new(),
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
+                plan_cache_evictions: 0,
+                compiled_terms: 0,
             };
             if r.remaining() > 0 {
                 s.plan_revision = r.u64()?;
@@ -718,6 +744,15 @@ pub fn decode_response(verb: Verb, payload: &[u8]) -> Result<Response, WireError
                     return Err(WireError::Corrupt("shard count exceeds cap"));
                 }
                 s.shard_loads = (0..count).map(|_| r.u64()).collect::<Result<_, _>>()?;
+            }
+            // revision 4 appends the compiled-plan cache counters; a
+            // revision-3 payload ends here and decodes them as zero. A
+            // payload cut mid-way through the four fields is an error.
+            if r.remaining() > 0 {
+                s.plan_cache_hits = r.u64()?;
+                s.plan_cache_misses = r.u64()?;
+                s.plan_cache_evictions = r.u64()?;
+                s.compiled_terms = r.u64()?;
             }
             Response::Stats(s)
         }
@@ -917,6 +952,10 @@ mod tests {
                 decomp_cache_misses: 50,
                 plan_revision: 4,
                 shard_loads: vec![1000, 2000, 900],
+                plan_cache_hits: 3800,
+                plan_cache_misses: 200,
+                plan_cache_evictions: 12,
+                compiled_terms: 91_000,
             }),
             Response::Busy,
             Response::Error("no snapshot".into()),
@@ -994,6 +1033,10 @@ mod tests {
                 decomp_cache_misses: 11,
                 plan_revision: 0,
                 shard_loads: Vec::new(),
+                plan_cache_hits: 0,
+                plan_cache_misses: 0,
+                plan_cache_evictions: 0,
+                compiled_terms: 0,
             })
         );
     }
@@ -1028,16 +1071,66 @@ mod tests {
         assert!(s.shard_loads.is_empty());
     }
 
+    /// A revision-3 STATS_RESULT payload exactly as a pre-plan-cache
+    /// server would emit it: 12 `u64` fields, then a `u16` shard count
+    /// and that many `u64` loads.
+    fn revision3_payload(loads: &[u64]) -> Vec<u8> {
+        let mut p = Vec::new();
+        for v in 1u64..=12 {
+            put_u64(&mut p, v);
+        }
+        put_u16(&mut p, loads.len() as u16);
+        for &v in loads {
+            put_u64(&mut p, v);
+        }
+        p
+    }
+
     #[test]
     fn truncated_stats_shard_loads_rejected() {
         // Revision-3 body cut mid-shard-entry (and cut mid-count): not a
         // valid payload at any revision — must be an error.
+        let p = revision3_payload(&[5, 6]);
+        for cut in [3, 9, 17] {
+            let reframed = encode_frame(Verb::StatsResult, &p[..p.len() - cut]);
+            assert!(
+                parse_response_bytes(&reframed).is_err(),
+                "cut of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn revision3_stats_payload_still_decodes() {
+        // A revision-3 frame ends after the shard loads; the revision-4
+        // plan-cache counters must decode as zero.
+        let frame = encode_frame(Verb::StatsResult, &revision3_payload(&[7, 8]));
+        let Response::Stats(s) = parse_response_bytes(&frame).unwrap() else {
+            panic!("expected stats response");
+        };
+        assert_eq!(s.plan_revision, 12);
+        assert_eq!(s.shard_loads, vec![7, 8]);
+        assert_eq!(s.plan_cache_hits, 0);
+        assert_eq!(s.plan_cache_misses, 0);
+        assert_eq!(s.plan_cache_evictions, 0);
+        assert_eq!(s.compiled_terms, 0);
+    }
+
+    #[test]
+    fn truncated_stats_plan_cache_rejected() {
+        // Revision-4 body cut anywhere inside the four plan-cache
+        // counters: not a valid payload at any revision — must be an
+        // error, not a silent partial read.
         let s = StatsSnapshot {
             shard_loads: vec![5, 6],
+            plan_cache_hits: 100,
+            plan_cache_misses: 4,
+            plan_cache_evictions: 1,
+            compiled_terms: 2_000,
             ..StatsSnapshot::default()
         };
         let frame = encode_response(&Response::Stats(s));
-        for cut in [3, 9, 17] {
+        for cut in [1, 8, 15, 24, 31] {
             let payload = &frame[HEADER_LEN..frame.len() - cut];
             let reframed = encode_frame(Verb::StatsResult, payload);
             assert!(

@@ -16,7 +16,7 @@ use crate::mask::Mask;
 /// layer. A group with one cell is a *single grid*; larger groups are the
 /// paper's *multi-grids* (always at most `K^2 - 1` cells — a full parent
 /// would have been matched one layer coarser).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DecomposedGroup {
     /// Layer of the cells (0 = atomic).
     pub layer: usize,

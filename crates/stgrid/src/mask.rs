@@ -6,12 +6,31 @@ use serde::{Deserialize, Serialize};
 /// rasterized region.
 ///
 /// `Hash` hashes the dimensions and bit vector, consistently with `Eq`, so
-/// masks can key memo tables (the region server's decomposition cache).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// masks can key memo tables (the region server's decomposition cache and
+/// the compiled-plan cache).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mask {
     h: usize,
     w: usize,
     bits: Vec<bool>,
+}
+
+impl std::hash::Hash for Mask {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Pack 64 cells per hasher word: the derived impl fed the hasher
+        // one byte per cell, which made every mask-keyed memo lookup pay
+        // ~h*w hasher calls. Equal masks have equal (h, w, bits), so any
+        // deterministic packing stays consistent with `Eq`.
+        state.write_usize(self.h);
+        state.write_usize(self.w);
+        for chunk in self.bits.chunks(64) {
+            let mut word = 0u64;
+            for (i, &b) in chunk.iter().enumerate() {
+                word |= (b as u64) << i;
+            }
+            state.write_u64(word);
+        }
+    }
 }
 
 impl Mask {

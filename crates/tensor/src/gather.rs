@@ -1,0 +1,95 @@
+//! ISA-dispatched signed gathers for compiled query plans.
+//!
+//! A compiled region-query plan (see `o4a-core`'s `compiled` module)
+//! resolves every combination term to a flat frame offset ahead of time;
+//! executing the plan is then one streaming pass: gather the addressed
+//! snapshot values, apply the term signs, and reduce. The gather +
+//! sign-multiply phase is per-element — no reduction, no reassociation —
+//! so it vectorizes freely while staying bit-identical to the scalar
+//! `sign as f32 * frames.value(..)` chain in
+//! `o4a_core::combination::term_value`:
+//!
+//! * **Scalar** — portable indexed loop (bounds-checked).
+//! * **Avx2** — `vgatherdps` 8-lane f32 gather; f16 storage gathers the
+//!   half words scalar-wise and widens 8 at a time with `vcvtph2ps`.
+//! * **Avx512** — 16-lane zmm `vgatherdps` / `vcvtph2ps`.
+//!
+//! Per-tier bit-identity against the scalar oracle is property-tested in
+//! `crates/tensor/tests/gather_props.rs` (part of the always-run
+//! scalar-identity CI job).
+
+/// `out[i] = signs[i] * src[offsets[i]]` on the active ISA tier.
+///
+/// The sign multiplier is the **left** operand, matching the interpreted
+/// `sign as f32 * value` term chain exactly (relevant for NaN payload
+/// propagation; for ±1.0 signs and finite values the product is exact in
+/// any order).
+///
+/// # Safety
+/// Every `offsets[i] as usize` must be `< src.len()` — the hardware
+/// gather tiers cannot bounds-check and an out-of-range offset is
+/// undefined behavior there (the scalar tier panics instead). `offsets`,
+/// `signs` and `out` must have equal lengths. Compiled plans guarantee
+/// both by construction: offsets are derived from the hierarchy's layer
+/// geometry and the executor refuses snapshots shorter than the
+/// hierarchy's total cell count.
+///
+/// # Panics
+/// Panics when the slice lengths disagree.
+#[inline]
+pub unsafe fn gather_signed_f32(src: &[f32], offsets: &[u32], signs: &[f32], out: &mut [f32]) {
+    assert!(
+        offsets.len() == out.len() && signs.len() == out.len(),
+        "gather slice lengths disagree"
+    );
+    (crate::isa::dispatch().gather_signed_f32)(src, offsets, signs, out)
+}
+
+/// [`gather_signed_f32`] over f16 bit-pattern storage: each gathered half
+/// word is widened to f32 (losslessly, hardware `vcvtph2ps` bit-matching
+/// the software conversion) before the sign multiply.
+///
+/// # Safety
+/// Same contract as [`gather_signed_f32`].
+///
+/// # Panics
+/// Panics when the slice lengths disagree.
+#[inline]
+pub unsafe fn gather_signed_f16(src: &[u16], offsets: &[u32], signs: &[f32], out: &mut [f32]) {
+    assert!(
+        offsets.len() == out.len() && signs.len() == out.len(),
+        "gather slice lengths disagree"
+    );
+    (crate::isa::dispatch().gather_signed_f16)(src, offsets, signs, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_gather_matches_hand_computation() {
+        let src = [1.0f32, -2.0, 4.0, 0.5];
+        let offsets = [2u32, 0, 3, 1, 2];
+        let signs = [1.0f32, -1.0, 1.0, -1.0, -1.0];
+        let mut out = [0.0f32; 5];
+        // SAFETY: every offset < src.len(); lengths agree.
+        unsafe { gather_signed_f32(&src, &offsets, &signs, &mut out) };
+        assert_eq!(out, [4.0, -1.0, 0.5, 2.0, -4.0]);
+    }
+
+    #[test]
+    fn f16_gather_widens_before_multiplying() {
+        let vals = [1.5f32, -2.25, 0.125];
+        let src: Vec<u16> = vals
+            .iter()
+            .map(|&v| crate::half::f32_to_f16_bits(v))
+            .collect();
+        let offsets = [1u32, 2, 0];
+        let signs = [-1.0f32, 1.0, 1.0];
+        let mut out = [0.0f32; 3];
+        // SAFETY: every offset < src.len(); lengths agree.
+        unsafe { gather_signed_f16(&src, &offsets, &signs, &mut out) };
+        assert_eq!(out, [2.25, 0.125, 1.5]);
+    }
+}

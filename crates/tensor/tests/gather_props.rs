@@ -1,0 +1,92 @@
+//! Signed-gather identity contract across ISA tiers.
+//!
+//! Compiled query plans stream snapshot values through
+//! [`o4a_tensor::gather`]; the hardware `vgatherdps` tiers must equal the
+//! scalar reference `out[i] = signs[i] * src[offsets[i]]` **bit for bit**
+//! on every tier — NaNs, infinities, signed zeros and subnormals
+//! included, f32 and f16 storage both. Part of the always-run
+//! scalar-identity CI job (`O4A_ISA=scalar` plus per-tier `force()`).
+
+use o4a_tensor::gather::{gather_signed_f16, gather_signed_f32};
+use o4a_tensor::half::f16_bits_to_f32;
+use o4a_tensor::isa;
+use proptest::prelude::*;
+
+/// Finite-and-weird f32 values: normals across the exponent range plus
+/// the IEEE edge cases the sign multiply must pass through untouched.
+fn value_strategy() -> impl Strategy<Value = f32> {
+    (0u8..16, -1e6f32..1e6f32).prop_map(|(sel, v)| match sel {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::INFINITY,
+        3 => f32::NEG_INFINITY,
+        4 => f32::NAN,
+        5 => f32::MIN_POSITIVE / 8.0, // subnormal
+        6 => f32::MAX,
+        _ => v,
+    })
+}
+
+fn scalar_oracle_f32(src: &[f32], offsets: &[u32], signs: &[f32]) -> Vec<u32> {
+    offsets
+        .iter()
+        .zip(signs)
+        .map(|(&o, &s)| (s * src[o as usize]).to_bits())
+        .collect()
+}
+
+fn scalar_oracle_f16(src: &[u16], offsets: &[u32], signs: &[f32]) -> Vec<u32> {
+    offsets
+        .iter()
+        .zip(signs)
+        .map(|(&o, &s)| (s * f16_bits_to_f32(src[o as usize])).to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every available tier gathers f32 storage bit-identically to the
+    /// scalar expression, for term counts spanning sub-lane tails through
+    /// several full vectors.
+    #[test]
+    fn f32_gather_matches_scalar_on_every_tier(
+        src in proptest::collection::vec(value_strategy(), 1..200),
+        picks in proptest::collection::vec((0usize..usize::MAX, any::<bool>()), 0..100),
+    ) {
+        let offsets: Vec<u32> = picks.iter().map(|&(o, _)| (o % src.len()) as u32).collect();
+        let signs: Vec<f32> = picks.iter().map(|&(_, neg)| if neg { -1.0 } else { 1.0 }).collect();
+        let want = scalar_oracle_f32(&src, &offsets, &signs);
+        for tier in isa::available() {
+            isa::force(Some(tier));
+            let mut out = vec![0.0f32; offsets.len()];
+            // SAFETY: offsets are reduced mod src.len(); lengths agree.
+            unsafe { gather_signed_f32(&src, &offsets, &signs, &mut out) };
+            isa::force(None);
+            let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&want, &got, "{} f32 gather diverged from scalar", tier.name());
+        }
+    }
+
+    /// Every available tier gathers f16 storage bit-identically to the
+    /// software widen + scalar multiply chain (any f16 bit pattern,
+    /// including NaNs and subnormals).
+    #[test]
+    fn f16_gather_matches_scalar_on_every_tier(
+        src in proptest::collection::vec(any::<u16>(), 1..200),
+        picks in proptest::collection::vec((0usize..usize::MAX, any::<bool>()), 0..100),
+    ) {
+        let offsets: Vec<u32> = picks.iter().map(|&(o, _)| (o % src.len()) as u32).collect();
+        let signs: Vec<f32> = picks.iter().map(|&(_, neg)| if neg { -1.0 } else { 1.0 }).collect();
+        let want = scalar_oracle_f16(&src, &offsets, &signs);
+        for tier in isa::available() {
+            isa::force(Some(tier));
+            let mut out = vec![0.0f32; offsets.len()];
+            // SAFETY: offsets are reduced mod src.len(); lengths agree.
+            unsafe { gather_signed_f16(&src, &offsets, &signs, &mut out) };
+            isa::force(None);
+            let got: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&want, &got, "{} f16 gather diverged from scalar", tier.name());
+        }
+    }
+}

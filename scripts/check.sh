@@ -19,7 +19,7 @@ cargo test -q
 # not just the per-test force() loops.
 echo "==> O4A_ISA=scalar kernel identity proptests"
 O4A_ISA=scalar cargo test -q --release -p o4a-tensor \
-    --test gemm_props --test into_props --test half_props
+    --test gemm_props --test into_props --test half_props --test gather_props
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -122,6 +122,17 @@ awk '
     }
 ' "$KSMOKE_DIR/BENCH_kernels.json"
 
+# Compiled-plan gate: on the hot-mask workload the compiled aggregation
+# must run >= 1.3x the interpreted path (qplan asserts compiled ==
+# interpreted bit for bit on both storage precisions BEFORE any timing,
+# and exits non-zero below the gate). Scratch output only — the
+# committed BENCH_serve.json carries the merged numbers.
+echo "==> compiled query-plan gate (qplan --gate 1.3, bit-identity then timing)"
+./target/release/qplan --quick --gate 1.3 --out "$KSMOKE_DIR/BENCH_qplan.json" \
+    > "$KSMOKE_DIR/qplan.log" 2>&1 \
+    || { cat "$KSMOKE_DIR/qplan.log"; echo "FAIL: qplan gate"; exit 1; }
+tail -n +2 "$KSMOKE_DIR/qplan.log" | grep -v '^wrote '
+
 # Ensemble planner gate: the 2-model hotspot scenario must hold
 # end-to-end (routing + accuracy, run as the dedicated test binary), and
 # the quick bench must show (1) the O4AENS01 artifact round-trips
@@ -195,7 +206,7 @@ O4A_TRACE=1 ./target/release/serve --addr 127.0.0.1:0 --addr-file "$SMOKE_DIR/sa
     > "$SMOKE_DIR/sharded-serve.log" 2>&1 &
 SSERVE_PID=$!
 ./target/release/loadgen --addr-file "$SMOKE_DIR/saddr" --threads 2 \
-    --secs 2 --zipf 1.1 --out "$SMOKE_DIR/BENCH_sserve.json" \
+    --secs 2 --zipf 1.1 --hot-masks 64 --out "$SMOKE_DIR/BENCH_sserve.json" \
     --trace-sample 1 --trace-out "$SMOKE_DIR/trace.json" \
     --metrics-out "$SMOKE_DIR/smetrics.prom"
 wait "$SSERVE_PID"
@@ -207,6 +218,22 @@ awk '
     END {
         if (perr != 0) { print "FAIL: protocol errors on the sharded run"; exit 1 }
         if (loads !~ /\[[0-9]+, *[0-9]+\]/) { print "FAIL: STATS did not surface two per-shard load counters: " loads; exit 1 }
+    }
+' "$SMOKE_DIR/BENCH_sserve.json"
+# Plan-cache gate: with a 64-mask hot working set the sharded backends'
+# compiled-plan caches must be serving hits by the end of the run (a 0.0
+# hit rate would mean the compiled path silently fell back or the
+# revision-4 STATS fields went missing).
+awk '
+    /"plan_cache"/ {
+        match($0, /"hit_rate": [0-9.]+/)
+        rate = substr($0, RSTART + 12, RLENGTH - 12) + 0
+        seen = 1
+    }
+    END {
+        if (!seen) { print "FAIL: no plan_cache column in the sharded bench JSON"; exit 1 }
+        printf "sharded plan-cache hit rate %.3f\n", rate
+        if (rate <= 0) { print "FAIL: plan-cache hit rate is zero on a hot-mask run"; exit 1 }
     }
 ' "$SMOKE_DIR/BENCH_sserve.json"
 
@@ -241,6 +268,9 @@ for metric in o4a_serve_requests_total o4a_serve_busy_total \
     o4a_serve_protocol_errors_total o4a_query_decompose_ns_bucket \
     o4a_query_lookup_ns_count o4a_query_aggregate_ns_sum \
     o4a_decomp_cache_hits_total o4a_decomp_cache_misses_total \
+    o4a_decomp_cache_entries o4a_plan_cache_hits_total \
+    o4a_plan_cache_misses_total o4a_plan_cache_evictions_total \
+    o4a_plan_cache_entries o4a_compiled_terms_bucket \
     o4a_isa_active o4a_isa_feature_avx2 \
     o4a_loop0_epoll_wait_ns_bucket o4a_loop0_ready_events_count \
     o4a_exec_queue_depth o4a_serve_backpressure_total \
